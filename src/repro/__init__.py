@@ -1,0 +1,80 @@
+"""repro — Stateful Dataflow Graphs (SDGs).
+
+A reproduction of *"Making State Explicit for Imperative Big Data
+Processing"* (Castro Fernandez, Migliavacca, Kalyvianaki, Pietzuch —
+USENIX ATC 2014).
+
+Quickstart::
+
+    from repro import SDGProgram, Partitioned, entry
+    from repro.state import KeyValueMap
+
+    class Store(SDGProgram):
+        table = Partitioned(KeyValueMap, key="key")
+
+        @entry
+        def put(self, key, value):
+            self.table.put(key, value)
+
+        @entry
+        def get(self, key):
+            return self.table.get(key)
+
+    app = Store.launch(table=4)   # 4 partitions, 4 logical nodes
+    app.put("answer", 42)
+    app.get("answer")
+    app.run()
+    assert app.results("get") == [42]
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-figure reproductions.
+"""
+
+from repro.annotations import (
+    Partial,
+    Partitioned,
+    collection,
+    entry,
+    global_,
+)
+from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.errors import (
+    AllocationError,
+    RecoveryError,
+    RuntimeExecutionError,
+    SDGError,
+    StateError,
+    TranslationError,
+    ValidationError,
+)
+from repro.program import BoundProgram, SDGProgram
+from repro.runtime import Runtime, RuntimeConfig
+from repro.translate import TranslationResult, translate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AllocationError",
+    "BoundProgram",
+    "Dispatch",
+    "Partial",
+    "Partitioned",
+    "RecoveryError",
+    "Runtime",
+    "RuntimeConfig",
+    "RuntimeExecutionError",
+    "SDG",
+    "SDGError",
+    "SDGProgram",
+    "StateError",
+    "StateKind",
+    "TranslationError",
+    "TranslationResult",
+    "ValidationError",
+    "collection",
+    "entry",
+    "global_",
+    "translate",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the py2sdg command-line tool."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,124 @@
+"""Source-level annotations (§4.1).
+
+The paper asks developers for a handful of annotations on an otherwise
+ordinary imperative class; everything else is inferred statically:
+
+* ``@Partitioned`` → :class:`Partitioned` field descriptor — the field
+  can be split into disjoint partitions, always accessed through a key;
+* ``@Partial``     → :class:`Partial` field descriptor — the field is
+  replicated; each instance is updated independently;
+* ``@Global``      → :func:`global_` expression marker — apply the
+  expression to *all* instances of a partial field (a synchronisation
+  point in the SDG);
+* ``@Collection``  → :func:`collection` expression marker — expose all
+  instances of a partial variable as a list for merging;
+* entry points     → the :func:`entry` method decorator.
+
+Everything here is executable as plain Python: an annotated program runs
+sequentially, unchanged (``global_`` and ``collection`` degrade to
+single-instance semantics). The translator gives the same class a
+distributed interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.elements import StateKind
+from repro.errors import TranslationError
+from repro.state.base import StateElement
+
+
+class StateField:
+    """Base descriptor for annotated state fields.
+
+    On instance access the descriptor lazily materialises one local SE
+    object per program instance, which is what makes the annotated class
+    runnable sequentially.
+    """
+
+    kind: StateKind
+
+    def __init__(self, factory: Callable[[], StateElement],
+                 key: str | None = None) -> None:
+        if not callable(factory):
+            raise TranslationError(
+                f"state field factory must be callable, got {factory!r}"
+            )
+        self.factory = factory
+        self.key = key
+        self.name: str | None = None
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, instance: Any, owner: type | None = None):
+        if instance is None:
+            return self
+        store = instance.__dict__
+        if self.name not in store:
+            element = self.factory()
+            if not isinstance(element, StateElement):
+                raise TranslationError(
+                    f"state field {self.name!r} factory must produce a "
+                    f"StateElement (got {type(element).__name__}); all "
+                    f"program state must use explicit state classes (§4.1)"
+                )
+            store[self.name] = element
+        return store[self.name]
+
+    def __set__(self, instance: Any, value: Any) -> None:
+        raise TranslationError(
+            f"state field {self.name!r} cannot be reassigned; mutate it "
+            f"through its state-element API"
+        )
+
+
+class Partitioned(StateField):
+    """``@Partitioned``: disjoint partitions, accessed by ``key`` (§4.1).
+
+    ``key`` names the method parameter/variable whose value selects the
+    partition — e.g. ``Partitioned(Matrix, key="user")`` for the CF
+    user-item matrix, where every access touches a single user's row.
+    """
+
+    kind = StateKind.PARTITIONED
+
+    def __init__(self, factory: Callable[[], StateElement],
+                 key: str = "key") -> None:
+        super().__init__(factory, key=key)
+
+
+class Partial(StateField):
+    """``@Partial``: independent full replicas, merged on demand (§4.1)."""
+
+    kind = StateKind.PARTIAL
+
+    def __init__(self, factory: Callable[[], StateElement]) -> None:
+        super().__init__(factory, key=None)
+
+
+def entry(method: Callable) -> Callable:
+    """Mark a method as a program entry point (one dataflow source each)."""
+    method._sdg_entry = True  # type: ignore[attr-defined]
+    return method
+
+
+def global_(field: Any) -> Any:
+    """``@Global`` access: apply the expression to all partial instances.
+
+    In sequential execution this is the identity — there is exactly one
+    instance. Under translation, the marked access becomes a one-to-all
+    broadcast and the assigned variable becomes partial (multi-valued).
+    """
+    return field
+
+
+def collection(value: Any) -> list:
+    """``@Collection``: expose all instances of a partial variable.
+
+    In sequential execution the single instance is wrapped in a
+    one-element list, preserving merge semantics. Under translation the
+    gathered instances arrive as the list.
+    """
+    return [value]

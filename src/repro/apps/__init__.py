@@ -1,0 +1,37 @@
+"""The paper's evaluation applications (§6).
+
+* :class:`~repro.apps.collaborative_filtering.CollaborativeFiltering` —
+  the running example (Alg. 1): online recommendations over a
+  partitioned user-item matrix and a partial co-occurrence matrix;
+* :class:`~repro.apps.kvstore.KeyValueStore` — the synthetic benchmark
+  of §6.1, "an algorithm with pure mutable state";
+* :class:`~repro.apps.logistic_regression.LogisticRegression` — the
+  batch/iterative workload of §6.2;
+* :func:`~repro.apps.wordcount.build_wordcount_sdg` — the streaming
+  wordcount of §6.1 (update-granularity experiment), built with the
+  low-level SDG API because its splitter fans one line out into many
+  word items.
+
+The annotated programs run both sequentially (instantiate and call) and
+distributed (``.launch()``), which the tests exploit to check
+translation correctness.
+"""
+
+from repro.apps.collaborative_filtering import CollaborativeFiltering
+from repro.apps.kmeans import KMeans
+from repro.apps.kvstore import KeyValueStore
+from repro.apps.logistic_regression import LogisticRegression
+from repro.apps.multiclass import MulticlassRegression
+from repro.apps.pagerank import build_pagerank_sdg, pagerank_scores
+from repro.apps.wordcount import build_wordcount_sdg
+
+__all__ = [
+    "CollaborativeFiltering",
+    "KMeans",
+    "KeyValueStore",
+    "LogisticRegression",
+    "MulticlassRegression",
+    "build_pagerank_sdg",
+    "build_wordcount_sdg",
+    "pagerank_scores",
+]

@@ -1,0 +1,51 @@
+"""Online collaborative filtering — the paper's Alg. 1, in Python.
+
+The program maintains two matrices: ``user_item`` stores each user's
+item ratings and is partitioned by user; ``co_occ`` counts items rated
+together and, having a random access pattern, is partial (replicated,
+independently updated, reconciled at read time by ``merge``).
+
+``add_rating`` is the high-throughput write path; ``get_rec`` is the
+low-latency read path — one SDG serves both workloads over the same
+state, which is the paper's headline capability (§3.4).
+"""
+
+from __future__ import annotations
+
+from repro.annotations import Partial, Partitioned, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import Matrix, Vector
+
+
+class CollaborativeFiltering(SDGProgram):
+    """Item-based collaborative filtering with incremental co-occurrence."""
+
+    user_item = Partitioned(Matrix, key="user")
+    co_occ = Partial(Matrix)
+
+    @entry
+    def add_rating(self, user, item, rating):
+        """Record one rating and update co-occurrence counts (Alg. 1 l.4)."""
+        self.user_item.set_element(user, item, rating)
+        user_row = self.user_item.get_row(user)
+        row_values = user_row.to_list()
+        for i in range(len(row_values)):
+            if row_values[i] > 0:
+                count = self.co_occ.get_element(item, i)
+                self.co_occ.set_element(item, i, count + 1)
+                self.co_occ.set_element(i, item, count + 1)
+
+    @entry
+    def get_rec(self, user):
+        """Fresh recommendations for ``user`` (Alg. 1 l.14)."""
+        user_row = self.user_item.get_row(user)
+        user_rec = global_(self.co_occ).multiply(user_row)
+        rec = self.merge(collection(user_rec))
+        return rec
+
+    def merge(self, all_user_rec):
+        """Sum the partial recommendation vectors (Alg. 1 l.20)."""
+        rec = Vector()
+        for cur in all_user_rec:
+            rec.add_vector(cur)
+        return rec

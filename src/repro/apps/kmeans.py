@@ -1,0 +1,94 @@
+"""Online k-means clustering.
+
+K-means is one of the paper's motivating algorithms (§1). The streaming
+formulation uses partial state the same way CF's co-occurrence matrix
+does: every replica maintains its own per-centroid accumulator
+(``[count, sum_0, ..., sum_{d-1}]`` rows of a matrix) and assigns
+incoming points against its *local* estimate — the paper's observation
+that such algorithms "can converge from different intermediate states"
+(§3.1) is what makes uncoordinated partial updates acceptable. Reading
+the clustering performs a global access and merges the accumulators
+(weighted by counts) into consensus centroids.
+
+The program also exercises a broadcast *write*: ``init_centroid`` seeds
+a centroid on **all** replicas through a ``global_`` access.
+"""
+
+from __future__ import annotations
+
+from repro.annotations import Partial, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import Matrix
+
+
+class KMeans(SDGProgram):
+    """Streaming k-means over partial per-replica accumulators.
+
+    Row ``c`` of the accumulator matrix holds ``[count, sums...]`` for
+    centroid ``c``; the centroid estimate is ``sums / count``.
+    """
+
+    accumulators = Partial(Matrix)
+
+    @entry
+    def init_centroid(self, cid, position):
+        """Seed centroid ``cid`` at ``position`` on every replica.
+
+        The global access broadcasts the write so that all partial
+        instances start from the same initial clustering.
+        """
+        acc = global_(self.accumulators)
+        acc.set_element(cid, 0, 1.0)
+        for i in range(len(position)):
+            acc.set_element(cid, i + 1, position[i])
+
+    @entry
+    def observe(self, point):
+        """Assign ``point`` to the locally-nearest centroid and fold it
+        into that centroid's accumulator."""
+        acc = self.accumulators
+        k = acc.num_rows()
+        best = 0
+        best_distance = None
+        for c in range(k):
+            count = acc.get_element(c, 0)
+            if count <= 0:
+                continue
+            distance = 0.0
+            for i in range(len(point)):
+                delta = acc.get_element(c, i + 1) / count - point[i]
+                distance = distance + delta * delta
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best = c
+        acc.add_element(best, 0, 1.0)
+        for i in range(len(point)):
+            acc.add_element(best, i + 1, point[i])
+
+    @entry
+    def get_centroids(self):
+        """Consensus centroids: count-weighted merge of all replicas."""
+        partial_rows = global_(self.accumulators).to_rows()
+        centroids = self.merge_centroids(collection(partial_rows))
+        return centroids
+
+    def merge_centroids(self, all_rows):
+        """Sum counts and coordinate sums per centroid, then divide."""
+        k = max((len(rows) for rows in all_rows), default=0)
+        merged = []
+        for c in range(k):
+            count = 0.0
+            sums = []
+            for rows in all_rows:
+                if c >= len(rows) or not rows[c]:
+                    continue
+                count = count + rows[c][0]
+                for i in range(1, len(rows[c])):
+                    while len(sums) < i:
+                        sums.append(0.0)
+                    sums[i - 1] = sums[i - 1] + rows[c][i]
+            if count > 0:
+                merged.append([value / count for value in sums])
+            else:
+                merged.append([])
+        return merged

@@ -1,0 +1,43 @@
+"""A distributed, partitioned key/value store (§6.1).
+
+The paper uses this synthetic application — "an algorithm with pure
+mutable state" — to measure throughput/latency as the state size grows
+(Fig. 6, Fig. 7) and to drive the failure-recovery experiments
+(Fig. 11-13). Every operation is a fine-grained update or read of a
+hash-partitioned dictionary SE.
+"""
+
+from __future__ import annotations
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class KeyValueStore(SDGProgram):
+    """A hash-partitioned KV store with put/get/delete/increment."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def put(self, key, value):
+        """Insert or overwrite one key."""
+        self.table.put(key, value)
+
+    @entry
+    def get(self, key):
+        """Read one key (None when absent)."""
+        value = self.table.get(key)
+        return (key, value)
+
+    @entry
+    def remove(self, key):
+        """Delete one key if present."""
+        if self.table.contains(key):
+            self.table.delete(key)
+
+    @entry
+    def bump(self, key, delta):
+        """Atomically add ``delta`` to a counter; returns the new value."""
+        value = self.table.increment(key, delta)
+        return (key, value)

@@ -1,0 +1,91 @@
+"""Multiclass (softmax) regression over a partial DenseMatrix.
+
+A second flavour of the paper's online-learning workloads (§1, §6.2):
+the model is a *dense* class-by-feature weight matrix held as partial
+state. Every replica performs local SGD steps against its own copy;
+reading the model globally averages the replicas — the same
+parameter-averaging pattern as binary LR, but exercising the
+``DenseMatrix`` SE through the translator (fixed shape, full rows).
+
+The model dimensions are module-level constants because the translated
+task code resolves names against the module globals (a translated
+program cannot capture closure state — it must be location
+independent, §4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.annotations import Partial, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import DenseMatrix
+
+#: Number of classes and features (incl. the bias column).
+N_CLASSES = 3
+N_FEATURES = 6
+
+
+def softmax(scores):
+    """Numerically-stable softmax over a score list."""
+    peak = max(scores)
+    exps = [math.exp(s - peak) for s in scores]
+    total = sum(exps)
+    return [e / total for e in exps]
+
+
+class MulticlassRegression(SDGProgram):
+    """Streaming softmax regression with replica-averaged reads."""
+
+    weights = Partial(lambda: DenseMatrix(N_CLASSES, N_FEATURES))
+
+    @entry
+    def train(self, features, label, learning_rate):
+        """One softmax-SGD step on the local weight replica."""
+        w = self.weights
+        scores = []
+        for c in range(N_CLASSES):
+            z = 0.0
+            for i in range(len(features)):
+                z = z + w.get_element(c, i) * features[i]
+            scores.append(z)
+        probabilities = self.predict_proba(scores)
+        for c in range(N_CLASSES):
+            target = 1.0 if c == label else 0.0
+            gradient = probabilities[c] - target
+            for i in range(len(features)):
+                w.add_element(c, i,
+                              -learning_rate * gradient * features[i])
+
+    @entry
+    def get_model(self):
+        """The averaged class-weight rows across all replicas."""
+        partial_rows = global_(self.weights).to_rows()
+        model = self.average(collection(partial_rows))
+        return model
+
+    def predict_proba(self, scores):
+        return softmax(scores)
+
+    def average(self, all_rows):
+        """Elementwise mean of the replica weight matrices."""
+        if not all_rows:
+            return []
+        model = [[0.0] * N_FEATURES for _ in range(N_CLASSES)]
+        for rows in all_rows:
+            for c in range(N_CLASSES):
+                for i in range(N_FEATURES):
+                    model[c][i] = model[c][i] + rows[c][i]
+        count = len(all_rows)
+        return [[value / count for value in row] for row in model]
+
+    def classify_with(self, model, features):
+        """argmax class under an exported model."""
+        best, best_score = 0, None
+        for c in range(len(model)):
+            z = 0.0
+            for i in range(min(len(model[c]), len(features))):
+                z = z + model[c][i] * features[i]
+            if best_score is None or z > best_score:
+                best, best_score = c, z
+        return best

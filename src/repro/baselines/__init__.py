@@ -1,0 +1,15 @@
+"""Comparator-system models (§6 baselines).
+
+The paper compares SDGs against Naiad (v0.2), Spark, and Streaming
+Spark (D-Streams). We reproduce the *mechanisms* those comparisons
+exercise — synchronous stop-the-world global checkpointing, micro-batch
+scheduling, and lineage-based recomputation — parameterised over the
+same simulated substrate as the SDG model, so differences in results are
+attributable to the mechanism rather than to implementation constants.
+"""
+
+from repro.baselines.dstreams import StreamingSparkModel
+from repro.baselines.naiad import NaiadModel
+from repro.baselines.spark import SparkModel
+
+__all__ = ["NaiadModel", "SparkModel", "StreamingSparkModel"]

@@ -1,0 +1,137 @@
+"""Command-line interface: the ``py2sdg`` tool.
+
+The paper ships ``java2sdg`` as a standalone translator; this module is
+its Python counterpart, invoked as ``python -m repro``:
+
+* ``translate <module>:<Class>`` — run the Fig. 3 pipeline over an
+  annotated program class and print the resulting SDG (task elements
+  with their state-access edges, and the dataflows with dispatch
+  semantics). ``--dot`` emits Graphviz instead.
+* ``allocate <module>:<Class>`` — additionally run the four-step
+  allocation algorithm (§3.3) and print the node placement.
+* ``table1`` — render the design-space classification of Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.allocation import allocate
+from repro.errors import SDGError
+from repro.translate import translate
+
+
+def _load_class(spec: str) -> type:
+    """Resolve ``package.module:ClassName`` to the class object."""
+    if ":" not in spec:
+        raise SDGError(
+            f"expected <module>:<Class>, got {spec!r} "
+            f"(e.g. repro.apps:CollaborativeFiltering)"
+        )
+    module_name, _, class_name = spec.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SDGError(f"cannot import module {module_name!r}: {exc}")
+    try:
+        return getattr(module, class_name)
+    except AttributeError:
+        raise SDGError(
+            f"module {module_name!r} has no class {class_name!r}"
+        )
+
+
+def _describe(result) -> str:
+    sdg = result.sdg
+    lines = [f"SDG {sdg.name!r}: {len(sdg.tasks)} task elements, "
+             f"{len(sdg.states)} state elements, "
+             f"{len(sdg.dataflows)} dataflows", ""]
+    lines.append("state elements:")
+    for se in sdg.states.values():
+        key = f" by {se.partition_by!r}" if se.partition_by else ""
+        lines.append(f"  {se.name}  ({se.kind.value}{key})")
+    lines.append("")
+    lines.append("task elements:")
+    for te in sdg.tasks.values():
+        flags = []
+        if te.is_entry:
+            flags.append("entry")
+        if te.is_merge:
+            flags.append("merge")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        access = (f"  --{te.access.value}--> {te.state}"
+                  if te.state else "")
+        lines.append(f"  {te.name}{access}{suffix}")
+    lines.append("")
+    lines.append("dataflows:")
+    for edge in sdg.dataflows:
+        key = f" key={edge.key_name}" if edge.key_name else ""
+        lines.append(
+            f"  {edge.src} -> {edge.dst}  [{edge.dispatch.value}{key}]"
+        )
+    lines.append("")
+    lines.append("entry methods:")
+    for info in result.entries.values():
+        lines.append(
+            f"  {info.method}({', '.join(info.params)})  "
+            f"pipeline: {' -> '.join(info.te_names)}"
+        )
+    return "\n".join(lines)
+
+
+def _describe_allocation(result) -> str:
+    allocation = allocate(result.sdg)
+    lines = ["", f"allocation ({allocation.n_nodes} nodes, "
+                 f"four-step algorithm of §3.3):"]
+    for node in sorted(allocation.nodes):
+        members = sorted(allocation.nodes[node])
+        lines.append(f"  node {node}: {', '.join(members)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="py2sdg: translate annotated imperative programs "
+                    "to stateful dataflow graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_translate = sub.add_parser(
+        "translate", help="translate a program class to an SDG"
+    )
+    p_translate.add_argument("spec", help="<module>:<Class>")
+    p_translate.add_argument("--dot", action="store_true",
+                             help="emit Graphviz dot instead of text")
+
+    p_allocate = sub.add_parser(
+        "allocate", help="translate and show the node allocation"
+    )
+    p_allocate.add_argument("spec", help="<module>:<Class>")
+
+    sub.add_parser("table1", help="print the Table 1 design space")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "table1":
+            from repro.designspace import render_table
+
+            print(render_table())
+        elif args.command == "translate":
+            result = translate(_load_class(args.spec))
+            print(result.sdg.to_dot() if args.dot
+                  else _describe(result))
+        elif args.command == "allocate":
+            result = translate(_load_class(args.spec))
+            print(_describe(result))
+            print(_describe_allocation(result))
+    except SDGError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The SDG core model (§3): task elements, state elements, dataflows.
+
+A stateful dataflow graph is a cyclic graph with two vertex kinds —
+task elements (TEs) that transform dataflows, and state elements (SEs)
+that hold the explicit mutable state — joined by access edges (TE→SE,
+at most one per TE) and dataflow edges (TE→TE) carrying data items under
+one of four dispatch semantics.
+"""
+
+from repro.core.allocation import Allocation, allocate
+from repro.core.dispatch import Dispatch
+from repro.core.elements import (
+    AccessMode,
+    DataflowEdge,
+    StateElementSpec,
+    StateKind,
+    TaskContext,
+    TaskElementSpec,
+)
+from repro.core.graph import SDG
+from repro.core.validation import validate
+
+__all__ = [
+    "AccessMode",
+    "Allocation",
+    "DataflowEdge",
+    "Dispatch",
+    "SDG",
+    "StateElementSpec",
+    "StateKind",
+    "TaskContext",
+    "TaskElementSpec",
+    "allocate",
+    "validate",
+]

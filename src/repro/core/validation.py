@@ -1,0 +1,123 @@
+"""Structural validation of SDGs.
+
+Enforces the invariants stated in the paper:
+
+* access edges form a partial function — each TE accesses at most one SE
+  (§3.1); guaranteed by construction here, re-checked for completeness;
+* partitioned SEs must be reached through a *unique* partitioning: all
+  keyed dataflows into TEs that access the same partitioned SE must use
+  the same key, and a partitioned matrix cannot be accessed by row and by
+  column at once (§3.2);
+* ``@Global`` access is only meaningful on partial SEs (§4.1);
+* an ``ALL_TO_ONE`` (gather) edge must terminate at a merge TE, and merge
+  TEs must be fed by gather edges (§4.2 rule 5);
+* every TE should be reachable from an entry TE, otherwise it would never
+  receive data.
+"""
+
+from __future__ import annotations
+
+from repro.core.dispatch import Dispatch
+from repro.core.elements import AccessMode, StateKind
+from repro.errors import ValidationError
+
+
+def validate(sdg) -> None:
+    """Raise :class:`ValidationError` on the first violated invariant."""
+    _check_access_modes(sdg)
+    _check_partitioned_access(sdg)
+    _check_gather_edges(sdg)
+    _check_reachability(sdg)
+
+
+def _check_access_modes(sdg) -> None:
+    for te in sdg.tasks.values():
+        if te.state is None:
+            continue
+        se = sdg.state(te.state)
+        if te.access is AccessMode.GLOBAL and se.kind is not StateKind.PARTIAL:
+            raise ValidationError(
+                f"TE {te.name!r} uses global access on SE {se.name!r}, "
+                f"but global access requires partial state"
+            )
+        if (
+            te.access is AccessMode.PARTITIONED
+            and se.kind is not StateKind.PARTITIONED
+        ):
+            raise ValidationError(
+                f"TE {te.name!r} uses partitioned access on SE "
+                f"{se.name!r}, which is {se.kind.value}"
+            )
+        if te.access is AccessMode.LOCAL and se.kind is StateKind.PARTITIONED:
+            raise ValidationError(
+                f"TE {te.name!r} uses local access on partitioned SE "
+                f"{se.name!r}; partitioned SEs require keyed access"
+            )
+
+
+def _check_partitioned_access(sdg) -> None:
+    """All routes into one partitioned SE must agree on the key (§3.2)."""
+    for se in sdg.states.values():
+        if se.kind is not StateKind.PARTITIONED:
+            continue
+        key_names: set[str] = set()
+        for te in sdg.tasks_accessing(se.name):
+            if te.is_entry:
+                if te.entry_key_fn is None:
+                    raise ValidationError(
+                        f"entry TE {te.name!r} accesses partitioned SE "
+                        f"{se.name!r} but declares no entry_key_fn; "
+                        f"external input must be dispatched by key"
+                    )
+                key_names.add(te.entry_key_name or "<anonymous>")
+            for edge in sdg.predecessors(te.name):
+                if edge.dispatch is Dispatch.KEY_PARTITIONED:
+                    key_names.add(edge.key_name or "<anonymous>")
+                elif edge.dispatch is not Dispatch.ALL_TO_ONE:
+                    raise ValidationError(
+                        f"dataflow {edge.src}->{edge.dst} reaches TE "
+                        f"{te.name!r} accessing partitioned SE "
+                        f"{se.name!r} but is dispatched "
+                        f"{edge.dispatch.value!r}; keyed dispatch is "
+                        f"required for local partition access"
+                    )
+        named = {k for k in key_names if k != "<anonymous>"}
+        if len(named) > 1:
+            raise ValidationError(
+                f"partitioned SE {se.name!r} is accessed with conflicting "
+                f"partitioning keys {sorted(named)}; a unique partitioning "
+                f"is required"
+            )
+
+
+def _check_gather_edges(sdg) -> None:
+    for edge in sdg.dataflows:
+        dst = sdg.task(edge.dst)
+        if edge.dispatch is Dispatch.ALL_TO_ONE and not dst.is_merge:
+            raise ValidationError(
+                f"gather dataflow {edge.src}->{edge.dst} must end at a "
+                f"merge TE (a synchronisation barrier)"
+            )
+    for te in sdg.tasks.values():
+        if not te.is_merge:
+            continue
+        incoming = sdg.predecessors(te.name)
+        if incoming and not any(
+            e.dispatch is Dispatch.ALL_TO_ONE for e in incoming
+        ):
+            raise ValidationError(
+                f"merge TE {te.name!r} has no all-to-one input; a merge "
+                f"reconciles gathered partial values"
+            )
+
+
+def _check_reachability(sdg) -> None:
+    if not sdg.entries():
+        raise ValidationError("SDG has no entry task element")
+    reachable = sdg.reachable_from_entries()
+    unreachable = set(sdg.tasks) - reachable
+    if unreachable:
+        raise ValidationError(
+            f"task elements unreachable from any entry: "
+            f"{sorted(unreachable)}"
+        )

@@ -1,0 +1,150 @@
+"""Checkpoint backup stores.
+
+A backup store models the "m nodes" of Fig. 4: checkpoint chunks are
+distributed round-robin across backup targets so that no single disk or
+NIC becomes a bottleneck during backup or restore. Two implementations
+are provided — an in-memory store for tests and fast experiments, and a
+disk-backed store that actually serialises chunks to files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import TYPE_CHECKING
+
+from repro.errors import RecoveryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.recovery.checkpoint import NodeCheckpoint
+
+
+class BackupStore:
+    """In-memory chunked checkpoint storage across ``m`` backup targets.
+
+    Only the latest checkpoint per (runtime) node is retained, matching
+    the paper's protocol where older checkpoints are superseded.
+    """
+
+    def __init__(self, m_targets: int = 2) -> None:
+        if m_targets < 1:
+            raise RecoveryError("backup store needs at least one target")
+        self.m_targets = m_targets
+        #: target index -> {(node_id, se_key, chunk_index): chunk}
+        self._targets: list[dict] = [{} for _ in range(m_targets)]
+        #: node_id -> checkpoint metadata (se chunk counts, TE meta)
+        self._meta: dict[int, "NodeCheckpoint"] = {}
+        self._rr = 0
+
+    # -- write path ------------------------------------------------------
+
+    def save(self, checkpoint: "NodeCheckpoint") -> None:
+        """Persist a node checkpoint, spreading chunks over targets (B3)."""
+        node_id = checkpoint.node_id
+        self._evict(node_id)
+        for se_key, chunks in checkpoint.se_chunks.items():
+            for chunk in chunks:
+                target = self._targets[self._rr % self.m_targets]
+                self._rr += 1
+                target[(node_id, se_key, chunk.index)] = chunk
+        self._meta[node_id] = checkpoint
+
+    def _evict(self, node_id: int) -> None:
+        for target in self._targets:
+            stale = [k for k in target if k[0] == node_id]
+            for key in stale:
+                del target[key]
+        self._meta.pop(node_id, None)
+
+    # -- read path ---------------------------------------------------------
+
+    def has_checkpoint(self, node_id: int) -> bool:
+        return node_id in self._meta
+
+    def latest(self, node_id: int) -> "NodeCheckpoint | None":
+        """Reassemble the latest checkpoint of ``node_id`` (R1)."""
+        meta = self._meta.get(node_id)
+        if meta is None:
+            return None
+        return meta
+
+    def chunks_for(self, node_id: int, se_key: tuple[str, int]):
+        """Stream all chunks of one SE instance, across all targets."""
+        found = []
+        for target in self._targets:
+            for (nid, key, _index), chunk in target.items():
+                if nid == node_id and key == se_key:
+                    found.append(chunk)
+        return sorted(found, key=lambda c: c.index)
+
+    def target_loads(self) -> list[int]:
+        """Number of chunks per backup target (balance diagnostics)."""
+        return [len(t) for t in self._targets]
+
+    def total_chunks(self) -> int:
+        return sum(self.target_loads())
+
+
+class DiskBackupStore(BackupStore):
+    """A backup store that writes chunks to ``m`` directory targets.
+
+    Each target directory models one backup node's disk; chunks are
+    pickled to individual files, and restore reads them back. Metadata
+    (the checkpoint skeleton with TE bookkeeping) is replicated to every
+    target for availability.
+    """
+
+    def __init__(self, root: str, m_targets: int = 2) -> None:
+        super().__init__(m_targets)
+        self.root = root
+        self._dirs = [os.path.join(root, f"backup{i}")
+                      for i in range(m_targets)]
+        for directory in self._dirs:
+            os.makedirs(directory, exist_ok=True)
+
+    def save(self, checkpoint: "NodeCheckpoint") -> None:
+        super().save(checkpoint)
+        node_id = checkpoint.node_id
+        for i, target in enumerate(self._targets):
+            directory = self._dirs[i]
+            for name in os.listdir(directory):
+                if name.startswith(f"node{node_id}_"):
+                    os.unlink(os.path.join(directory, name))
+            for (nid, se_key, index), chunk in target.items():
+                if nid != node_id:
+                    continue
+                filename = (
+                    f"node{nid}_{se_key[0]}_{se_key[1]}_chunk{index}.pkl"
+                )
+                with open(os.path.join(directory, filename), "wb") as fh:
+                    pickle.dump(chunk, fh)
+            meta_path = os.path.join(directory, f"node{node_id}_meta.pkl")
+            with open(meta_path, "wb") as fh:
+                pickle.dump(checkpoint, fh)
+
+    def reload_from_disk(self) -> None:
+        """Rebuild the in-memory index from the target directories.
+
+        Used to recover checkpoints across process restarts, or to
+        verify that the on-disk representation is complete.
+        """
+        self._targets = [{} for _ in range(self.m_targets)]
+        self._meta = {}
+        for i, directory in enumerate(self._dirs):
+            for name in sorted(os.listdir(directory)):
+                path = os.path.join(directory, name)
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+                if name.endswith("_meta.pkl"):
+                    node_id = int(name.split("_")[0][len("node"):])
+                    self._meta[node_id] = payload
+                else:
+                    stem = name[:-len(".pkl")]
+                    node_part, rest = stem.split("_", 1)
+                    # se names may contain underscores; peel from the right.
+                    se_name, se_index, chunk_part = rest.rsplit("_", 2)
+                    node_id = int(node_part[len("node"):])
+                    index = int(chunk_part[len("chunk"):])
+                    self._targets[i][
+                        (node_id, (se_name, int(se_index)), index)
+                    ] = payload

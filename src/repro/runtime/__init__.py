@@ -1,0 +1,28 @@
+"""The SDG runtime: materialised, pipelined execution (§3.3).
+
+Unlike scheduled dataflow systems, an SDG is *materialised*: every task
+element is instantiated on its node(s) before data flows, items are
+pipelined TE-to-TE without intermediate materialisation, and the number
+of TE instances changes reactively at runtime in response to bottlenecks
+and stragglers.
+
+This package executes SDGs for real, in-process: logical nodes hold TE
+and SE instances, dataflow edges become channels with upstream output
+buffers (retained for replay-based recovery), and ``@Global`` access is
+implemented with broadcast + gather barriers.
+"""
+
+from repro.runtime.engine import Runtime, RuntimeConfig
+from repro.runtime.envelope import Envelope, NO_RESPONSE
+from repro.runtime.monitor import RuntimeMonitor, Sample
+from repro.runtime.scaling import BottleneckDetector
+
+__all__ = [
+    "BottleneckDetector",
+    "Envelope",
+    "NO_RESPONSE",
+    "Runtime",
+    "RuntimeConfig",
+    "RuntimeMonitor",
+    "Sample",
+]

@@ -1,0 +1,833 @@
+"""The pipelined SDG execution engine (§3.3).
+
+The engine materialises a validated SDG: every TE/SE spec becomes one or
+more instances grouped onto :class:`~repro.runtime.node.PhysicalNode`
+failure domains according to the four-step allocation algorithm. Data
+items are then processed cooperatively (single-threaded, deterministic):
+``inject`` feeds external input to entry TEs and ``run_until_idle``
+drains the pipeline, dispatching TE outputs along dataflow edges with
+the paper's four dispatch semantics.
+
+Determinism note: the paper requires translated programs to be
+deterministic so that recovery can re-execute computation (§4.1); the
+engine honours the same contract by processing instances in a fixed
+round-robin order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.allocation import allocate
+from repro.core.dispatch import Dispatch
+from repro.core.elements import AccessMode, StateKind, TaskContext
+from repro.core.graph import SDG
+from repro.errors import RuntimeExecutionError
+from repro.runtime.envelope import (
+    INPUT_EDGE,
+    ChannelId,
+    Envelope,
+    NO_RESPONSE,
+)
+from repro.runtime.instances import (
+    GatherState,
+    SEInstance,
+    StreamKey,
+    TEInstance,
+)
+from repro.runtime.node import PhysicalNode
+from repro.state import HashPartitioner
+from repro.state.base import StateElement
+
+
+@dataclass
+class RuntimeConfig:
+    """Deployment-time knobs of the runtime."""
+
+    #: Initial instance count per SE (partition or replica count).
+    se_instances: dict[str, int] = field(default_factory=dict)
+    #: Custom routing partitioner per partitioned SE (e.g. a
+    #: RangePartitioner); defaults to hash partitioning. The
+    #: partitioner's fan-out fixes the SE's instance count.
+    partitioners: dict[str, Any] = field(default_factory=dict)
+    #: Initial instance count per *stateless* TE.
+    te_instances: dict[str, int] = field(default_factory=dict)
+    #: Enable the reactive bottleneck detector (§3.3).
+    auto_scale: bool = False
+    #: Inbox backlog per instance that flags a TE as a bottleneck.
+    scale_threshold: int = 64
+    #: Upper bound on instances created by auto-scaling.
+    max_instances: int = 8
+    #: Steps between bottleneck checks when auto-scaling.
+    scale_check_every: int = 256
+    #: Deep-copy payloads at send time. On a real cluster every hop
+    #: serialises (§4.1 location independence), so a producer can never
+    #: observe a consumer's mutations; in-process, shared references
+    #: could. Enable to get wire-faithful isolation at a CPU cost.
+    copy_payloads: bool = False
+
+
+class Runtime:
+    """Deploys and executes one SDG in-process."""
+
+    def __init__(self, sdg: SDG, config: RuntimeConfig | None = None) -> None:
+        self.sdg = sdg
+        self.config = config or RuntimeConfig()
+        self.nodes: dict[int, PhysicalNode] = {}
+        #: Collected payloads of TEs without outgoing dataflows.
+        self.results: dict[str, list[Any]] = {}
+        self.total_steps = 0
+        self._te_instances: dict[str, list[TEInstance | None]] = {}
+        self._se_instances: dict[str, list[SEInstance | None]] = {}
+        self._partitioners: dict[str, HashPartitioner] = {}
+        #: Per-SE repartition counter. A checkpoint records the epoch it
+        #: was taken under; restoring it under a different partitioning
+        #: would resurrect keys the instance no longer owns, so recovery
+        #: refuses stale-epoch checkpoints.
+        self._se_epochs: dict[str, int] = {}
+        self._node_key_map: dict[tuple[int, int], int] = {}
+        self._next_node_id = 0
+        self._rr: dict[Any, int] = {}
+        self._request_ids = itertools.count(1)
+        #: Per-entry global injection counter (see TEInstance.out_seq for
+        #: why timestamps are per-stream, not per-channel).
+        self._input_seq: dict[str, int] = {}
+        self._input_buffers: dict[ChannelId, list[Envelope]] = {}
+        self._rotor = 0
+        self._terminal_seen: set = set()
+        self._step_hooks: list = []
+        self._deployed = False
+        self._scale_events: list[tuple[int, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self) -> "Runtime":
+        """Validate, allocate and materialise the SDG. Returns self."""
+        if self._deployed:
+            raise RuntimeExecutionError("runtime already deployed")
+        self.sdg.validate()
+        base = allocate(self.sdg)
+
+        for se in self.sdg.states.values():
+            custom = self.config.partitioners.get(se.name)
+            if custom is not None:
+                if se.kind is not StateKind.PARTITIONED:
+                    raise RuntimeExecutionError(
+                        f"SE {se.name!r} is {se.kind.value}; only "
+                        f"partitioned SEs take a custom partitioner"
+                    )
+                n = custom.n_partitions
+                configured = self.config.se_instances.get(se.name)
+                if configured is not None and configured != n:
+                    raise RuntimeExecutionError(
+                        f"SE {se.name!r}: se_instances={configured} "
+                        f"conflicts with the partitioner's "
+                        f"{n} partitions"
+                    )
+            else:
+                n = max(1, self.config.se_instances.get(se.name, 1))
+            self._se_instances[se.name] = [
+                SEInstance(se, i) for i in range(n)
+            ]
+            if se.kind is StateKind.PARTITIONED:
+                self._partitioners[se.name] = (
+                    custom if custom is not None else HashPartitioner(n)
+                )
+
+        for te in self.sdg.tasks.values():
+            if te.state is not None:
+                n = len(self._se_instances[te.state])
+            else:
+                n = max(1, self.config.te_instances.get(te.name, 1))
+            self._te_instances[te.name] = [
+                TEInstance(te, i, se_instance=None) for i in range(n)
+            ]
+
+        # Bind stateful TE instances to the same-index SE instance and
+        # group everything onto nodes following the base allocation.
+        for se_name, instances in self._se_instances.items():
+            for se_inst in instances:
+                node = self._node_for(base.node_of[se_name], se_inst.index)
+                node.host_se(se_inst)
+        for te_name, instances in self._te_instances.items():
+            spec = self.sdg.task(te_name)
+            for te_inst in instances:
+                if spec.state is not None:
+                    se_inst = self._se_instances[spec.state][te_inst.index]
+                    te_inst.se_instance = se_inst
+                    node = self.nodes[se_inst.node_id]
+                else:
+                    node = self._node_for(
+                        base.node_of[te_name], te_inst.index
+                    )
+                node.host_te(te_inst)
+
+        for te_name in self.sdg.tasks:
+            if not self.sdg.successors(te_name):
+                self.results.setdefault(te_name, [])
+        self._deployed = True
+        return self
+
+    def _node_for(self, base_node: int, replica: int) -> PhysicalNode:
+        key = (base_node, replica)
+        if key not in self._node_key_map:
+            node_id = self._next_node_id
+            self._next_node_id += 1
+            self._node_key_map[key] = node_id
+            self.nodes[node_id] = PhysicalNode(node_id)
+        return self.nodes[self._node_key_map[key]]
+
+    def _fresh_node(self) -> PhysicalNode:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        node = PhysicalNode(node_id)
+        self.nodes[node_id] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Instance accessors
+    # ------------------------------------------------------------------
+
+    def te_instances(self, te: str) -> list[TEInstance]:
+        """Live instances of TE ``te`` (failed slots omitted)."""
+        return [i for i in self._te_instances[te] if i is not None]
+
+    def te_instance(self, te: str, index: int) -> TEInstance | None:
+        instances = self._te_instances[te]
+        return instances[index] if index < len(instances) else None
+
+    def te_slot_count(self, te: str) -> int:
+        return len(self._te_instances[te])
+
+    def se_instances(self, se: str) -> list[SEInstance]:
+        return [i for i in self._se_instances[se] if i is not None]
+
+    def se_instance(self, se: str, index: int) -> SEInstance | None:
+        instances = self._se_instances[se]
+        return instances[index] if index < len(instances) else None
+
+    def alive_nodes(self) -> list[PhysicalNode]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def is_idle(self) -> bool:
+        """Whether no envelope is waiting in any live inbox."""
+        return all(
+            not inst.inbox
+            for insts in self._te_instances.values()
+            for inst in insts
+            if inst is not None and self.nodes[inst.node_id].alive
+        )
+
+    def all_te_instances(self) -> Iterator[TEInstance]:
+        for instances in self._te_instances.values():
+            for instance in instances:
+                if instance is not None:
+                    yield instance
+
+    # ------------------------------------------------------------------
+    # External input
+    # ------------------------------------------------------------------
+
+    def _require_deployed(self) -> None:
+        if not self._deployed:
+            raise RuntimeExecutionError(
+                "runtime not deployed; call deploy() first"
+            )
+
+    def inject(self, entry: str, payload: Any) -> None:
+        """Feed one external item to entry TE ``entry`` (§3.1 dataflows).
+
+        Items are buffered source-side like any other dataflow so that a
+        failed entry TE can be replayed from "upstream" (here: the
+        client-side input log).
+        """
+        self._require_deployed()
+        spec = self.sdg.task(entry)
+        if not spec.is_entry:
+            raise RuntimeExecutionError(f"TE {entry!r} is not an entry point")
+        if spec.entry_key_fn is not None:
+            index = self._keyed_index(spec, spec.entry_key_fn(payload))
+            self._inject_to(entry, index, payload, None, None)
+        elif spec.access is AccessMode.GLOBAL:
+            request_id = next(self._request_ids)
+            slots = self.te_slot_count(entry)
+            for index in range(slots):
+                self._inject_to(entry, index, payload, request_id, slots)
+        else:
+            slots = self.te_slot_count(entry)
+            rr = self._rr.get(("input", entry), 0)
+            self._rr[("input", entry)] = rr + 1
+            self._inject_to(entry, rr % slots, payload, None, None)
+
+    def _inject_to(self, entry: str, index: int, payload: Any,
+                   request_id: int | None, expected: int | None) -> None:
+        if self.config.copy_payloads:
+            import copy as _copy
+
+            payload = _copy.deepcopy(payload)
+        channel = ChannelId(INPUT_EDGE, "__input__", 0, entry, index)
+        seq = self._input_seq.get(entry, 0) + 1
+        self._input_seq[entry] = seq
+        envelope = Envelope(payload=payload, ts=seq, channel=channel,
+                            request_id=request_id,
+                            expected_responses=expected)
+        self._input_buffers.setdefault(channel, []).append(envelope)
+        self._deliver(envelope)
+
+    def _keyed_index(self, spec, key: Any) -> int:
+        """Partition index for keyed dispatch into TE ``spec``."""
+        if spec.state is not None and spec.state in self._partitioners:
+            return self._partitioners[spec.state].partition(key)
+        return HashPartitioner(self.te_slot_count(spec.name)).partition(key)
+
+    # ------------------------------------------------------------------
+    # Delivery and processing
+    # ------------------------------------------------------------------
+
+    def _deliver(self, envelope: Envelope) -> bool:
+        """Append to the destination inbox; drop if the node is dead.
+
+        Dropped envelopes are not lost: they stay in the producer-side
+        output buffer and are replayed during recovery.
+        """
+        channel = envelope.channel
+        instance = self.te_instance(channel.dst_te, channel.dst_instance)
+        if instance is None or not self.nodes[instance.node_id].alive:
+            return False
+        instance.inbox.append(envelope)
+        return True
+
+    def step(self) -> bool:
+        """Process one envelope on one TE instance; False when idle."""
+        self._require_deployed()
+        instances = [
+            inst for inst in self.all_te_instances()
+            if self.nodes[inst.node_id].alive
+        ]
+        if not instances:
+            return False
+        n = len(instances)
+        for offset in range(n):
+            instance = instances[(self._rotor + offset) % n]
+            if instance.inbox:
+                self._rotor = (self._rotor + offset + 1) % n
+                envelope = instance.inbox.popleft()
+                self._process(instance, envelope)
+                self.total_steps += 1
+                for hook in self._step_hooks:
+                    hook(self)
+                return True
+        return False
+
+    def add_step_hook(self, hook) -> None:
+        """Register ``hook(runtime)`` to run after every processed item.
+
+        Hooks drive cross-cutting machinery that must observe logical
+        time: periodic checkpoint scheduling, monitors, fault injectors.
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook) -> None:
+        self._step_hooks.remove(hook)
+
+    def run_until_idle(self, max_steps: int = 10_000_000) -> int:
+        """Drain all inboxes; returns the number of items processed."""
+        steps = 0
+        while steps < max_steps:
+            if (
+                self.config.auto_scale
+                and steps
+                and steps % self.config.scale_check_every == 0
+            ):
+                self._maybe_scale()
+            if not self.step():
+                return steps
+            steps += 1
+        raise RuntimeExecutionError(
+            f"pipeline did not become idle within {max_steps} steps"
+        )
+
+    def _process(self, instance: TEInstance, envelope: Envelope) -> None:
+        if instance.is_duplicate(envelope):
+            return
+        spec = instance.spec
+        if spec.is_merge and envelope.request_id is not None:
+            self._process_gather(instance, envelope)
+            return
+        outputs = self._invoke(instance, envelope.payload)
+        instance.mark_processed(envelope)
+        self._dispatch(instance, outputs, envelope)
+        self.nodes[instance.node_id].items_processed += 1
+        instance.processed_count += 1
+
+    def _process_gather(self, instance: TEInstance,
+                        envelope: Envelope) -> None:
+        """Accumulate responses behind the merge barrier (§3.2/§4.2)."""
+        request_id = envelope.request_id
+        expected = envelope.expected_responses or 1
+        gather = instance.pending_gathers.setdefault(
+            request_id, GatherState(expected=expected)
+        )
+        if envelope.payload is not NO_RESPONSE:
+            gather.payloads.append(envelope.payload)
+        gather.received += 1
+        instance.mark_processed(envelope)
+        if not gather.complete:
+            return
+        del instance.pending_gathers[request_id]
+        outputs = self._invoke(instance, gather.payloads)
+        self._dispatch(instance, outputs, envelope)
+        self.nodes[instance.node_id].items_processed += 1
+        instance.processed_count += 1
+
+    def _invoke(self, instance: TEInstance, payload: Any) -> list[Any]:
+        element = (
+            instance.se_instance.element
+            if instance.se_instance is not None
+            else None
+        )
+        slots = self.te_slot_count(instance.name)
+        ctx = TaskContext(state=element, instance_id=instance.index,
+                          n_instances=slots)
+        try:
+            returned = instance.spec.fn(ctx, payload)
+        except Exception as exc:
+            raise RuntimeExecutionError(
+                f"TE {instance.name!r}[{instance.index}] failed on "
+                f"{payload!r}: {exc}"
+            ) from exc
+        outputs = ctx.drain()
+        if returned is not None:
+            outputs.append(returned)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Dispatching (§4.2 semantics)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, instance: TEInstance, outputs: list[Any],
+                  cause: Envelope) -> None:
+        edges = self.sdg.successors(instance.name)
+        if not edges:
+            # The result consumer is the most-downstream party: it too
+            # discards duplicates regenerated by deterministic replay.
+            from repro.runtime.instances import stream_key
+
+            if cause.request_id is not None:
+                seen_key = (instance.name, "req", cause.request_id,
+                            instance.index)
+            else:
+                seen_key = (instance.name, stream_key(cause.channel),
+                            cause.ts)
+            if seen_key in self._terminal_seen:
+                return
+            self._terminal_seen.add(seen_key)
+            bucket = self.results.setdefault(instance.name, [])
+            bucket.extend(outputs)
+            return
+        for edge_index, edge in self._indexed_successors(instance.name):
+            if edge.dispatch is Dispatch.ALL_TO_ONE:
+                self._dispatch_gather(instance, edge_index, edge, outputs,
+                                      cause)
+            elif edge.dispatch is Dispatch.ONE_TO_ALL:
+                self._dispatch_broadcast(instance, edge_index, edge, outputs)
+            elif edge.dispatch is Dispatch.KEY_PARTITIONED:
+                for item in outputs:
+                    dst = self._keyed_index(self.sdg.task(edge.dst),
+                                            edge.key_fn(item))
+                    self._send(instance, edge_index, edge.dst, dst, item,
+                               cause.request_id, cause.expected_responses)
+            else:  # ONE_TO_ANY round-robin
+                for item in outputs:
+                    slots = self.te_slot_count(edge.dst)
+                    # The destination is derived from the producer's own
+                    # per-edge send counter — producer-local state that
+                    # is checkpointed and restored — so deterministic
+                    # re-execution after recovery reproduces the exact
+                    # original routing and duplicates are recognised.
+                    sent = instance.out_seq.get(edge_index, 0)
+                    self._send(instance, edge_index, edge.dst,
+                               sent % slots, item, cause.request_id,
+                               cause.expected_responses)
+
+    def _dispatch_gather(self, instance: TEInstance, edge_index: int,
+                         edge, outputs: list[Any], cause: Envelope) -> None:
+        if len(outputs) > 1:
+            raise RuntimeExecutionError(
+                f"TE {instance.name!r} produced {len(outputs)} outputs for "
+                f"one request on gather edge {edge.src}->{edge.dst}; "
+                f"global-access TEs must emit at most one item per input"
+            )
+        if cause.request_id is None:
+            # Not part of a global-access round trip: forward directly.
+            for item in outputs:
+                self._send(instance, edge_index, edge.dst, 0, item,
+                           None, None)
+            return
+        item = outputs[0] if outputs else NO_RESPONSE
+        self._send(instance, edge_index, edge.dst, 0, item,
+                   cause.request_id, cause.expected_responses)
+
+    def _dispatch_broadcast(self, instance: TEInstance, edge_index: int,
+                            edge, outputs: list[Any]) -> None:
+        slots = self.te_slot_count(edge.dst)
+        for item in outputs:
+            request_id = next(self._request_ids)
+            expected = len(self.te_instances(edge.dst))
+            for dst in range(slots):
+                self._send(instance, edge_index, edge.dst, dst, item,
+                           request_id, expected)
+
+    def _indexed_successors(self, te: str):
+        for index, edge in enumerate(self.sdg.dataflows):
+            if edge.src == te:
+                yield index, edge
+
+    def _send(self, src: TEInstance, edge_index: int, dst_te: str,
+              dst_index: int, payload: Any, request_id: int | None,
+              expected: int | None) -> None:
+        if self.config.copy_payloads and payload is not NO_RESPONSE:
+            import copy as _copy
+
+            payload = _copy.deepcopy(payload)
+        channel = ChannelId(edge_index, src.name, src.index,
+                            dst_te, dst_index)
+        ts = src.next_seq(channel)
+        envelope = Envelope(payload=payload, ts=ts, channel=channel,
+                            request_id=request_id,
+                            expected_responses=expected)
+        src.record_output(envelope)
+        self._deliver(envelope)
+
+    # ------------------------------------------------------------------
+    # Failure injection and replay plumbing (used by repro.recovery)
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Kill a node: inboxes, SE contents and output buffers are lost."""
+        node = self.nodes[node_id]
+        node.fail()
+        for key in list(node.te_instances):
+            te_name, index = key
+            self._te_instances[te_name][index] = None
+        for key in list(node.se_instances):
+            se_name, index = key
+            self._se_instances[se_name][index] = None
+
+    def install_replacement(
+        self,
+        te_replacements: list[TEInstance],
+        se_replacements: list[SEInstance],
+    ) -> PhysicalNode:
+        """Host replacement instances on a fresh node (recovery R-steps).
+
+        Slot lists grow on demand so that m-to-n recovery can restore a
+        single failed instance as several new partitioned instances.
+        """
+        node = self._fresh_node()
+        for se_inst in se_replacements:
+            slots = self._se_instances[se_inst.name]
+            while len(slots) <= se_inst.index:
+                slots.append(None)
+            slots[se_inst.index] = se_inst
+            node.host_se(se_inst)
+        for te_inst in te_replacements:
+            spec = te_inst.spec
+            if spec.state is not None:
+                te_inst.se_instance = self._se_instances[spec.state][
+                    te_inst.index
+                ]
+            slots = self._te_instances[te_inst.name]
+            while len(slots) <= te_inst.index:
+                slots.append(None)
+            slots[te_inst.index] = te_inst
+            node.host_te(te_inst)
+        return node
+
+    def set_partitioner(self, se_name: str,
+                        partitioner: HashPartitioner) -> None:
+        """Replace the routing partitioner of a partitioned SE.
+
+        Used by m-to-n recovery when a failed SE instance is restored as
+        ``n`` partitions, changing the partition count.
+        """
+        self._partitioners[se_name] = partitioner
+        self._se_epochs[se_name] = self.se_epoch(se_name) + 1
+
+    def se_epoch(self, se_name: str) -> int:
+        """The SE's current partitioning epoch (0 until repartitioned)."""
+        return self._se_epochs.get(se_name, 0)
+
+    def replay_into(self, dst_te: str, dst_index: int) -> int:
+        """Re-deliver every buffered envelope targeting one instance.
+
+        Covers both upstream TE output buffers and the client-side input
+        log. The receiving instance discards duplicates via ``last_seen``.
+        Returns the number of envelopes re-delivered.
+        """
+        count = 0
+        for channel, buffered in self._input_buffers.items():
+            if channel.dst_te == dst_te and channel.dst_instance == dst_index:
+                for envelope in buffered:
+                    if self._deliver(envelope):
+                        count += 1
+        for producer in self.all_te_instances():
+            if not self.nodes[producer.node_id].alive:
+                continue
+            for channel, buffered in producer.output_buffers.items():
+                if (
+                    channel.dst_te == dst_te
+                    and channel.dst_instance == dst_index
+                ):
+                    for envelope in buffered:
+                        if self._deliver(envelope):
+                            count += 1
+        return count
+
+    def replay_rerouted(self, dst_te: str,
+                        recovered: set[int]) -> int:
+        """Replay all buffered envelopes towards recovered instances.
+
+        Like :meth:`replay_into`, but recomputes keyed destinations under
+        the *current* partitioner — required when a failed SE was
+        restored onto a different number of instances (m-to-n recovery,
+        Fig. 4). Envelopes whose recomputed destination is not in
+        ``recovered`` are skipped (their instance never failed).
+        """
+        spec = self.sdg.task(dst_te)
+        count = 0
+
+        def route(envelope: Envelope) -> int:
+            channel = envelope.channel
+            if channel.edge_index == INPUT_EDGE:
+                if spec.entry_key_fn is not None:
+                    return self._keyed_index(
+                        spec, spec.entry_key_fn(envelope.payload)
+                    )
+                return min(channel.dst_instance,
+                           self.te_slot_count(dst_te) - 1)
+            edge = self.sdg.dataflows[channel.edge_index]
+            if edge.key_fn is not None:
+                return self._keyed_index(spec, edge.key_fn(envelope.payload))
+            return min(channel.dst_instance,
+                       self.te_slot_count(dst_te) - 1)
+
+        streams: list[Envelope] = []
+        for channel, buffered in self._input_buffers.items():
+            if channel.dst_te == dst_te:
+                streams.extend(buffered)
+        for producer in self.all_te_instances():
+            if not self.nodes[producer.node_id].alive:
+                continue
+            for channel, buffered in producer.output_buffers.items():
+                if channel.dst_te == dst_te:
+                    streams.extend(buffered)
+        for envelope in streams:
+            index = route(envelope)
+            if index not in recovered:
+                continue
+            rerouted = envelope.with_channel(
+                envelope.channel.reroute(index), envelope.ts
+            )
+            if self._deliver(rerouted):
+                count += 1
+        return count
+
+    def replay_from(self, instance: TEInstance) -> int:
+        """Re-send a recovered instance's own output buffers downstream."""
+        count = 0
+        for buffered in instance.output_buffers.values():
+            for envelope in buffered:
+                if self._deliver(envelope):
+                    count += 1
+        return count
+
+    def trim_stream(self, stream: StreamKey, dst_te: str, dst_index: int,
+                    up_to_ts: int) -> int:
+        """Trim a producer's output buffer after a downstream checkpoint."""
+        edge_index, src_te, src_index = stream
+        channel = ChannelId(edge_index, src_te, src_index, dst_te, dst_index)
+        if edge_index == INPUT_EDGE:
+            buffered = self._input_buffers.get(channel)
+            if buffered is None:
+                return 0
+            keep = [e for e in buffered if e.ts > up_to_ts]
+            dropped = len(buffered) - len(keep)
+            self._input_buffers[channel] = keep
+            return dropped
+        producer = self.te_instance(src_te, src_index)
+        if producer is None:
+            return 0
+        return producer.trim_output_buffer(channel, up_to_ts)
+
+    def input_buffers_snapshot(self) -> dict[ChannelId, list[Envelope]]:
+        return {c: list(b) for c, b in self._input_buffers.items()}
+
+    # ------------------------------------------------------------------
+    # Runtime parallelism (§3.3)
+    # ------------------------------------------------------------------
+
+    @property
+    def scale_events(self) -> list[tuple[int, str, int]]:
+        """(step, te_name, new_instance_count) for each scale action."""
+        return list(self._scale_events)
+
+    def _maybe_scale(self) -> None:
+        from repro.runtime.scaling import BottleneckDetector
+
+        detector = BottleneckDetector(
+            threshold=self.config.scale_threshold,
+            max_instances=self.config.max_instances,
+        )
+        for te_name in detector.bottlenecks(self):
+            try:
+                self.scale_up(te_name)
+            except RuntimeExecutionError:
+                # E.g. a checkpoint is mid-flight on the SE: skip this
+                # round; the detector will flag the TE again.
+                continue
+
+    def scale_up(self, te_name: str) -> bool:
+        """Add one instance to TE ``te_name``, distributing its SE (§3.3).
+
+        Partitioned SEs are re-split across the grown instance set;
+        partial SEs gain a fresh replica. Stateless TEs simply gain an
+        instance. Returns False when the TE cannot be scaled further.
+        """
+        spec = self.sdg.task(te_name)
+        if spec.is_merge:
+            return False
+        current = self.te_slot_count(te_name)
+        if current >= self.config.max_instances:
+            return False
+        if spec.state is None:
+            instance = TEInstance(spec, current)
+            self._te_instances[te_name].append(instance)
+            self._fresh_node().host_te(instance)
+        else:
+            se_spec = self.sdg.state(spec.state)
+            if se_spec.kind is StateKind.PARTIAL:
+                self._add_partial_instance(spec.state)
+            else:
+                self._repartition(spec.state, current + 1)
+        self._scale_events.append(
+            (self.total_steps, te_name, self.te_slot_count(te_name))
+        )
+        return True
+
+    def _add_partial_instance(self, se_name: str) -> None:
+        """Create one more partial replica and bind new TE instances."""
+        spec = self.sdg.state(se_name)
+        index = len(self._se_instances[se_name])
+        se_inst = SEInstance(spec, index)
+        self._se_instances[se_name].append(se_inst)
+        node = self._fresh_node()
+        node.host_se(se_inst)
+        for te in self.sdg.tasks_accessing(se_name):
+            te_inst = TEInstance(te, index, se_instance=se_inst)
+            self._te_instances[te.name].append(te_inst)
+            node.host_te(te_inst)
+
+    def _repartition(self, se_name: str, n_new: int) -> None:
+        """Re-split a partitioned SE over ``n_new`` instances.
+
+        Queued envelopes for the accessing TEs are re-routed under the
+        new partitioner so keyed items still meet their partition.
+        """
+        spec = self.sdg.state(se_name)
+        old_instances = self.se_instances(se_name)
+        if len(old_instances) != len(self._se_instances[se_name]):
+            raise RuntimeExecutionError(
+                f"cannot repartition SE {se_name!r} while an instance is "
+                f"failed; recover first"
+            )
+        if any(inst.element.checkpoint_active for inst in old_instances):
+            raise RuntimeExecutionError(
+                f"cannot repartition SE {se_name!r} while a checkpoint "
+                f"is in progress; complete or abort it first"
+            )
+        merged: StateElement = type(old_instances[0].element).merge_partitions(
+            [inst.element for inst in old_instances]
+        )
+        # Rescale the *existing* strategy; a RangePartitioner refuses
+        # (its boundaries are semantic) and the scale-up fails loudly.
+        partitioner = self._partitioners[se_name].rescaled(n_new)
+        self._partitioners[se_name] = partitioner
+        self._se_epochs[se_name] = self.se_epoch(se_name) + 1
+
+        pending: list[Envelope] = []
+        accessing = self.sdg.tasks_accessing(se_name)
+        for te in accessing:
+            for te_inst in self.te_instances(te.name):
+                while te_inst.inbox:
+                    pending.append(te_inst.inbox.popleft())
+
+        for index in range(n_new):
+            part = merged.extract_partition(partitioner, index)
+            if index < len(self._se_instances[se_name]):
+                se_inst = self._se_instances[se_name][index]
+                se_inst.element = part
+            else:
+                se_inst = SEInstance(spec, index, element=part)
+                self._se_instances[se_name].append(se_inst)
+                node = self._fresh_node()
+                node.host_se(se_inst)
+                for te in accessing:
+                    te_inst = TEInstance(te, index, se_instance=se_inst)
+                    self._te_instances[te.name].append(te_inst)
+                    node.host_te(te_inst)
+
+        for envelope in pending:
+            self._resend_after_reroute(envelope)
+
+    def _resend_after_reroute(self, envelope: Envelope) -> None:
+        """Re-address a queued envelope after a repartition.
+
+        The envelope is re-*sent* (fresh sequence number on the new
+        channel) rather than re-delivered with its old stamp: per-stream
+        timestamps are only monotonic towards a fixed destination, so an
+        old stamp arriving at a new destination could be mistaken for a
+        duplicate. The stale copy is removed from the producer-side
+        replay buffer to keep recovery consistent.
+        """
+        channel = envelope.channel
+        spec = self.sdg.task(channel.dst_te)
+        if channel.edge_index == INPUT_EDGE:
+            buffered = self._input_buffers.get(channel)
+            if buffered is not None and envelope in buffered:
+                buffered.remove(envelope)
+            if spec.entry_key_fn is not None:
+                index = self._keyed_index(
+                    spec, spec.entry_key_fn(envelope.payload)
+                )
+            else:
+                index = channel.dst_instance
+            self._inject_to(channel.dst_te, index, envelope.payload,
+                            envelope.request_id,
+                            envelope.expected_responses)
+            return
+        edge = self.sdg.dataflows[channel.edge_index]
+        producer = self.te_instance(channel.src_te, channel.src_instance)
+        if producer is not None:
+            buffer = producer.output_buffers.get(channel)
+            if buffer is not None and envelope in buffer:
+                buffer.remove(envelope)
+        if edge.key_fn is not None:
+            index = self._keyed_index(spec, edge.key_fn(envelope.payload))
+        else:
+            index = min(channel.dst_instance,
+                        self.te_slot_count(channel.dst_te) - 1)
+        if producer is not None:
+            self._send(producer, channel.edge_index, channel.dst_te, index,
+                       envelope.payload, envelope.request_id,
+                       envelope.expected_responses)
+        else:
+            # Producer lost to a failure: deliver with the old stamp so
+            # downstream dedup against a future replay still works.
+            self._deliver(
+                envelope.with_channel(channel.reroute(index), envelope.ts)
+            )

@@ -1,0 +1,72 @@
+"""Data-item envelopes and channel identifiers.
+
+Every payload travelling a dataflow edge is wrapped in an
+:class:`Envelope` carrying the metadata the paper's recovery mechanism
+needs (§5): a producer-side scalar timestamp per channel (used for
+duplicate detection after replay) and, for global-access round trips, a
+request id plus the expected response count for the gather barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class _NoResponse:
+    """Marker emitted on gather edges when a TE produced no output.
+
+    Without it, a merge barrier would wait forever for an instance whose
+    task function returned ``None`` for a given request.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<NO_RESPONSE>"
+
+
+NO_RESPONSE = _NoResponse()
+
+
+@dataclass(frozen=True)
+class ChannelId:
+    """Identifies one point-to-point stream between two TE instances.
+
+    ``edge_index`` is the edge's position in ``sdg.dataflows`` — or the
+    sentinel ``-1`` for the external-input channel into an entry TE.
+    """
+
+    edge_index: int
+    src_te: str
+    src_instance: int
+    dst_te: str
+    dst_instance: int
+
+    def reroute(self, dst_instance: int) -> "ChannelId":
+        return ChannelId(self.edge_index, self.src_te, self.src_instance,
+                         self.dst_te, dst_instance)
+
+
+#: edge_index used for external input injected into entry TEs.
+INPUT_EDGE = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One data item in flight on a specific channel."""
+
+    payload: Any
+    #: Producer-side sequence number on this channel; strictly increasing.
+    ts: int
+    channel: ChannelId
+    #: Correlates a broadcast request with its gathered responses.
+    request_id: int | None = None
+    #: Number of responses the gather barrier must collect.
+    expected_responses: int | None = None
+
+    def with_channel(self, channel: ChannelId, ts: int) -> "Envelope":
+        """Rewrap the same logical item for delivery on another channel."""
+        return Envelope(payload=self.payload, ts=ts, channel=channel,
+                        request_id=self.request_id,
+                        expected_responses=self.expected_responses)

@@ -1,0 +1,90 @@
+"""Runtime monitoring: the signal source for reactive scaling (§3.3).
+
+"Each TE is monitored to determine if it constitutes a processing
+bottleneck that limits throughput." The monitor samples, every
+``sample_every`` engine steps, each TE's backlog and cumulative
+processed count, building the time series that Fig. 10-style analyses
+and the bottleneck detector consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Runtime
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One monitoring observation."""
+
+    step: int
+    backlog: dict[str, int]        # TE name -> queued envelopes
+    processed: dict[str, int]      # TE name -> cumulative items
+    instances: dict[str, int]      # TE name -> live instance count
+
+
+@dataclass
+class RuntimeMonitor:
+    """Samples engine state through the step hook."""
+
+    sample_every: int = 100
+    samples: list[Sample] = field(default_factory=list)
+    _runtime: "Runtime | None" = None
+
+    def install(self, runtime: "Runtime") -> "RuntimeMonitor":
+        self._runtime = runtime
+        runtime.add_step_hook(self._on_step)
+        return self
+
+    def uninstall(self) -> None:
+        if self._runtime is not None:
+            self._runtime.remove_step_hook(self._on_step)
+            self._runtime = None
+
+    def _on_step(self, runtime: "Runtime") -> None:
+        if runtime.total_steps % self.sample_every:
+            return
+        self.take_sample(runtime)
+
+    def take_sample(self, runtime: "Runtime") -> Sample:
+        """Record one observation immediately."""
+        backlog: dict[str, int] = {}
+        processed: dict[str, int] = {}
+        instances: dict[str, int] = {}
+        for te_name in runtime.sdg.tasks:
+            live = runtime.te_instances(te_name)
+            backlog[te_name] = sum(len(i.inbox) for i in live)
+            processed[te_name] = sum(i.processed_count for i in live)
+            instances[te_name] = len(live)
+        sample = Sample(step=runtime.total_steps, backlog=backlog,
+                        processed=processed, instances=instances)
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+
+    def backlog_series(self, te_name: str) -> list[tuple[int, int]]:
+        """(step, queued items) series for one TE."""
+        return [(s.step, s.backlog.get(te_name, 0))
+                for s in self.samples]
+
+    def throughput_series(self, te_name: str) -> list[tuple[int, float]]:
+        """(step, items/step since previous sample) series for one TE."""
+        series: list[tuple[int, float]] = []
+        previous: Sample | None = None
+        for sample in self.samples:
+            if previous is not None:
+                steps = sample.step - previous.step
+                if steps > 0:
+                    done = (sample.processed.get(te_name, 0)
+                            - previous.processed.get(te_name, 0))
+                    series.append((sample.step, done / steps))
+            previous = sample
+        return series
+
+    def peak_backlog(self, te_name: str) -> int:
+        return max((s.backlog.get(te_name, 0) for s in self.samples),
+                   default=0)

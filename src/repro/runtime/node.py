@@ -1,0 +1,60 @@
+"""Logical cluster nodes hosting TE and SE instances.
+
+The runtime executes in a single process, but instances are grouped into
+:class:`PhysicalNode` objects that define the failure and checkpointing
+domain: a node fails as a unit (losing its SE contents, inboxes and
+output buffers) and checkpoints as a unit (§5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime.instances import SEInstance, TEInstance
+
+
+class PhysicalNode:
+    """A failure/checkpoint domain holding colocated instances."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.te_instances: dict[tuple[str, int], TEInstance] = {}
+        self.se_instances: dict[tuple[str, int], SEInstance] = {}
+        self.items_processed = 0
+        #: Relative processing speed; < 1.0 models a straggler node.
+        self.speed = 1.0
+
+    def host_te(self, instance: TEInstance) -> None:
+        if instance.key in self.te_instances:
+            raise RuntimeExecutionError(
+                f"node {self.node_id} already hosts TE {instance.key}"
+            )
+        instance.node_id = self.node_id
+        self.te_instances[instance.key] = instance
+
+    def host_se(self, instance: SEInstance) -> None:
+        if instance.key in self.se_instances:
+            raise RuntimeExecutionError(
+                f"node {self.node_id} already hosts SE {instance.key}"
+            )
+        instance.node_id = self.node_id
+        self.se_instances[instance.key] = instance
+
+    def fail(self) -> None:
+        """Kill the node: all hosted runtime state becomes unreachable."""
+        self.alive = False
+
+    def state_size_bytes(self) -> int:
+        """Modelled memory footprint of all SE instances on this node."""
+        return sum(
+            se.element.estimated_size_bytes()
+            for se in self.se_instances.values()
+        )
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        return (
+            f"PhysicalNode({self.node_id} {status}, "
+            f"tes={sorted(self.te_instances)}, "
+            f"ses={sorted(self.se_instances)})"
+        )

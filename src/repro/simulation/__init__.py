@@ -1,0 +1,69 @@
+"""Performance models for the paper's evaluation (§6).
+
+The functional runtime in :mod:`repro.runtime` executes SDGs for real,
+but it cannot reproduce cluster-scale *performance* numbers on one
+machine. This package provides the discrete-time cost models used by the
+benchmark harness to regenerate the paper's figures: the mechanisms
+(synchronous vs asynchronous checkpointing, micro-batching vs
+pipelining, m-to-n parallel recovery, reactive scaling) are modelled
+explicitly, so the *shapes* of the published curves — who wins, by what
+factor, where the crossovers fall — emerge from the mechanism, not from
+curve fitting.
+
+Every model is deterministic and unit-tested; the benchmarks sweep their
+parameters and assert the paper's qualitative results.
+"""
+
+from repro.simulation.batching import (
+    microbatch_throughput,
+    pipelined_throughput,
+    scaling_throughput,
+    sustainable,
+)
+from repro.simulation.events import Event, EventLoop
+from repro.simulation.lifetime import (
+    LifetimeConfig,
+    LifetimeResult,
+    simulate_lifetime,
+)
+from repro.simulation.metrics import LatencyRecorder, candlestick
+from repro.simulation.recovery_model import (
+    RecoveryParams,
+    deployment_time,
+    recovery_time,
+)
+from repro.simulation.stateful_node import (
+    CheckpointPolicy,
+    NodeParams,
+    SimResult,
+    simulate_cluster,
+    simulate_node,
+)
+from repro.simulation.stragglers import (
+    StragglerScenario,
+    simulate_stragglers,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "Event",
+    "EventLoop",
+    "LatencyRecorder",
+    "LifetimeConfig",
+    "LifetimeResult",
+    "NodeParams",
+    "RecoveryParams",
+    "SimResult",
+    "StragglerScenario",
+    "candlestick",
+    "simulate_lifetime",
+    "deployment_time",
+    "microbatch_throughput",
+    "pipelined_throughput",
+    "recovery_time",
+    "scaling_throughput",
+    "simulate_cluster",
+    "simulate_node",
+    "simulate_stragglers",
+    "sustainable",
+]

@@ -1,0 +1,99 @@
+"""A minimal discrete-event simulation core.
+
+Used by the cluster-lifetime simulation (and available for new
+experiments): callbacks are scheduled at absolute simulated times and
+executed in timestamp order, with stable FIFO ordering for ties and
+O(log n) scheduling via a heap. Cancellation is lazy (cancelled events
+stay in the heap but are skipped), the standard technique.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("fn", "args", "cancelled", "fired")
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Executes events in simulated-time order."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        event = Event(fn, args)
+        heapq.heappush(
+            self._heap, _Entry(self.now + delay, next(self._seq), event)
+        )
+        return event
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def step(self) -> bool:
+        """Fire the next pending event; False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self.now = entry.time
+            entry.event.fired = True
+            entry.event.fn(*entry.event.args)
+            self.processed += 1
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Fire all events up to and including ``time``."""
+        while self._heap:
+            entry = self._heap[0]
+            if entry.time > time:
+                break
+            self.step()
+        self.now = max(self.now, time)
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Fire everything; guards against runaway self-scheduling."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"event loop exceeded {max_events} events"
+                )
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.event.cancelled)

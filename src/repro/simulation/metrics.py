@@ -1,0 +1,81 @@
+"""Latency/throughput metric collection.
+
+The paper reports latency distributions as candlesticks with the 5th,
+25th, 50th, 75th and 95th percentiles; :func:`candlestick` reproduces
+exactly that summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Linear-interpolation percentile (p in [0, 100])."""
+    if not samples:
+        raise ValueError("cannot take a percentile of no samples")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class Candlestick:
+    """The paper's five-point latency summary."""
+
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.p5, self.p25, self.p50, self.p75, self.p95)
+
+
+def candlestick(samples: list[float]) -> Candlestick:
+    """5/25/50/75/95th percentiles of ``samples``."""
+    return Candlestick(*(percentile(samples, p)
+                         for p in (5, 25, 50, 75, 95)))
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency: float, weight: int = 1) -> None:
+        """Record ``weight`` requests that experienced ``latency``."""
+        if weight == 1:
+            self._samples.append(latency)
+        else:
+            self._samples.extend([latency] * weight)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        return percentile(self._samples, p)
+
+    def candlestick(self) -> Candlestick:
+        return candlestick(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)

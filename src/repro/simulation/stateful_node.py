@@ -1,0 +1,225 @@
+"""Discrete-time model of a stateful processing node under checkpointing.
+
+This is the workhorse behind the Fig. 6, 7, 12 and 13 reproductions. A
+node serves a request stream from a FIFO queue at a configured service
+rate while periodically checkpointing its state:
+
+* ``sync``  — stop-the-world (Naiad, SEEP): processing halts for the
+  full persist duration ``state_bytes / disk_bw``. Queues build, the
+  tail latency explodes with state size, and throughput drops by the
+  duty cycle of the pauses;
+* ``async`` — the paper's dirty-state mechanism: processing continues
+  (at a small overhead) while the consistent snapshot persists; only the
+  final consolidation of the dirty overlay locks the state, and that
+  lock is proportional to the *update rate during the checkpoint*, not
+  to the state size;
+* ``none``  — no fault tolerance (the paper's "No FT" baseline).
+
+The model is deterministic: fixed tick, fluid arrivals, FIFO service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+from repro.simulation.metrics import Candlestick, LatencyRecorder
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How (and whether) the node checkpoints its state."""
+
+    mode: str = "async"  # "none" | "sync" | "async"
+    interval_s: float = 10.0
+    #: Bandwidth at which checkpoints persist (disk, or memcpy for a
+    #: RAM-disk configuration such as Naiad-NoDisk).
+    disk_bw: float = 100e6
+    #: Fractional service-rate loss while an async checkpoint persists.
+    async_overhead: float = 0.05
+    #: Rate of folding dirty state back into the main structure (the
+    #: only locked phase of the async protocol). Entry-by-entry merges
+    #: into indexed structures are far slower than raw memcpy; 32 MB/s
+    #: (~500 k entries/s at 64 B) is calibrated to the paper's Fig. 13
+    #: latency overheads.
+    consolidation_rate: float = 32e6
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("none", "sync", "async"):
+            raise SimulationError(
+                f"unknown checkpoint mode {self.mode!r}"
+            )
+        if self.interval_s <= 0:
+            raise SimulationError("checkpoint interval must be positive")
+
+    @staticmethod
+    def none() -> "CheckpointPolicy":
+        return CheckpointPolicy(mode="none")
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """Static characteristics of the node and its workload."""
+
+    service_rate: float = 65_000.0   # requests/s when unimpeded
+    state_bytes: float = 100e6
+    write_fraction: float = 1.0      # share of requests that mutate state
+    bytes_per_update: float = 64.0
+    base_latency_s: float = 0.001    # queue-free service latency
+    #: Relative node speed; < 1.0 models a straggler machine.
+    speed: float = 1.0
+
+    def effective_rate(self) -> float:
+        return self.service_rate * self.speed
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    throughput: float            # served requests/s over the whole run
+    latency: LatencyRecorder
+    served: float
+    duration_s: float
+
+    def candlestick(self) -> Candlestick:
+        return self.latency.candlestick()
+
+    def p(self, q: float) -> float:
+        return self.latency.percentile(q)
+
+
+def simulate_node(
+    offered_rate: float,
+    params: NodeParams,
+    policy: CheckpointPolicy,
+    duration_s: float = 60.0,
+    tick_s: float = 0.002,
+) -> SimResult:
+    """Simulate one node serving ``offered_rate`` requests/s."""
+    if offered_rate < 0 or duration_s <= 0 or tick_s <= 0:
+        raise SimulationError("rates and durations must be positive")
+    queue: deque[tuple[float, float]] = deque()  # (arrival time, count)
+    latency = LatencyRecorder()
+    served_total = 0.0
+
+    next_checkpoint = policy.interval_s
+    pause_until = 0.0          # hard stop (sync persist / async lock)
+    persist_until = 0.0        # async persist window (reduced rate)
+    served_during_persist = 0.0
+
+    steps = int(round(duration_s / tick_s))
+    rate = params.effective_rate()
+    for step in range(steps):
+        now = step * tick_s
+
+        # --- checkpoint triggering -----------------------------------
+        if (
+            policy.mode != "none"
+            and now >= next_checkpoint
+            and now >= pause_until
+            and not (policy.mode == "async" and persist_until > now)
+        ):
+            persist_duration = params.state_bytes / policy.disk_bw
+            if policy.mode == "sync":
+                pause_until = now + persist_duration
+                # The next checkpoint is due an interval after this one
+                # finishes — a paused system does not re-checkpoint.
+                next_checkpoint = pause_until + policy.interval_s
+            else:
+                persist_until = now + persist_duration
+                served_during_persist = 0.0
+                next_checkpoint = persist_until + policy.interval_s
+
+        # --- async persist completion: consolidation lock -------------
+        if (
+            policy.mode == "async"
+            and persist_until
+            and now >= persist_until
+        ):
+            dirty_bytes = (
+                served_during_persist
+                * params.write_fraction
+                * params.bytes_per_update
+            )
+            pause_until = now + dirty_bytes / policy.consolidation_rate
+            persist_until = 0.0
+
+        # --- arrivals ---------------------------------------------------
+        arriving = offered_rate * tick_s
+        if arriving > 0:
+            queue.append((now, arriving))
+
+        # --- service -----------------------------------------------------
+        if now < pause_until:
+            capacity = 0.0
+        elif policy.mode == "async" and now < persist_until:
+            capacity = rate * (1.0 - policy.async_overhead) * tick_s
+        else:
+            capacity = rate * tick_s
+        while capacity > 0 and queue:
+            arrival, count = queue[0]
+            take = min(count, capacity)
+            latency.record(now - arrival + params.base_latency_s)
+            served_total += take
+            if policy.mode == "async" and now < persist_until:
+                served_during_persist += take
+            if take >= count:
+                queue.popleft()
+            else:
+                queue[0] = (arrival, count - take)
+            capacity -= take
+
+    # Requests still queued at the end never completed: record their
+    # (censored) waiting time so that an overloaded or pause-starved
+    # configuration reports the latency its clients actually saw.
+    end = duration_s
+    for arrival, _count in queue:
+        latency.record(end - arrival + params.base_latency_s)
+
+    return SimResult(
+        throughput=served_total / duration_s,
+        latency=latency,
+        served=served_total,
+        duration_s=duration_s,
+    )
+
+
+def simulate_cluster(
+    n_nodes: int,
+    total_offered_rate: float,
+    params: NodeParams,
+    policy: CheckpointPolicy,
+    duration_s: float = 60.0,
+    remote_latency_s: float = 0.004,
+    per_node_latency_s: float = 0.0,
+    tick_s: float = 0.002,
+) -> SimResult:
+    """Aggregate a partitioned deployment of identical nodes (Fig. 7).
+
+    Requests hash-partition uniformly over nodes; checkpoints are local
+    and uncoordinated, so per-node behaviour is independent and the
+    cluster result is the per-node result scaled by ``n_nodes``, with a
+    network round-trip added to every latency sample.
+    ``per_node_latency_s`` models client-side fan-out cost that grows
+    with the cluster (connection multiplexing, slow-node tails): the
+    paper's Fig. 7 medians grow from 8 to 29 ms across 10-40 nodes at
+    constant per-node state, which pins this term.
+    """
+    if n_nodes < 1:
+        raise SimulationError("cluster needs at least one node")
+    per_node = simulate_node(
+        total_offered_rate / n_nodes, params, policy,
+        duration_s=duration_s, tick_s=tick_s,
+    )
+    latency = LatencyRecorder()
+    overhead = remote_latency_s + per_node_latency_s * n_nodes
+    for sample in per_node.latency.samples:
+        latency.record(sample + overhead)
+    return SimResult(
+        throughput=per_node.throughput * n_nodes,
+        latency=latency,
+        served=per_node.served * n_nodes,
+        duration_s=duration_s,
+    )

@@ -1,0 +1,137 @@
+"""Reactive straggler-mitigation timeline (Fig. 10).
+
+Models the §3.3 mechanism on the CF read path: partial SE instances
+serve *sticky* shares of the work (replicated state cannot be handed to
+an empty newcomer), so
+
+* a normal scale-up splits the share of the largest healthy group —
+  it helps only if a healthy group was the bottleneck;
+* when an addition yields no improvement, the controller concludes a
+  straggler limits throughput and instead *relieves* it: a helper
+  instance splits the straggler's share.
+
+System throughput is governed by the most-overloaded group
+(``min_i capacity_i / share_i``, capped by demand): the backpressure of
+a pipelined SDG propagates the slowest group's rate upstream. With the
+default calibration the timeline reproduces the paper's walkthrough:
+3.6 k req/s → 6.2 k at t=10 s (new instance, slow machine) → flat at
+t=30 s (addition without relief) → ~11 k at t=50 s (straggler relieved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class _Group:
+    """One work share and the node capacities serving it."""
+
+    share: float
+    capacities: list[float]
+    is_straggler_group: bool = False
+
+    @property
+    def capacity(self) -> float:
+        return sum(self.capacities)
+
+    def rate(self) -> float:
+        return self.capacity / self.share if self.share > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class StragglerScenario:
+    """Inputs of the Fig. 10 timeline."""
+
+    demand: float = 11_000.0
+    #: Node capacities in allocation order; index 1 is the paper's
+    #: "less powerful machine" (2.4 GHz / 4 GB).
+    node_pool: tuple[float, ...] = (3_600.0, 3_100.0, 3_600.0, 3_600.0)
+    straggler_indices: tuple[int, ...] = (1,)
+    duration_s: int = 60
+    check_interval_s: int = 10
+    #: Intervals the controller waits after an action before judging it
+    #: (new instances need their input queues to fill and drain).
+    settle_intervals: int = 1
+    #: Improvement below this fraction marks an addition as ineffective.
+    improvement_threshold: float = 0.05
+
+
+@dataclass
+class TimelinePoint:
+    t: int
+    throughput: float
+    n_nodes: int
+    event: str | None = None
+
+
+def simulate_stragglers(
+    scenario: StragglerScenario = StragglerScenario(),
+) -> list[TimelinePoint]:
+    """Run the reactive controller; one timeline point per second."""
+    if scenario.duration_s <= 0:
+        raise SimulationError("duration must be positive")
+    pool = list(scenario.node_pool)
+    if not pool:
+        raise SimulationError("node pool is empty")
+
+    groups: list[_Group] = [_Group(share=1.0, capacities=[pool[0]])]
+    used = 1
+    throughput_before_last_add: float | None = None
+    last_action_t = 0
+
+    def system_throughput() -> float:
+        return min(
+            scenario.demand, min(group.rate() for group in groups)
+        )
+
+    timeline: list[TimelinePoint] = []
+    for t in range(scenario.duration_s):
+        event = None
+        settle = (scenario.settle_intervals + 1) * scenario.check_interval_s
+        if (
+            t > 0
+            and t % scenario.check_interval_s == 0
+            and (last_action_t == 0 or t - last_action_t >= settle)
+            and used < len(pool)
+            and system_throughput() < scenario.demand * 0.99
+        ):
+            current = system_throughput()
+            ineffective = (
+                throughput_before_last_add is not None
+                and current
+                <= throughput_before_last_add
+                * (1 + scenario.improvement_threshold)
+            )
+            new_capacity = pool[used]
+            is_straggler = used in scenario.straggler_indices
+            if ineffective:
+                # Relieve: the helper splits the straggler group's share.
+                target = min(groups, key=_Group.rate)
+                half = target.share / 2
+                target.share = half
+                groups.append(_Group(share=half,
+                                     capacities=[new_capacity]))
+                event = f"relieve straggler (+node {used})"
+            else:
+                # Normal scale-up: split the largest *healthy* share —
+                # replicated state pins the straggler's share to it.
+                healthy = [g for g in groups if not g.is_straggler_group]
+                target = max(healthy or groups, key=lambda g: g.share)
+                half = target.share / 2
+                target.share = half
+                groups.append(_Group(
+                    share=half, capacities=[new_capacity],
+                    is_straggler_group=is_straggler,
+                ))
+                event = f"add instance (+node {used})"
+            used += 1
+            throughput_before_last_add = current
+            last_action_t = t
+        timeline.append(TimelinePoint(
+            t=t, throughput=system_throughput(), n_nodes=used,
+            event=event,
+        ))
+    return timeline

@@ -1,0 +1,379 @@
+"""Base protocol for state elements (SEs).
+
+A state element encapsulates the mutable state of an SDG computation
+(§3.1). Every predefined SE routes its mutations through a small
+key/value core provided here, which gives all of them, uniformly:
+
+* the **dirty-state checkpoint protocol** of §5 — ``begin_checkpoint``
+  freezes the main structure, subsequent writes land in a
+  :class:`~repro.state.dirty.DirtyOverlay`, a consistent snapshot is read
+  with :meth:`snapshot_items`, and ``consolidate`` folds the overlay back;
+* **dynamic partitioning** — ``extract_partition`` / ``merge_partitions``
+  split and re-join SE instances for partitioned state and for restoring a
+  failed instance onto *n* new nodes;
+* **chunked serialisation** — ``to_chunks`` / ``load_chunk`` implement the
+  m-to-n backup pattern of Fig. 4;
+* **size accounting** — a byte estimate used by the allocation logic and
+  by the cluster simulator's checkpoint cost model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import StateError
+from repro.state.dirty import DirtyOverlay, TOMBSTONE
+
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class StateChunk:
+    """One fragment of a serialised SE checkpoint.
+
+    Checkpoints are hash-partitioned into chunks so that they can be
+    streamed to ``total`` backup nodes in parallel and later restored to
+    any number of recovering instances (Fig. 4, steps B1-B3 / R1-R2).
+    """
+
+    index: int
+    total: int
+    items: tuple[tuple[Hashable, Any], ...]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def size_bytes(self, bytes_per_entry: int) -> int:
+        """Modelled size of this chunk on disk or on the wire."""
+        return len(self.items) * bytes_per_entry
+
+
+class StateElement(abc.ABC):
+    """Abstract base class for all SE data structures.
+
+    Subclasses implement the ``_store_*`` hooks against their concrete
+    representation and expose a domain API (``get_row``, ``multiply``,
+    ``put`` ...) built on the protected ``_get``/``_set``/``_delete``
+    helpers, which transparently apply the dirty-state redirection.
+    """
+
+    #: Modelled cost of one stored entry; used for state-size accounting.
+    BYTES_PER_ENTRY = 64
+
+    def __init__(self) -> None:
+        self._dirty: DirtyOverlay | None = None
+        self._update_count = 0
+
+    # ------------------------------------------------------------------
+    # Storage hooks (subclass responsibility)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _store_get(self, key: Hashable) -> Any:
+        """Return the value for ``key`` from the main structure.
+
+        Must raise :class:`KeyError` when absent.
+        """
+
+    @abc.abstractmethod
+    def _store_set(self, key: Hashable, value: Any) -> None:
+        """Write ``value`` for ``key`` into the main structure."""
+
+    @abc.abstractmethod
+    def _store_delete(self, key: Hashable) -> None:
+        """Remove ``key`` from the main structure (KeyError if absent)."""
+
+    @abc.abstractmethod
+    def _store_items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate over all ``(key, value)`` pairs of the main structure."""
+
+    @abc.abstractmethod
+    def _store_clear(self) -> None:
+        """Empty the main structure."""
+
+    @abc.abstractmethod
+    def spawn_empty(self) -> "StateElement":
+        """Return a new, empty SE with the same shape/configuration.
+
+        Used when creating additional partial instances at runtime (§3.3)
+        and when restoring a checkpoint onto fresh nodes.
+        """
+
+    # ------------------------------------------------------------------
+    # Dirty-state aware access helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def checkpoint_active(self) -> bool:
+        """Whether a checkpoint is in progress (writes go to dirty state)."""
+        return self._dirty is not None
+
+    @property
+    def update_count(self) -> int:
+        """Total number of mutations applied to this SE instance."""
+        return self._update_count
+
+    @property
+    def dirty_size(self) -> int:
+        """Number of entries currently buffered in the dirty overlay."""
+        return 0 if self._dirty is None else len(self._dirty)
+
+    def _get(self, key: Hashable, default: Any = _MISSING) -> Any:
+        """Read ``key``, consulting the dirty overlay first (§5 step 2)."""
+        if self._dirty is not None and key in self._dirty:
+            value = self._dirty.get(key)
+            if value is TOMBSTONE:
+                if default is _MISSING:
+                    raise KeyError(key)
+                return default
+            return value
+        try:
+            return self._store_get(key)
+        except KeyError:
+            if default is _MISSING:
+                raise
+            return default
+
+    def _set(self, key: Hashable, value: Any) -> None:
+        """Write ``key``; redirected to the dirty overlay mid-checkpoint."""
+        self._update_count += 1
+        if self._dirty is not None:
+            self._dirty.set(key, value)
+        else:
+            self._store_set(key, value)
+
+    def _delete(self, key: Hashable) -> None:
+        """Delete ``key``; recorded as a tombstone mid-checkpoint."""
+        self._update_count += 1
+        if self._dirty is not None:
+            if key not in self._dirty and not self._store_contains(key):
+                raise KeyError(key)
+            if key in self._dirty and self._dirty.get(key) is TOMBSTONE:
+                raise KeyError(key)
+            self._dirty.delete(key)
+        else:
+            self._store_delete(key)
+
+    def _contains(self, key: Hashable) -> bool:
+        if self._dirty is not None and key in self._dirty:
+            return self._dirty.get(key) is not TOMBSTONE
+        return self._store_contains(key)
+
+    def _store_contains(self, key: Hashable) -> bool:
+        """Membership against the main structure only.
+
+        Subclasses with a cheaper test than get-and-catch may override.
+        """
+        try:
+            self._store_get(key)
+        except KeyError:
+            return False
+        return True
+
+    def _iter_items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate the *logical* contents: main structure + overlay."""
+        if self._dirty is None:
+            yield from self._store_items()
+            return
+        dirty = self._dirty
+        seen = set()
+        for key, value in self._store_items():
+            seen.add(key)
+            if key in dirty:
+                overlaid = dirty.get(key)
+                if overlaid is not TOMBSTONE:
+                    yield key, overlaid
+            else:
+                yield key, value
+        for key, value in dirty.items():
+            if key not in seen and value is not TOMBSTONE:
+                yield key, value
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (§5)
+    # ------------------------------------------------------------------
+
+    def begin_checkpoint(self) -> None:
+        """Flag the SE as dirty: freeze the main structure (step 1).
+
+        After this call, the main structure is immutable and
+        :meth:`snapshot_items` may be read concurrently with processing.
+        """
+        if self._dirty is not None:
+            raise StateError("checkpoint already in progress for this SE")
+        self._dirty = DirtyOverlay()
+
+    def snapshot_items(self) -> list[tuple[Hashable, Any]]:
+        """Materialise the consistent (pre-checkpoint) contents (step 3).
+
+        Only meaningful while a checkpoint is active; calling it otherwise
+        returns the current contents, which is still a consistent view.
+        """
+        return list(self._store_items())
+
+    def consolidate(self) -> int:
+        """Fold the dirty overlay back into the main structure (step 5).
+
+        This is the only phase that requires exclusive access to the SE,
+        so its cost is proportional to the number of updates made during
+        the checkpoint, not to the state size. Returns the number of
+        overlay entries applied.
+        """
+        if self._dirty is None:
+            raise StateError("no checkpoint in progress to consolidate")
+        applied = 0
+        for key, value in self._dirty.items():
+            if value is TOMBSTONE:
+                try:
+                    self._store_delete(key)
+                except KeyError:
+                    pass
+            else:
+                self._store_set(key, value)
+            applied += 1
+        self._dirty = None
+        return applied
+
+    def abort_checkpoint(self) -> None:
+        """Consolidate-and-discard used when a checkpoint fails midway."""
+        if self._dirty is None:
+            return
+        self.consolidate()
+
+    # ------------------------------------------------------------------
+    # Partitioning and merging (§3.2)
+    # ------------------------------------------------------------------
+
+    def partition_key(self, key: Hashable) -> Hashable:
+        """Map a storage key to the key used for partitioning decisions.
+
+        A matrix partitioned by row maps ``(row, col)`` to ``row``; the
+        default is the identity, which suits vectors and maps.
+        """
+        return key
+
+    def extract_partition(self, partitioner: "PartitionerProtocol",
+                          index: int) -> "StateElement":
+        """Return a new SE holding the subset owned by partition ``index``.
+
+        The receiver is left untouched; callers re-scaling a live SE
+        should build all partitions and then discard the original.
+        """
+        if self.checkpoint_active:
+            raise StateError("cannot repartition while a checkpoint is active")
+        part = self.spawn_empty()
+        for key, value in self._store_items():
+            if partitioner.partition(self.partition_key(key)) == index:
+                part._store_set(key, value)
+        return part
+
+    @classmethod
+    def merge_partitions(
+        cls, parts: Sequence["StateElement"]
+    ) -> "StateElement":
+        """Union disjoint partitions back into a single SE instance.
+
+        Used by recovery (reconstituting a checkpoint restored as chunks)
+        and by scale-in. Partitions must be disjoint; later partitions win
+        on (unexpected) key collisions.
+        """
+        if not parts:
+            raise StateError("merge_partitions requires at least one part")
+        merged = parts[0].spawn_empty()
+        for part in parts:
+            for key, value in part._store_items():
+                merged._store_set(key, value)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Chunked serialisation (Fig. 4)
+    # ------------------------------------------------------------------
+
+    def chunk_meta(self) -> dict[str, Any]:
+        """Extra shape information replicated into every chunk.
+
+        Subclasses override to carry sizes (e.g. vector length) that are
+        not recoverable from the items alone.
+        """
+        return {}
+
+    def apply_chunk_meta(self, meta: dict[str, Any]) -> None:
+        """Re-apply :meth:`chunk_meta` information during restore."""
+
+    def to_chunks(self, m: int) -> list[StateChunk]:
+        """Split a consistent snapshot into ``m`` chunks (step B1).
+
+        Items are hash-partitioned on the storage key so that chunk sizes
+        are balanced and chunk membership is deterministic.
+        """
+        if m < 1:
+            raise StateError(f"chunk count must be >= 1, got {m}")
+        buckets: list[list[tuple[Hashable, Any]]] = [[] for _ in range(m)]
+        for key, value in self.snapshot_items():
+            buckets[stable_hash(key) % m].append((key, value))
+        meta = self.chunk_meta()
+        return [
+            StateChunk(index=i, total=m, items=tuple(bucket), meta=dict(meta))
+            for i, bucket in enumerate(buckets)
+        ]
+
+    def load_chunk(self, chunk: StateChunk) -> None:
+        """Load one chunk's items into this (recovering) instance (R2)."""
+        self.apply_chunk_meta(chunk.meta)
+        for key, value in chunk.items:
+            self._store_set(key, value)
+
+    @classmethod
+    def from_chunks(
+        cls, template: "StateElement", chunks: Iterable[StateChunk]
+    ) -> "StateElement":
+        """Reconstitute an SE from all of its chunks."""
+        se = template.spawn_empty()
+        for chunk in chunks:
+            se.load_chunk(chunk)
+        return se
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of logical entries currently stored (incl. overlay)."""
+        return sum(1 for _ in self._iter_items())
+
+    def estimated_size_bytes(self) -> int:
+        """Modelled in-memory footprint, linear in the entry count."""
+        return self.entry_count() * self.BYTES_PER_ENTRY
+
+
+class PartitionerProtocol:
+    """Structural protocol: anything with ``partition(key) -> int``."""
+
+    n_partitions: int
+
+    def partition(self, key: Hashable) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+def stable_hash(key: Hashable) -> int:
+    """A hash that is stable across interpreter runs.
+
+    Python's built-in ``hash`` is randomised per process for strings,
+    which would make chunk membership — and therefore recovery tests and
+    the deterministic-execution requirement of §4.1 — non-reproducible.
+    Integers hash to themselves; other keys hash via CRC-32 of their
+    ``repr``.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key if key >= 0 else -key * 2 + 1
+    if isinstance(key, tuple):
+        result = 1469598103
+        for part in key:
+            result = (result * 1099511628211 + stable_hash(part)) % (2**61 - 1)
+        return result
+    import zlib
+
+    return zlib.crc32(repr(key).encode("utf-8"))

@@ -1,0 +1,86 @@
+"""The ``KeyValueMap`` state element.
+
+A hash-map SE (the paper's ``HashMap``), used by the distributed
+key/value store of §6.1 — the benchmark the paper calls "an algorithm
+with pure mutable state" — and by the streaming wordcount counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.state.base import StateElement
+
+
+class KeyValueMap(StateElement):
+    """A dictionary SE supporting hash or range partitioning."""
+
+    BYTES_PER_ENTRY = 64
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._map: dict[Hashable, Any] = {}
+
+    # -- storage hooks -------------------------------------------------
+
+    def _store_get(self, key: Hashable) -> Any:
+        return self._map[key]
+
+    def _store_set(self, key: Hashable, value: Any) -> None:
+        self._map[key] = value
+
+    def _store_delete(self, key: Hashable) -> None:
+        del self._map[key]
+
+    def _store_contains(self, key: Hashable) -> bool:
+        return key in self._map
+
+    def _store_items(self) -> Iterator[tuple[Hashable, Any]]:
+        return iter(self._map.items())
+
+    def _store_clear(self) -> None:
+        self._map.clear()
+
+    def spawn_empty(self) -> "KeyValueMap":
+        return KeyValueMap()
+
+    # -- domain API ----------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._set(key, value)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default`` when absent."""
+        return self._get(key, default)
+
+    def delete(self, key: Hashable) -> None:
+        """Remove ``key``; raises :class:`KeyError` when absent."""
+        self._delete(key)
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is present (overlay-aware)."""
+        return self._contains(key)
+
+    def increment(self, key: Hashable, delta: float = 1) -> float:
+        """Add ``delta`` to a numeric value (0 when absent); return it.
+
+        This is the fine-grained update exercised by streaming wordcount.
+        """
+        value = self._get(key, 0) + delta
+        self._set(key, value)
+        return value
+
+    def keys(self) -> list[Hashable]:
+        """All logical keys (overlay-aware), in unspecified order."""
+        return [key for key, _ in self._iter_items()]
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """All logical ``(key, value)`` pairs (overlay-aware)."""
+        return list(self._iter_items())
+
+    def __len__(self) -> int:
+        return self.entry_count()
+
+    def __repr__(self) -> str:
+        return f"KeyValueMap(len={len(self._map)}, dirty={self.dirty_size})"

@@ -1,0 +1,286 @@
+"""Matrix state elements.
+
+``Matrix`` is the indexed *sparse* matrix the paper names for large,
+sparsely-populated state such as the CF user-item and co-occurrence
+matrices; ``DenseMatrix`` is its dense counterpart for small, fully
+populated state such as regression weights.
+
+Both support partitioning by row or by column (§3.2). To obtain a unique
+partitioning, TEs must not access one partitioned matrix with conflicting
+strategies — that invariant is enforced by SDG validation, which reads
+the ``partition_axis`` recorded here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+from repro.errors import StateError
+from repro.state.base import StateElement
+from repro.state.dirty import TOMBSTONE
+from repro.state.vector import Vector
+
+_AXES = ("row", "col")
+
+
+class Matrix(StateElement):
+    """A sparse 2-D matrix SE keyed by ``(row, col)`` integer pairs.
+
+    Unwritten cells read as 0.0. A per-row column index keeps
+    :meth:`get_row` proportional to the row's population rather than the
+    matrix size.
+    """
+
+    BYTES_PER_ENTRY = 24
+
+    def __init__(self, partition_axis: str = "row") -> None:
+        super().__init__()
+        if partition_axis not in _AXES:
+            raise StateError(
+                f"partition_axis must be one of {_AXES}, got {partition_axis!r}"
+            )
+        self.partition_axis = partition_axis
+        self._cells: dict[tuple[int, int], float] = {}
+        self._row_cols: dict[int, set[int]] = {}
+
+    # -- storage hooks -------------------------------------------------
+
+    def _store_get(self, key: Hashable) -> float:
+        return self._cells[self._check_key(key)]
+
+    def _store_set(self, key: Hashable, value: Any) -> None:
+        row, col = self._check_key(key)
+        self._cells[(row, col)] = float(value)
+        self._row_cols.setdefault(row, set()).add(col)
+
+    def _store_delete(self, key: Hashable) -> None:
+        row, col = self._check_key(key)
+        del self._cells[(row, col)]
+        cols = self._row_cols.get(row)
+        if cols is not None:
+            cols.discard(col)
+            if not cols:
+                del self._row_cols[row]
+
+    def _store_contains(self, key: Hashable) -> bool:
+        return self._check_key(key) in self._cells
+
+    def _store_items(self) -> Iterator[tuple[tuple[int, int], float]]:
+        return iter(self._cells.items())
+
+    def _store_clear(self) -> None:
+        self._cells.clear()
+        self._row_cols.clear()
+
+    def spawn_empty(self) -> "Matrix":
+        return Matrix(partition_axis=self.partition_axis)
+
+    def partition_key(self, key: Hashable) -> Hashable:
+        row, col = key  # type: ignore[misc]
+        return row if self.partition_axis == "row" else col
+
+    @staticmethod
+    def _check_key(key: Hashable) -> tuple[int, int]:
+        if (
+            not isinstance(key, tuple)
+            or len(key) != 2
+            or not all(isinstance(k, int) and k >= 0 for k in key)
+        ):
+            raise StateError(
+                f"matrix key must be a (row, col) pair of non-negative "
+                f"ints: {key!r}"
+            )
+        return key  # type: ignore[return-value]
+
+    # -- domain API ----------------------------------------------------
+
+    def get_element(self, row: int, col: int) -> float:
+        """Return the cell value (0.0 when never written)."""
+        return self._get((row, col), 0.0)
+
+    def set_element(self, row: int, col: int, value: float) -> None:
+        """Write one cell — the fine-grained update the paper motivates."""
+        self._set((row, col), value)
+
+    def add_element(self, row: int, col: int, delta: float) -> float:
+        """Increment one cell; returns the new value."""
+        value = self.get_element(row, col) + delta
+        self.set_element(row, col, value)
+        return value
+
+    def _logical_row_cols(self, row: int) -> set[int]:
+        cols = set(self._row_cols.get(row, ()))
+        if self._dirty is not None:
+            for key, value in self._dirty.items():
+                r, c = key  # type: ignore[misc]
+                if r == row:
+                    if value is TOMBSTONE:
+                        cols.discard(c)
+                    else:
+                        cols.add(c)
+        return cols
+
+    def get_row(self, row: int) -> Vector:
+        """Return row ``row`` as a :class:`Vector` (a copy, not a view)."""
+        vector = Vector()
+        for col in self._logical_row_cols(row):
+            vector.set(col, self._get((row, col), 0.0))
+        return vector
+
+    def set_row(self, row: int, vector: Vector) -> None:
+        """Replace row ``row`` with the non-zero entries of ``vector``."""
+        for col in self._logical_row_cols(row):
+            self._delete((row, col))
+        for col, value in enumerate(vector.to_list()):
+            if value:
+                self._set((row, col), value)
+
+    def multiply(self, vector: Vector) -> Vector:
+        """Matrix-vector product: ``result[r] = sum_c M[r, c] * v[c]``.
+
+        This is the operation ``@Global coOcc.multiply(userRow)`` from
+        Alg. 1 line 16; applied to a partial instance it yields a partial
+        result to be merged across instances.
+        """
+        values = vector.to_list()
+        result = Vector()
+        for (row, col), cell in self._iter_items():
+            if col < len(values) and values[col]:
+                result.add(row, cell * values[col])
+        return result
+
+    def to_rows(self) -> list[list[float]]:
+        """Materialise the matrix as a ragged list of row lists.
+
+        Row ``r`` is ``get_row(r).to_list()`` — its length is its own
+        highest populated column + 1, so sparse tails are not padded.
+        """
+        return [self.get_row(r).to_list() for r in range(self.num_rows())]
+
+    def num_rows(self) -> int:
+        """1 + the highest populated row index (0 when empty)."""
+        rows = [key[0] for key, _ in self._iter_items()]
+        return max(rows) + 1 if rows else 0
+
+    def num_cols(self) -> int:
+        """1 + the highest populated column index (0 when empty)."""
+        cols = [key[1] for key, _ in self._iter_items()]
+        return max(cols) + 1 if cols else 0
+
+    def nnz(self) -> int:
+        """Number of explicitly stored (non-zero) cells."""
+        return self.entry_count()
+
+    def __repr__(self) -> str:
+        return (
+            f"Matrix(nnz={len(self._cells)}, axis={self.partition_axis!r},"
+            f" dirty={self.dirty_size})"
+        )
+
+
+class DenseMatrix(StateElement):
+    """A dense, fixed-shape 2-D matrix SE.
+
+    Suited to small fully-populated state (e.g. model weights); every
+    cell within the declared shape is stored explicitly.
+    """
+
+    BYTES_PER_ENTRY = 8
+
+    def __init__(self, n_rows: int, n_cols: int,
+                 partition_axis: str = "row") -> None:
+        super().__init__()
+        if n_rows < 0 or n_cols < 0:
+            raise StateError("matrix dimensions must be non-negative")
+        if partition_axis not in _AXES:
+            raise StateError(
+                f"partition_axis must be one of {_AXES}, got {partition_axis!r}"
+            )
+        self.partition_axis = partition_axis
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._data = [[0.0] * n_cols for _ in range(n_rows)]
+
+    # -- storage hooks -------------------------------------------------
+
+    def _check_key(self, key: Hashable) -> tuple[int, int]:
+        if not isinstance(key, tuple) or len(key) != 2:
+            raise StateError(f"dense matrix key must be (row, col): {key!r}")
+        row, col = key
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise StateError(
+                f"index ({row}, {col}) out of bounds for "
+                f"{self.n_rows}x{self.n_cols} matrix"
+            )
+        return row, col
+
+    def _store_get(self, key: Hashable) -> float:
+        row, col = self._check_key(key)
+        return self._data[row][col]
+
+    def _store_set(self, key: Hashable, value: Any) -> None:
+        row, col = self._check_key(key)
+        self._data[row][col] = float(value)
+
+    def _store_delete(self, key: Hashable) -> None:
+        row, col = self._check_key(key)
+        self._data[row][col] = 0.0
+
+    def _store_contains(self, key: Hashable) -> bool:
+        row, col = self._check_key(key)
+        return True
+
+    def _store_items(self) -> Iterator[tuple[tuple[int, int], float]]:
+        for row in range(self.n_rows):
+            for col in range(self.n_cols):
+                yield (row, col), self._data[row][col]
+
+    def _store_clear(self) -> None:
+        self._data = [[0.0] * self.n_cols for _ in range(self.n_rows)]
+
+    def spawn_empty(self) -> "DenseMatrix":
+        return DenseMatrix(self.n_rows, self.n_cols,
+                           partition_axis=self.partition_axis)
+
+    def partition_key(self, key: Hashable) -> Hashable:
+        row, col = key  # type: ignore[misc]
+        return row if self.partition_axis == "row" else col
+
+    def chunk_meta(self) -> dict[str, Any]:
+        return {"n_rows": self.n_rows, "n_cols": self.n_cols}
+
+    # -- domain API ----------------------------------------------------
+
+    def get_element(self, row: int, col: int) -> float:
+        return self._get((row, col))
+
+    def set_element(self, row: int, col: int, value: float) -> None:
+        self._set((row, col), value)
+
+    def add_element(self, row: int, col: int, delta: float) -> float:
+        value = self.get_element(row, col) + delta
+        self.set_element(row, col, value)
+        return value
+
+    def get_row(self, row: int) -> Vector:
+        return Vector(values=[self.get_element(row, c)
+                              for c in range(self.n_cols)])
+
+    def to_rows(self) -> list[list[float]]:
+        """Materialise as a dense list of row lists (shape-complete)."""
+        return [self.get_row(row).to_list()
+                for row in range(self.n_rows)]
+
+    def multiply(self, vector: Vector) -> Vector:
+        values = vector.to_list()
+        result = Vector(size=self.n_rows)
+        for row in range(self.n_rows):
+            total = 0.0
+            for col in range(min(self.n_cols, len(values))):
+                if values[col]:
+                    total += self.get_element(row, col) * values[col]
+            result.set(row, total)
+        return result
+
+    def __repr__(self) -> str:
+        return f"DenseMatrix({self.n_rows}x{self.n_cols})"

@@ -1,0 +1,24 @@
+"""py2sdg: static translation of annotated imperative programs to SDGs.
+
+This is the Python analogue of the paper's ``java2sdg`` tool (Fig. 3).
+The pipeline mirrors the paper's stages:
+
+1. the class source is parsed to an AST (the paper's Jimple IR);
+2. SE extraction — annotated ``Partitioned``/``Partial`` fields (step 2);
+3. SE-access extraction and classification: local / partitioned /
+   global (step 3);
+4. TE extraction — statements are grouped into task elements, cut at
+   every change of accessed SE or access type, with dataflow dispatch
+   semantics chosen from the type of state access (step 4, rules 1-5);
+5. live-variable analysis determines which variables travel on each
+   dataflow edge (step 5);
+6-8. code generation — each TE's statements are rewritten (state-field
+   accesses become runtime state accesses, helper calls are redirected,
+   ``@Global`` markers are unwrapped, ``@Collection`` merges become
+   gather inputs) and compiled to task functions, and data dispatching
+   is attached to the edges.
+"""
+
+from repro.translate.builder import TranslationResult, translate
+
+__all__ = ["TranslationResult", "translate"]

@@ -1,0 +1,232 @@
+"""State-access extraction and classification (Fig. 3, step 3).
+
+For every statement of an entry method we determine which annotated
+state fields it touches and how:
+
+* ``self.field`` on a ``Partitioned`` field → *partitioned* access
+  (through the field's declared key);
+* ``self.field`` on a ``Partial`` field → *local* access (one replica);
+* ``global_(self.field)`` → *global* access (all replicas — becomes a
+  one-to-all broadcast);
+* ``self.method(collection(var))`` → a *merge* call (becomes a merge TE
+  behind an all-to-one barrier).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.core.elements import AccessMode, StateKind
+from repro.errors import TranslationError
+
+_GLOBAL_MARKERS = {"global_"}
+_COLLECTION_MARKERS = {"collection"}
+
+
+@dataclass(frozen=True)
+class StateAccess:
+    """One classified access of a statement to a state field."""
+
+    field: str
+    mode: AccessMode
+    key: str | None = None  # declared partition-key variable name
+
+
+@dataclass(frozen=True)
+class MergeCall:
+    """A ``self.method(collection(var))`` merge invocation."""
+
+    method: str
+    collection_var: str
+
+
+@dataclass
+class StatementInfo:
+    """Everything the splitter needs to know about one statement."""
+
+    accesses: list[StateAccess]
+    merge: MergeCall | None
+    helper_calls: list[str]
+
+
+def _marker_name(func: ast.expr) -> str | None:
+    """The bare name of a marker call (``global_`` / ``collection``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_field(node: ast.expr) -> str | None:
+    """``self.<field>`` → field name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Walks one statement collecting classified state accesses."""
+
+    def __init__(self, fields: dict) -> None:
+        self.fields = fields  # name -> StateField descriptor
+        self.accesses: list[StateAccess] = []
+        self.merge: MergeCall | None = None
+        self.helper_calls: list[str] = []
+        self._lineno: int | None = None
+
+    # -- call handling -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        marker = _marker_name(node.func)
+        if marker in _GLOBAL_MARKERS:
+            self._handle_global(node)
+            return
+        if marker in _COLLECTION_MARKERS:
+            raise TranslationError(
+                "collection(...) may only appear as the sole argument of "
+                "a merge method call: self.<merge>(collection(var))",
+                lineno=node.lineno,
+            )
+        field = _self_field(node.func)
+        if field is not None and field not in self.fields:
+            # self.method(...) — helper or merge call.
+            if self._is_merge_call(node):
+                self._handle_merge(node, field)
+                return
+            self.helper_calls.append(field)
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+            return
+        self.generic_visit(node)
+
+    def _is_merge_call(self, node: ast.Call) -> bool:
+        return any(
+            isinstance(arg, ast.Call)
+            and _marker_name(arg.func) in _COLLECTION_MARKERS
+            for arg in node.args
+        )
+
+    def _handle_merge(self, node: ast.Call, method: str) -> None:
+        if self.merge is not None:
+            raise TranslationError(
+                "at most one merge call per statement", lineno=node.lineno
+            )
+        if node.keywords or not node.args:
+            raise TranslationError(
+                f"merge call self.{method}(...) must use positional "
+                f"arguments, collection(...) first", lineno=node.lineno
+            )
+        inner = node.args[0]
+        if not (isinstance(inner, ast.Call)
+                and _marker_name(inner.func) in _COLLECTION_MARKERS):
+            raise TranslationError(
+                f"merge call self.{method}(...) must take the "
+                f"collection(...) expression as its first argument",
+                lineno=node.lineno,
+            )
+        for extra in node.args[1:]:
+            if any(
+                isinstance(sub, ast.Call)
+                and _marker_name(sub.func) in _COLLECTION_MARKERS
+                for sub in ast.walk(extra)
+            ):
+                raise TranslationError(
+                    "only the first merge argument may be a "
+                    "collection(...)", lineno=node.lineno,
+                )
+        if len(inner.args) != 1 or not isinstance(inner.args[0], ast.Name):
+            raise TranslationError(
+                "collection(...) must wrap a single local variable",
+                lineno=node.lineno,
+            )
+        self.merge = MergeCall(method=method,
+                               collection_var=inner.args[0].id)
+        # Extra (single-valued) arguments are ordinary expressions:
+        # visit them so their own accesses/uses are observed.
+        for extra in node.args[1:]:
+            self.visit(extra)
+
+    def _handle_global(self, node: ast.Call) -> None:
+        if len(node.args) != 1:
+            raise TranslationError(
+                "global_(...) takes exactly one state field",
+                lineno=node.lineno,
+            )
+        field = _self_field(node.args[0])
+        if field is None or field not in self.fields:
+            raise TranslationError(
+                "global_(...) must wrap an annotated state field "
+                "(global_(self.<field>))", lineno=node.lineno,
+            )
+        descriptor = self.fields[field]
+        if descriptor.kind is not StateKind.PARTIAL:
+            raise TranslationError(
+                f"global_ access requires a Partial field; "
+                f"{field!r} is {descriptor.kind.value}",
+                lineno=node.lineno,
+            )
+        self.accesses.append(
+            StateAccess(field=field, mode=AccessMode.GLOBAL)
+        )
+
+    # -- plain field access ---------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        field = _self_field(node)
+        if field is None:
+            self.generic_visit(node)
+            return
+        if field not in self.fields:
+            raise TranslationError(
+                f"self.{field} is not an annotated state field or a "
+                f"method; all program state must use explicit state "
+                f"classes (§4.1)", lineno=node.lineno,
+            )
+        descriptor = self.fields[field]
+        if descriptor.kind is StateKind.PARTITIONED:
+            self.accesses.append(
+                StateAccess(field=field, mode=AccessMode.PARTITIONED,
+                            key=descriptor.key)
+            )
+        else:
+            self.accesses.append(
+                StateAccess(field=field, mode=AccessMode.LOCAL)
+            )
+
+
+def analyse_statement(stmt: ast.stmt, fields: dict) -> StatementInfo:
+    """Classify one statement's state accesses (deduplicated)."""
+    collector = _AccessCollector(fields)
+    collector.visit(stmt)
+    unique: list[StateAccess] = []
+    for access in collector.accesses:
+        if access not in unique:
+            unique.append(access)
+    touched = {a.field for a in unique}
+    if len(touched) > 1:
+        raise TranslationError(
+            f"statement accesses multiple state elements "
+            f"({sorted(touched)}); each task element may access only one "
+            f"SE — split the statement", lineno=stmt.lineno,
+        )
+    modes = {a.mode for a in unique}
+    if len(modes) > 1:
+        raise TranslationError(
+            f"statement mixes access modes "
+            f"({sorted(m.value for m in modes)}) on "
+            f"{next(iter(touched))!r}; split the statement",
+            lineno=stmt.lineno,
+        )
+    return StatementInfo(
+        accesses=unique,
+        merge=collector.merge,
+        helper_calls=collector.helper_calls,
+    )

@@ -1,0 +1,293 @@
+"""TE code assembly and SE-access translation (Fig. 3, steps 6-8).
+
+Each TE block is rewritten and compiled into a task function with the
+runtime's calling convention ``fn(ctx, item)``:
+
+* the prologue unpacks the live-in variables from the incoming item
+  (for merge TEs: from the gathered list of per-instance items);
+* ``self.<field>`` accesses to the block's SE become accesses to the
+  co-located SE instance (``ctx.state``) — the paper's "state accesses
+  ... are translated to invocations of the runtime system";
+* ``global_(self.<field>)`` markers are unwrapped: the *broadcast* edge
+  realises the global semantics, each instance simply computes on its
+  local replica;
+* ``self.<helper>(...)`` calls are redirected to compiled, state-free
+  helper functions;
+* the epilogue returns the live-out tuple for the successor TE (or the
+  method's return value in the final TE).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable
+
+from repro.errors import TranslationError
+from repro.translate.accesses import MergeCall, _marker_name, _self_field
+from repro.translate.splitter import Block
+
+_ITEM = "_sdg_item"
+_STATE = "_sdg_state"
+_HELPER_PREFIX = "_sdg_helper_"
+
+
+class _Rewriter(ast.NodeTransformer):
+    """Rewrites one block's statements for execution inside a TE."""
+
+    def __init__(self, se_field: str | None, helper_names: set[str],
+                 merge: MergeCall | None) -> None:
+        self.se_field = se_field
+        self.helper_names = helper_names
+        self.merge = merge
+
+    def visit_Call(self, node: ast.Call):
+        marker = _marker_name(node.func)
+        if marker == "global_":
+            # The broadcast already reached this instance: global access
+            # degenerates to local access on the replica.
+            inner = node.args[0]
+            field = _self_field(inner)
+            if field != self.se_field:
+                raise TranslationError(
+                    f"global_ access to {field!r} inside a TE bound to "
+                    f"{self.se_field!r}", lineno=node.lineno,
+                )
+            return ast.copy_location(
+                ast.Name(id=_STATE, ctx=ast.Load()), node
+            )
+        method = _self_field(node.func)
+        if method is not None and method in self.helper_names:
+            if (
+                self.merge is not None
+                and method == self.merge.method
+                and any(
+                    isinstance(arg, ast.Call)
+                    and _marker_name(arg.func) == "collection"
+                    for arg in node.args
+                )
+            ):
+                # self.merge(collection(v), extra...) ->
+                # _sdg_helper_merge(v, extra...); the prologue has
+                # already bound v to the gathered list, and extras are
+                # ordinary single-valued expressions.
+                return ast.copy_location(
+                    ast.Call(
+                        func=ast.Name(id=_HELPER_PREFIX + method,
+                                      ctx=ast.Load()),
+                        args=[ast.Name(id=self.merge.collection_var,
+                                       ctx=ast.Load())]
+                        + [self.visit(arg) for arg in node.args[1:]],
+                        keywords=[],
+                    ),
+                    node,
+                )
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Name(id=_HELPER_PREFIX + method,
+                                  ctx=ast.Load()),
+                    args=[self.visit(arg) for arg in node.args],
+                    keywords=[
+                        ast.keyword(arg=kw.arg, value=self.visit(kw.value))
+                        for kw in node.keywords
+                    ],
+                ),
+                node,
+            )
+        return self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute):
+        field = _self_field(node)
+        if field is None:
+            return self.generic_visit(node)
+        if field == self.se_field:
+            return ast.copy_location(
+                ast.Name(id=_STATE, ctx=ast.Load()), node
+            )
+        raise TranslationError(
+            f"self.{field} cannot be used here: a task element accesses "
+            f"at most one state element"
+            + (f" (this one is bound to {self.se_field!r})"
+               if self.se_field else " (this one is stateless)"),
+            lineno=node.lineno,
+        )
+
+
+def _unpack_prologue(live_in: list[str]) -> list[ast.stmt]:
+    """``(a, b) = _sdg_item`` (or ``a = _sdg_item`` for one variable)."""
+    if not live_in:
+        return []
+    if len(live_in) == 1:
+        target: ast.expr = ast.Name(id=live_in[0], ctx=ast.Store())
+    else:
+        target = ast.Tuple(
+            elts=[ast.Name(id=name, ctx=ast.Store()) for name in live_in],
+            ctx=ast.Store(),
+        )
+    return [ast.Assign(targets=[target],
+                       value=ast.Name(id=_ITEM, ctx=ast.Load()))]
+
+
+def _merge_prologue(live_in: list[str],
+                    collection_var: str) -> list[ast.stmt]:
+    """Unpack a gathered list of per-instance items.
+
+    The collection variable becomes the list of per-instance values;
+    any other live variable is single-valued (§4.1 side-effect-free
+    parallelism) and is taken from the first gathered item.
+    """
+    statements: list[ast.stmt] = []
+    if collection_var not in live_in:
+        raise TranslationError(
+            f"collection variable {collection_var!r} is not live into "
+            f"the merge task element"
+        )
+    if len(live_in) == 1:
+        # _item is already the list of bare values.
+        statements.append(ast.Assign(
+            targets=[ast.Name(id=collection_var, ctx=ast.Store())],
+            value=ast.Call(func=ast.Name(id="list", ctx=ast.Load()),
+                           args=[ast.Name(id=_ITEM, ctx=ast.Load())],
+                           keywords=[]),
+        ))
+        return statements
+    for position, name in enumerate(live_in):
+        index = ast.Constant(value=position)
+        if name == collection_var:
+            # name = [t[position] for t in _sdg_item]
+            value: ast.expr = ast.ListComp(
+                elt=ast.Subscript(
+                    value=ast.Name(id="_sdg_t", ctx=ast.Load()),
+                    slice=index, ctx=ast.Load(),
+                ),
+                generators=[ast.comprehension(
+                    target=ast.Name(id="_sdg_t", ctx=ast.Store()),
+                    iter=ast.Name(id=_ITEM, ctx=ast.Load()),
+                    ifs=[], is_async=0,
+                )],
+            )
+        else:
+            # name = _sdg_item[0][position]  (single-valued)
+            value = ast.Subscript(
+                value=ast.Subscript(
+                    value=ast.Name(id=_ITEM, ctx=ast.Load()),
+                    slice=ast.Constant(value=0), ctx=ast.Load(),
+                ),
+                slice=index, ctx=ast.Load(),
+            )
+        statements.append(ast.Assign(
+            targets=[ast.Name(id=name, ctx=ast.Store())], value=value
+        ))
+    return statements
+
+
+def _epilogue(live_out: list[str]) -> list[ast.stmt]:
+    """``return (x, y)`` carrying the successor's live-in variables.
+
+    An empty live-out still returns ``()`` — a token must flow so the
+    successor TE is triggered.
+    """
+    if not live_out:
+        value: ast.expr = ast.Tuple(elts=[], ctx=ast.Load())
+    elif len(live_out) == 1:
+        value = ast.Name(id=live_out[0], ctx=ast.Load())
+    else:
+        value = ast.Tuple(
+            elts=[ast.Name(id=name, ctx=ast.Load()) for name in live_out],
+            ctx=ast.Load(),
+        )
+    return [ast.Return(value=value)]
+
+
+def compile_block(
+    block: Block,
+    te_name: str,
+    live_in: list[str],
+    live_out: list[str] | None,
+    namespace: dict[str, Any],
+) -> Callable:
+    """Compile one TE block into a task function ``fn(ctx, item)``.
+
+    ``live_out`` is the successor's live-in list, or ``None`` for the
+    method's final block (whose own ``return`` statements, if any,
+    become the TE's terminal output).
+    """
+    se_field = block.access.field if block.access is not None else None
+    rewriter = _Rewriter(se_field=se_field,
+                         helper_names={
+                             name[len(_HELPER_PREFIX):]
+                             for name in namespace
+                             if name.startswith(_HELPER_PREFIX)
+                         },
+                         merge=block.merge)
+    body: list[ast.stmt] = []
+    if block.is_merge:
+        body.extend(_merge_prologue(live_in, block.merge.collection_var))
+    else:
+        body.extend(_unpack_prologue(live_in))
+    if se_field is not None:
+        body.append(ast.Assign(
+            targets=[ast.Name(id=_STATE, ctx=ast.Store())],
+            value=ast.Attribute(
+                value=ast.Name(id="ctx", ctx=ast.Load()),
+                attr="state", ctx=ast.Load(),
+            ),
+        ))
+    for stmt in block.statements:
+        body.append(rewriter.visit(stmt))
+    if live_out is not None:
+        body.extend(_epilogue(live_out))
+    if not body:
+        body.append(ast.Pass())
+
+    fn_def = ast.FunctionDef(
+        name=te_name.replace(".", "_"),
+        args=ast.arguments(
+            posonlyargs=[],
+            args=[ast.arg(arg="ctx"), ast.arg(arg=_ITEM)],
+            kwonlyargs=[], kw_defaults=[], defaults=[],
+        ),
+        body=body, decorator_list=[],
+    )
+    return _compile_fn(fn_def, te_name, namespace)
+
+
+def compile_helper(fn_ast: ast.FunctionDef, helper_names: set[str],
+                   namespace: dict[str, Any]) -> Callable:
+    """Compile a state-free helper method to a plain function.
+
+    The ``self`` parameter is dropped; nested helper calls are
+    redirected; any state-field access is a translation error (helpers
+    run inside arbitrary TEs and have no state access edge).
+    """
+    rewriter = _Rewriter(se_field=None, helper_names=helper_names,
+                         merge=None)
+    args = fn_ast.args
+    if not args.args or args.args[0].arg != "self":
+        raise TranslationError(
+            f"helper method {fn_ast.name!r} must take self first",
+            lineno=fn_ast.lineno,
+        )
+    new_args = ast.arguments(
+        posonlyargs=list(args.posonlyargs),
+        args=list(args.args[1:]),
+        vararg=args.vararg,
+        kwonlyargs=list(args.kwonlyargs),
+        kw_defaults=list(args.kw_defaults),
+        kwarg=args.kwarg,
+        defaults=list(args.defaults),
+    )
+    body = [rewriter.visit(stmt) for stmt in fn_ast.body]
+    fn_def = ast.FunctionDef(
+        name=_HELPER_PREFIX + fn_ast.name,
+        args=new_args, body=body, decorator_list=[],
+    )
+    return _compile_fn(fn_def, _HELPER_PREFIX + fn_ast.name, namespace)
+
+
+def _compile_fn(fn_def: ast.FunctionDef, name: str,
+                namespace: dict[str, Any]) -> Callable:
+    module = ast.Module(body=[fn_def], type_ignores=[])
+    ast.fix_missing_locations(module)
+    code = compile(module, filename=f"<py2sdg:{name}>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - code generated from user program
+    return namespace[fn_def.name]

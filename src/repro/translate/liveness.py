@@ -1,0 +1,171 @@
+"""Live-variable analysis over TE blocks (Fig. 3, step 5).
+
+For each dataflow edge between two generated TEs we must know which
+local variables travel with it: the variables *live into* the downstream
+block (used there, or further downstream, before being redefined) that
+are *available* upstream (method parameters or earlier definitions).
+
+The analysis is statement-ordered: a statement's *uses* are the names it
+loads before (possibly) defining them locally, so ``x = x + 1`` uses and
+defines ``x`` while ``x = 1; y = x`` only defines. Branches are handled
+conservatively for uses (union over branches) and optimistically for
+definitions (union), matching the paper's assumption of well-formed
+programs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def uses_defs(stmt: ast.stmt) -> tuple[set[str], set[str]]:
+    """Ordered use/def sets of one (possibly compound) statement."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    _visit(stmt, set(), uses, defs)
+    uses.discard("self")
+    defs.discard("self")
+    return uses, defs
+
+
+def _visit(node: ast.AST, defined: set[str], uses: set[str],
+           defs: set[str]) -> None:
+    """Walk ``node`` in execution order, updating the three sets.
+
+    ``defined`` tracks names already assigned on this path: loading a
+    name not yet in it counts as an upward-exposed use.
+    """
+    if isinstance(node, ast.Name):
+        if isinstance(node.ctx, ast.Load):
+            if node.id not in defined:
+                uses.add(node.id)
+        else:  # Store / Del
+            defined.add(node.id)
+            defs.add(node.id)
+        return
+    if isinstance(node, ast.Assign):
+        _visit(node.value, defined, uses, defs)
+        for target in node.targets:
+            _visit(target, defined, uses, defs)
+        return
+    if isinstance(node, ast.AnnAssign):
+        if node.value is not None:
+            _visit(node.value, defined, uses, defs)
+        _visit(node.target, defined, uses, defs)
+        return
+    if isinstance(node, ast.AugAssign):
+        # target is read-then-written.
+        read = ast.copy_location(
+            ast.Name(id=node.target.id, ctx=ast.Load()), node.target
+        ) if isinstance(node.target, ast.Name) else node.target
+        _visit(read, defined, uses, defs)
+        _visit(node.value, defined, uses, defs)
+        _visit(node.target, defined, uses, defs)
+        return
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        _visit(node.iter, defined, uses, defs)
+        _visit(node.target, defined, uses, defs)
+        for child in node.body:
+            _visit(child, defined, uses, defs)
+        for child in node.orelse:
+            _visit(child, defined, uses, defs)
+        return
+    if isinstance(node, ast.While):
+        _visit(node.test, defined, uses, defs)
+        for child in node.body:
+            _visit(child, defined, uses, defs)
+        for child in node.orelse:
+            _visit(child, defined, uses, defs)
+        return
+    if isinstance(node, ast.If):
+        _visit(node.test, defined, uses, defs)
+        branch_defined: list[set[str]] = []
+        for branch in (node.body, node.orelse):
+            local = set(defined)
+            for child in branch:
+                _visit(child, local, uses, defs)
+            branch_defined.append(local)
+        # Optimistic: a name defined in any branch is available after.
+        defined |= branch_defined[0] | branch_defined[1]
+        return
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        # Comprehension targets are scoped to the comprehension: they
+        # neither define names for the block nor count as uses.
+        local = set(defined)
+        scoped_defs: set[str] = set()
+        for gen in node.generators:
+            _visit(gen.iter, local, uses, scoped_defs)
+            _visit(gen.target, local, uses, scoped_defs)
+            for cond in gen.ifs:
+                _visit(cond, local, uses, scoped_defs)
+        _visit(node.elt, local, uses, scoped_defs)
+        return
+    if isinstance(node, ast.DictComp):
+        local = set(defined)
+        scoped_defs = set()
+        for gen in node.generators:
+            _visit(gen.iter, local, uses, scoped_defs)
+            _visit(gen.target, local, uses, scoped_defs)
+            for cond in gen.ifs:
+                _visit(cond, local, uses, scoped_defs)
+        _visit(node.key, local, uses, scoped_defs)
+        _visit(node.value, local, uses, scoped_defs)
+        return
+    if isinstance(node, ast.Lambda):
+        local = set(defined)
+        scoped_defs = set()
+        for arg in (node.args.args + node.args.posonlyargs
+                    + node.args.kwonlyargs):
+            local.add(arg.arg)
+        _visit(node.body, local, uses, scoped_defs)
+        return
+    if isinstance(node, ast.Attribute):
+        _visit(node.value, defined, uses, defs)
+        return
+    for child in ast.iter_child_nodes(node):
+        _visit(child, defined, uses, defs)
+
+
+def block_uses_defs(
+    statements: list[ast.stmt],
+) -> tuple[set[str], set[str]]:
+    """Ordered use/def sets of a statement block (a TE body)."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    defined: set[str] = set()
+    for stmt in statements:
+        stmt_uses, stmt_defs = uses_defs(stmt)
+        uses |= stmt_uses - defined
+        defined |= stmt_defs
+        defs |= stmt_defs
+    return uses, defs
+
+
+def live_ins(blocks: list[list[ast.stmt]],
+             params: list[str]) -> list[list[str]]:
+    """Per-block live-in variable lists (sorted, deterministic).
+
+    ``blocks[0]`` receives the method parameters; downstream blocks
+    receive only names that are live in (used at or after the block
+    before redefinition) *and* available (defined upstream or a
+    parameter). Names resolving to globals/builtins are excluded by the
+    availability filter.
+    """
+    n = len(blocks)
+    per_block = [block_uses_defs(block) for block in blocks]
+    live_after: set[str] = set()
+    live: list[set[str]] = [set()] * n
+    for i in range(n - 1, -1, -1):
+        uses, defs = per_block[i]
+        live[i] = uses | (live_after - defs)
+        live_after = live[i]
+
+    available = set(params)
+    result: list[list[str]] = []
+    for i in range(n):
+        if i == 0:
+            result.append(list(params))
+        else:
+            result.append(sorted(live[i] & available))
+        available |= per_block[i][1]
+    return result

@@ -1,0 +1,73 @@
+"""Static enforcement of the paper's §4.1 program restrictions.
+
+Beyond the structural rules (one SE per statement, merge-after-global),
+translated programs must be:
+
+* **deterministic** — replay-based recovery re-executes computation and
+  downstream duplicate filtering assumes identical outputs, so programs
+  "should not depend on system time or random input";
+* **location independent** — TEs migrate between nodes, so programs
+  "cannot make assumptions about the execution environment", e.g. local
+  files, sockets or environment variables.
+
+The checks are a conservative static scan over the method ASTs for
+calls into the offending modules/builtins. They are heuristic (Python
+cannot be fully sandboxed statically) but catch the realistic mistakes
+with actionable errors.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import TranslationError
+
+#: Module roots whose use breaks determinism (§4.1).
+_NONDETERMINISTIC_MODULES = frozenset({
+    "random", "secrets", "uuid", "time", "datetime",
+})
+
+#: Module roots whose use breaks location independence (§4.1).
+_ENVIRONMENT_MODULES = frozenset({
+    "os", "socket", "subprocess", "pathlib", "tempfile", "shutil",
+})
+
+#: Builtins that read the execution environment.
+_FORBIDDEN_BUILTINS = frozenset({"input", "open"})
+
+
+def _call_root(node: ast.Call) -> str | None:
+    """The leftmost name of a call target (``random.random`` → ``random``)."""
+    target = node.func
+    while isinstance(target, ast.Attribute):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def check_restrictions(fn: ast.FunctionDef, method: str) -> None:
+    """Scan one method for §4.1 violations; raise on the first."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        root = _call_root(node)
+        if root is None:
+            continue
+        if root in _NONDETERMINISTIC_MODULES:
+            raise TranslationError(
+                f"method {method!r} calls into {root!r}: translated "
+                f"programs must be deterministic — recovery re-executes "
+                f"computation and filters duplicates by identity (§4.1); "
+                f"pass randomness/timestamps in as entry arguments "
+                f"instead",
+                lineno=node.lineno,
+            )
+        if root in _ENVIRONMENT_MODULES or root in _FORBIDDEN_BUILTINS:
+            raise TranslationError(
+                f"method {method!r} calls into {root!r}: translated "
+                f"programs must be location independent — TEs run on "
+                f"(and migrate between) arbitrary nodes and cannot rely "
+                f"on local files, sockets or the OS environment (§4.1)",
+                lineno=node.lineno,
+            )

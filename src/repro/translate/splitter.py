@@ -1,0 +1,162 @@
+"""TE extraction: splitting a method into task-element blocks (step 4).
+
+A new TE starts (the paper's rules, §4.2):
+
+1. at each entry point of the class (the first block of every entry
+   method);
+2. when a statement uses partitioned access to a different SE than the
+   current block (or the same SE through a different key);
+3. when a statement uses global access to a partial SE;
+4. when a statement uses local access to a new partial SE (and local or
+   partitioned access *after* global access forces a barrier — here a
+   new block fed by the gathered dataflow);
+5. at a ``@Collection`` expression, which becomes a merge TE behind a
+   synchronisation barrier.
+
+Statements with no state access stay with the current block (they are
+pipelined with the preceding computation). Compound statements (loops,
+conditionals) are atomic: they must confine their state accesses to one
+SE, or translation fails with a request to restructure.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.core.elements import AccessMode
+from repro.errors import TranslationError
+from repro.translate.accesses import (
+    MergeCall,
+    StateAccess,
+    analyse_statement,
+)
+
+
+@dataclass
+class Block:
+    """A contiguous statement group that will become one TE."""
+
+    statements: list[ast.stmt] = field(default_factory=list)
+    access: StateAccess | None = None
+    merge: MergeCall | None = None
+    helper_calls: set[str] = field(default_factory=set)
+
+    @property
+    def is_merge(self) -> bool:
+        return self.merge is not None
+
+
+def split_method(fn: ast.FunctionDef, fields: dict) -> list[Block]:
+    """Split an entry method's body into TE blocks."""
+    blocks: list[Block] = [Block()]
+
+    def cut() -> Block:
+        block = Block()
+        blocks.append(block)
+        return block
+
+    for stmt in fn.body:
+        info = analyse_statement(stmt, fields)
+        current = blocks[-1]
+        if info.merge is not None:
+            if info.accesses:
+                raise TranslationError(
+                    "a merge statement must not also access state "
+                    "elements; split the statement", lineno=stmt.lineno,
+                )
+            target = cut() if current.statements else current
+            target.merge = info.merge
+            target.statements.append(stmt)
+            target.helper_calls.update(info.helper_calls)
+            target.helper_calls.add(info.merge.method)
+            continue
+        if info.accesses:
+            access = info.accesses[0]
+            if current.is_merge:
+                current = cut()
+            if current.access is None and not current.is_merge:
+                current.access = access
+                current.statements.append(stmt)
+            elif current.access == access:
+                current.statements.append(stmt)
+            else:
+                fresh = cut()
+                fresh.access = access
+                fresh.statements.append(stmt)
+                current = fresh
+            blocks[-1].helper_calls.update(info.helper_calls)
+            continue
+        current.statements.append(stmt)
+        current.helper_calls.update(info.helper_calls)
+
+    blocks = [b for b in blocks if b.statements]
+    if not blocks:
+        raise TranslationError(
+            f"entry method {fn.name!r} has an empty body",
+            lineno=fn.lineno,
+        )
+    _check_returns(fn, blocks)
+    _check_merge_preceded_by_global(fn, blocks)
+    _check_global_continuations(fn, blocks)
+    return blocks
+
+
+def _contains_return(statements: list[ast.stmt]) -> bool:
+    for stmt in statements:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Return):
+                return True
+    return False
+
+
+def _check_returns(fn: ast.FunctionDef, blocks: list[Block]) -> None:
+    for block in blocks[:-1]:
+        if _contains_return(block.statements):
+            raise TranslationError(
+                f"method {fn.name!r}: return statements are only allowed "
+                f"in the final task element of a method; restructure so "
+                f"the return follows all state accesses",
+                lineno=block.statements[0].lineno,
+            )
+
+
+def _check_global_continuations(fn: ast.FunctionDef,
+                                blocks: list[Block]) -> None:
+    """Rule 4 (§4.2): after global access, control must synchronise.
+
+    Every value computed under a ``global_`` access is multi-valued
+    (one per partial instance). Continuing into another state access
+    without reconciling would execute that access once *per instance*,
+    silently duplicating effects relative to the sequential program —
+    so the block after a global-access block must be a merge (the
+    all-to-one barrier), unless the global block ends the method.
+    """
+    for i, block in enumerate(blocks[:-1]):
+        if (
+            block.access is not None
+            and block.access.mode is AccessMode.GLOBAL
+            and not blocks[i + 1].is_merge
+        ):
+            raise TranslationError(
+                f"method {fn.name!r}: computation continues after a "
+                f"global_ access without reconciling the partial values; "
+                f"merge them with self.<method>(collection(var)) before "
+                f"further state access (§4.2 rule 4)",
+                lineno=blocks[i + 1].statements[0].lineno,
+            )
+
+
+def _check_merge_preceded_by_global(fn: ast.FunctionDef,
+                                    blocks: list[Block]) -> None:
+    for i, block in enumerate(blocks):
+        if not block.is_merge:
+            continue
+        if i == 0 or blocks[i - 1].access is None or (
+            blocks[i - 1].access.mode is not AccessMode.GLOBAL
+        ):
+            raise TranslationError(
+                f"method {fn.name!r}: collection(...) merges partial "
+                f"values and must directly follow a global_ state access",
+                lineno=block.statements[0].lineno,
+            )

@@ -1,0 +1,25 @@
+"""Synthetic workload generators.
+
+The paper evaluates on the Netflix ratings dataset, a Wikipedia text
+dump, Spark's 100 GB LR dataset and synthetic KV request streams. None
+of those are redistributable here, so deterministic generators produce
+streams with the statistics the experiments depend on: Zipf-skewed
+user/item popularity for CF, Zipf word frequencies for wordcount,
+configurable read/write mixes for the KV store, and labelled Gaussian
+feature vectors for logistic regression. All generators take explicit
+seeds and are reproducible run-to-run.
+"""
+
+from repro.workloads.kv import KVWorkload
+from repro.workloads.points import LabelledPoints
+from repro.workloads.ratings import RatingsWorkload
+from repro.workloads.text import TextWorkload
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "KVWorkload",
+    "LabelledPoints",
+    "RatingsWorkload",
+    "TextWorkload",
+    "ZipfSampler",
+]

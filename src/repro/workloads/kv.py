@@ -1,0 +1,64 @@
+"""Key/value request workload (§6.1 state-size experiments).
+
+Generates put/get streams over a configurable key space. Keys can be
+drawn uniformly (pure state growth, as in Fig. 6/7 where every request
+updates a distinct dictionary key) or with Zipf skew (hot keys, useful
+for straggler and partitioning experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class KVOp:
+    kind: str  # "put" | "get"
+    key: str
+    value: int | None = None
+
+
+class KVWorkload:
+    """A deterministic stream of KV operations."""
+
+    def __init__(self, n_keys: int = 10_000, read_fraction: float = 0.0,
+                 skew: float | None = None, seed: int = 11) -> None:
+        if not 0 <= read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.n_keys = n_keys
+        self.read_fraction = read_fraction
+        self._rng = random.Random(seed)
+        self._sampler = (
+            ZipfSampler(n_keys, s=skew, seed=seed + 1)
+            if skew is not None else None
+        )
+
+    def _key(self) -> str:
+        if self._sampler is not None:
+            return f"key{self._sampler.sample()}"
+        return f"key{self._rng.randrange(self.n_keys)}"
+
+    def ops(self, count: int) -> Iterator[KVOp]:
+        for _ in range(count):
+            key = self._key()
+            if self._rng.random() < self.read_fraction:
+                yield KVOp(kind="get", key=key)
+            else:
+                yield KVOp(kind="put", key=key,
+                           value=self._rng.randrange(1_000_000))
+
+    def apply_to(self, app, count: int) -> tuple[int, int]:
+        """Drive a :class:`~repro.apps.kvstore.KeyValueStore` program."""
+        writes = reads = 0
+        for op in self.ops(count):
+            if op.kind == "put":
+                app.put(op.key, op.value)
+                writes += 1
+            else:
+                app.get(op.key)
+                reads += 1
+        return writes, reads

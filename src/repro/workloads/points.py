@@ -1,0 +1,54 @@
+"""Labelled feature-vector workload for logistic regression (§6.2).
+
+Generates two Gaussian clusters separated by a configurable margin
+along a random hyperplane — the standard synthetic stand-in for the
+100 GB LR dataset shipped with Spark's release that the paper used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+class LabelledPoints:
+    """A deterministic stream of ``(features, label)`` pairs."""
+
+    def __init__(self, dimensions: int = 10, margin: float = 1.0,
+                 noise: float = 0.5, seed: int = 3) -> None:
+        if dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        self.dimensions = dimensions
+        self.margin = margin
+        self.noise = noise
+        self._rng = random.Random(seed)
+        # A fixed random separating direction (unit-ish vector).
+        self._direction = [
+            self._rng.uniform(-1, 1) for _ in range(dimensions)
+        ]
+        norm = sum(d * d for d in self._direction) ** 0.5
+        self._direction = [d / norm for d in self._direction]
+
+    def points(self, count: int) -> Iterator[tuple[list[float], int]]:
+        """``count`` labelled points; features include a bias term."""
+        for _ in range(count):
+            label = self._rng.randint(0, 1)
+            sign = 1.0 if label else -1.0
+            features = [1.0]  # bias
+            for direction in self._direction:
+                features.append(
+                    sign * self.margin * direction
+                    + self._rng.gauss(0, self.noise)
+                )
+            yield features, label
+
+    def accuracy_of(self, predict, sample: int = 500) -> float:
+        """Fraction of a fresh sample classified correctly by
+        ``predict(features) -> probability``."""
+        correct = 0
+        total = 0
+        for features, label in self.points(sample):
+            total += 1
+            if (predict(features) > 0.5) == bool(label):
+                correct += 1
+        return correct / total

@@ -1,0 +1,68 @@
+"""Netflix-style ratings workload for collaborative filtering (§6.1).
+
+Generates an online mix of ``add_rating`` and ``get_rec`` operations
+with Zipf-skewed user and item popularity, parameterised by the
+read/write ratio that Fig. 5 sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class RatingOp:
+    """One CF operation: a rating write or a recommendation read."""
+
+    kind: str  # "add_rating" | "get_rec"
+    user: int
+    item: int | None = None
+    rating: int | None = None
+
+
+class RatingsWorkload:
+    """A deterministic stream of CF operations."""
+
+    def __init__(self, n_users: int = 1000, n_items: int = 500,
+                 read_fraction: float = 0.2, skew: float = 0.8,
+                 seed: int = 42) -> None:
+        if not 0 <= read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.n_users = n_users
+        self.n_items = n_items
+        self.read_fraction = read_fraction
+        self._users = ZipfSampler(n_users, s=skew, seed=seed)
+        self._items = ZipfSampler(n_items, s=skew, seed=seed + 1)
+        self._rng = random.Random(seed + 2)
+
+    def ops(self, count: int) -> Iterator[RatingOp]:
+        """Generate ``count`` operations at the configured mix."""
+        for _ in range(count):
+            user = self._users.sample()
+            if self._rng.random() < self.read_fraction:
+                yield RatingOp(kind="get_rec", user=user)
+            else:
+                yield RatingOp(
+                    kind="add_rating", user=user,
+                    item=self._items.sample(),
+                    rating=self._rng.randint(1, 5),
+                )
+
+    def apply_to(self, app, count: int) -> tuple[int, int]:
+        """Drive a :class:`~repro.program.BoundProgram` CF instance.
+
+        Returns ``(writes, reads)`` issued.
+        """
+        writes = reads = 0
+        for op in self.ops(count):
+            if op.kind == "add_rating":
+                app.add_rating(op.user, op.item, op.rating)
+                writes += 1
+            else:
+                app.get_rec(op.user)
+                reads += 1
+        return writes, reads

@@ -1,0 +1,44 @@
+"""Wikipedia-style text workload for streaming wordcount (§6.1).
+
+Generates timestamped lines whose word frequencies follow a Zipf law,
+matching the statistics that matter for the update-granularity
+experiment: a small hot vocabulary receiving very frequent fine-grained
+counter updates, and a long tail of rare words growing the state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.workloads.zipf import ZipfSampler
+
+
+class TextWorkload:
+    """A deterministic stream of ``(timestamp, line)`` pairs."""
+
+    def __init__(self, vocabulary: int = 5000, words_per_line: int = 8,
+                 skew: float = 1.0, inter_arrival: int = 1,
+                 seed: int = 7) -> None:
+        if vocabulary < 1 or words_per_line < 1 or inter_arrival < 1:
+            raise ValueError("workload parameters must be >= 1")
+        self.vocabulary = vocabulary
+        self.words_per_line = words_per_line
+        self.inter_arrival = inter_arrival
+        self._sampler = ZipfSampler(vocabulary, s=skew, seed=seed)
+        self._rng = random.Random(seed + 1)
+
+    @staticmethod
+    def word(rank: int) -> str:
+        return f"w{rank}"
+
+    def lines(self, count: int) -> Iterator[tuple[int, str]]:
+        """``count`` timestamped lines with Zipf-distributed words."""
+        timestamp = 0
+        for _ in range(count):
+            words = [
+                self.word(self._sampler.sample())
+                for _ in range(self.words_per_line)
+            ]
+            yield (timestamp, " ".join(words))
+            timestamp += self.inter_arrival

@@ -1,0 +1,46 @@
+"""Zipf-distributed sampling shared by the workload generators.
+
+Both user/item popularity (ratings) and word frequency (text) are
+heavy-tailed; a Zipf law with exponent ``s`` around 1 matches the real
+datasets the paper used closely enough for the experiments' purposes
+(skewed key popularity, hot partitions, co-occurrence density).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with probability ∝ 1/(rank+1)^s."""
+
+    def __init__(self, n: int, s: float = 1.0, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError(f"population must be >= 1, got {n}")
+        if s < 0:
+            raise ValueError(f"exponent must be >= 0, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = 0.0
+        self._cumulative: list[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self) -> int:
+        """One rank, skew-weighted."""
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank``."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank {rank} out of range")
+        return (1.0 / (rank + 1) ** self.s) / self._total

@@ -1,0 +1,137 @@
+"""Tests for the streaming k-means application."""
+
+import random
+
+import pytest
+
+from repro.apps import KMeans
+from repro.core import AccessMode
+
+
+def make_clusters(seed=5, per_cluster=60):
+    """Three well-separated 2-D Gaussian blobs."""
+    rng = random.Random(seed)
+    centres = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]
+    points = []
+    for cx, cy in centres:
+        for _ in range(per_cluster):
+            points.append([cx + rng.gauss(0, 0.5),
+                           cy + rng.gauss(0, 0.5)])
+    rng.shuffle(points)
+    return centres, points
+
+
+def nearest(centroids, point):
+    return min(
+        range(len(centroids)),
+        key=lambda c: sum((a - b) ** 2
+                          for a, b in zip(centroids[c], point)),
+    )
+
+
+class TestTranslationStructure:
+    def test_entries_and_modes(self):
+        result = KMeans.translate()
+        init = result.sdg.task(result.entry_info("init_centroid").entry_te)
+        assert init.access is AccessMode.GLOBAL  # broadcast write
+        observe = result.sdg.task(result.entry_info("observe").entry_te)
+        assert observe.access is AccessMode.LOCAL
+        read = result.entry_info("get_centroids")
+        assert len(read.te_names) == 2
+        assert result.sdg.task(read.te_names[1]).is_merge
+
+    def test_single_state_element(self):
+        result = KMeans.translate()
+        assert list(result.sdg.states) == ["accumulators"]
+
+
+class TestSequentialClustering:
+    def test_recovers_cluster_centres(self):
+        centres, points = make_clusters()
+        model = KMeans()
+        for cid, centre in enumerate(centres):
+            model.init_centroid(cid, list(centre))
+        for point in points:
+            model.observe(point)
+        centroids = model.get_centroids()
+        assert len(centroids) == 3
+        for cid, centre in enumerate(centres):
+            for got, want in zip(centroids[cid], centre):
+                assert got == pytest.approx(want, abs=0.6)
+
+
+class TestDistributedClustering:
+    @pytest.mark.parametrize("replicas", [1, 3])
+    def test_distributed_recovers_centres(self, replicas):
+        centres, points = make_clusters()
+        app = KMeans.launch(accumulators=replicas)
+        for cid, centre in enumerate(centres):
+            app.init_centroid(cid, list(centre))
+        app.run()
+        # Every replica received the broadcast seed.
+        for element in app.state_of("accumulators"):
+            assert element.num_rows() == 3
+        for point in points:
+            app.observe(point)
+        app.run()
+        app.get_centroids()
+        app.run()
+        centroids = app.results("get_centroids")[0]
+        for cid, centre in enumerate(centres):
+            for got, want in zip(centroids[cid], centre):
+                assert got == pytest.approx(want, abs=0.6)
+
+    def test_single_replica_matches_sequential(self):
+        centres, points = make_clusters(per_cluster=20)
+        seq = KMeans()
+        app = KMeans.launch(accumulators=1)
+        for cid, centre in enumerate(centres):
+            seq.init_centroid(cid, list(centre))
+            app.init_centroid(cid, list(centre))
+        # Different entry streams have no cross-stream ordering
+        # guarantee: drain the seeds before streaming points.
+        app.run()
+        for point in points:
+            seq.observe(point)
+            app.observe(point)
+        app.run()
+        app.get_centroids()
+        app.run()
+        assert app.results("get_centroids")[0] == seq.get_centroids()
+
+    def test_replicas_hold_divergent_accumulators(self):
+        centres, points = make_clusters(per_cluster=30)
+        app = KMeans.launch(accumulators=2)
+        for cid, centre in enumerate(centres):
+            app.init_centroid(cid, list(centre))
+        app.run()
+        for point in points:
+            app.observe(point)
+        app.run()
+        counts = [
+            [element.get_element(c, 0) for c in range(3)]
+            for element in app.state_of("accumulators")
+        ]
+        assert counts[0] != counts[1]
+        # Points (plus one seed each) are conserved across replicas.
+        total = sum(sum(row) for row in counts)
+        assert total == len(points) + 3 * 2
+
+    def test_merged_assignment_quality(self):
+        centres, points = make_clusters()
+        app = KMeans.launch(accumulators=3)
+        for cid, centre in enumerate(centres):
+            app.init_centroid(cid, list(centre))
+        app.run()
+        for point in points:
+            app.observe(point)
+        app.run()
+        app.get_centroids()
+        app.run()
+        centroids = app.results("get_centroids")[0]
+        # Consensus centroids classify the stream like the true centres.
+        agree = sum(
+            1 for point in points
+            if nearest(centroids, point) == nearest(list(centres), point)
+        )
+        assert agree / len(points) > 0.98

@@ -1,0 +1,104 @@
+"""Tests for the logistic-regression application (§6.2)."""
+
+import random
+
+import pytest
+
+from repro.apps import LogisticRegression
+from repro.apps.logistic_regression import sigmoid
+
+
+def make_dataset(n=200, seed=7):
+    """Linearly separable 2-feature data with a bias column."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(n):
+        x1 = rng.uniform(-2, 2)
+        x2 = rng.uniform(-2, 2)
+        label = 1 if x1 + 0.5 * x2 > 0 else 0
+        data.append(([1.0, x1, x2], label))
+    return data
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_saturation(self):
+        assert sigmoid(50) == pytest.approx(1.0)
+        assert sigmoid(-50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_overflow_for_large_negative(self):
+        assert sigmoid(-1000) == 0.0
+
+
+class TestSequentialTraining:
+    def test_learns_separable_data(self):
+        program = LogisticRegression()
+        data = make_dataset()
+        for _ in range(5):
+            for features, label in data:
+                program.train(features, label, 0.5)
+        model = program.get_model()
+        correct = sum(
+            1 for features, label in data
+            if (program.predict_with(model, features) > 0.5) == bool(label)
+        )
+        assert correct / len(data) > 0.95
+
+
+class TestDistributedTraining:
+    def test_structure(self):
+        result = LogisticRegression.translate()
+        info = result.entry_info("get_model")
+        assert len(info.te_names) == 2  # global read + merge
+        assert result.sdg.task(info.te_names[1]).is_merge
+
+    def test_single_replica_matches_sequential(self):
+        data = make_dataset(n=60)
+        seq = LogisticRegression()
+        app = LogisticRegression.launch(weights=1)
+        for features, label in data:
+            seq.train(features, label, 0.5)
+            app.train(features, label, 0.5)
+        app.run()
+        app.get_model()
+        app.run()
+        assert app.results("get_model")[0] == pytest.approx(
+            seq.get_model()
+        )
+
+    @pytest.mark.parametrize("replicas", [2, 4])
+    def test_parameter_averaging_still_learns(self, replicas):
+        data = make_dataset(n=300)
+        app = LogisticRegression.launch(weights=replicas)
+        for _ in range(4):
+            for features, label in data:
+                app.train(features, label, 0.5)
+            app.run()
+        app.get_model()
+        app.run()
+        model = app.results("get_model")[0]
+        program = LogisticRegression()  # for predict_with only
+        correct = sum(
+            1 for features, label in data
+            if (program.predict_with(model, features) > 0.5) == bool(label)
+        )
+        assert correct / len(data) > 0.9
+
+    def test_replicas_diverge_then_average(self):
+        app = LogisticRegression.launch(weights=2)
+        data = make_dataset(n=40)
+        for features, label in data:
+            app.train(features, label, 0.5)
+        app.run()
+        replicas = [element.to_list()
+                    for element in app.state_of("weights")]
+        assert replicas[0] != replicas[1]  # independent local updates
+        app.get_model()
+        app.run()
+        model = app.results("get_model")[0]
+        for i, value in enumerate(model):
+            expected = (replicas[0][i] if i < len(replicas[0]) else 0.0)
+            expected += (replicas[1][i] if i < len(replicas[1]) else 0.0)
+            assert value == pytest.approx(expected / 2)

@@ -1,0 +1,117 @@
+"""Tests for multiclass softmax regression over a partial DenseMatrix."""
+
+import random
+
+import pytest
+
+from repro.apps.multiclass import (
+    N_CLASSES,
+    N_FEATURES,
+    MulticlassRegression,
+    softmax,
+)
+from repro.core import AccessMode
+
+
+def make_blobs(seed=9, per_class=80):
+    """Three separable Gaussian blobs in (N_FEATURES - 1) dims."""
+    rng = random.Random(seed)
+    centres = [
+        [3.0, 0.0, 0.0, 0.0, 0.0],
+        [0.0, 3.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 3.0, 0.0, 0.0],
+    ]
+    data = []
+    for label, centre in enumerate(centres):
+        for _ in range(per_class):
+            features = [1.0] + [c + rng.gauss(0, 0.6) for c in centre]
+            data.append((features, label))
+    rng.shuffle(data)
+    return data
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax([1.0, 2.0, 3.0])
+        assert sum(probs) == pytest.approx(1.0)
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_stable_for_large_scores(self):
+        probs = softmax([1000.0, 0.0, -1000.0])
+        assert probs[0] == pytest.approx(1.0)
+
+
+class TestTranslation:
+    def test_structure(self):
+        result = MulticlassRegression.translate()
+        train = result.sdg.task(result.entry_info("train").entry_te)
+        assert train.access is AccessMode.LOCAL
+        read = result.entry_info("get_model")
+        assert len(read.te_names) == 2
+        assert result.sdg.task(read.te_names[1]).is_merge
+
+    def test_dense_matrix_shape_fixed(self):
+        program = MulticlassRegression()
+        assert program.weights.n_rows == N_CLASSES
+        assert program.weights.n_cols == N_FEATURES
+
+
+class TestLearning:
+    def train_and_score(self, replicas, epochs=3):
+        data = make_blobs()
+        app = MulticlassRegression.launch(weights=replicas)
+        for _ in range(epochs):
+            for features, label in data:
+                app.train(features, label, 0.3)
+            app.run()
+        app.get_model()
+        app.run()
+        model = app.results("get_model")[-1]
+        oracle = MulticlassRegression()
+        correct = sum(
+            1 for features, label in data
+            if oracle.classify_with(model, features) == label
+        )
+        return correct / len(data), model
+
+    def test_single_replica_learns(self):
+        accuracy, model = self.train_and_score(replicas=1)
+        assert accuracy > 0.95
+        assert len(model) == N_CLASSES
+        assert all(len(row) == N_FEATURES for row in model)
+
+    def test_four_replicas_still_learn(self):
+        accuracy, _model = self.train_and_score(replicas=4)
+        assert accuracy > 0.9
+
+    def test_single_replica_matches_sequential(self):
+        data = make_blobs(per_class=25)
+        sequential = MulticlassRegression()
+        app = MulticlassRegression.launch(weights=1)
+        for features, label in data:
+            sequential.train(features, label, 0.3)
+            app.train(features, label, 0.3)
+        app.run()
+        app.get_model()
+        app.run()
+        got = app.results("get_model")[-1]
+        want = sequential.get_model()
+        for got_row, want_row in zip(got, want):
+            assert got_row == pytest.approx(want_row)
+
+    def test_model_is_replica_average(self):
+        data = make_blobs(per_class=15)
+        app = MulticlassRegression.launch(weights=2)
+        for features, label in data:
+            app.train(features, label, 0.3)
+        app.run()
+        replicas = [element.to_rows()
+                    for element in app.state_of("weights")]
+        assert replicas[0] != replicas[1]
+        app.get_model()
+        app.run()
+        model = app.results("get_model")[-1]
+        for c in range(N_CLASSES):
+            for i in range(N_FEATURES):
+                expected = (replicas[0][c][i] + replicas[1][c][i]) / 2
+                assert model[c][i] == pytest.approx(expected)

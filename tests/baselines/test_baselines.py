@@ -1,0 +1,115 @@
+"""Tests for the Naiad / Spark / Streaming Spark mechanism models."""
+
+import pytest
+
+from repro.baselines import NaiadModel, SparkModel, StreamingSparkModel
+from repro.baselines.spark import SDGBatchModel
+from repro.simulation import CheckpointPolicy, NodeParams, simulate_node
+
+FAST = dict(duration_s=30.0)
+
+
+def sdg_kv_result(offered, state_bytes):
+    return simulate_node(
+        offered, NodeParams(service_rate=65_000, state_bytes=state_bytes),
+        CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+        **FAST,
+    )
+
+
+class TestNaiadCheckpointing:
+    def test_small_state_parity_with_sdg(self):
+        """Fig. 6: at 100 MB both systems serve ~65 k requests/s."""
+        naiad = NaiadModel.nodisk().simulate(65_000, 100e6, **FAST)
+        sdg = sdg_kv_result(65_000, 100e6)
+        assert naiad.throughput == pytest.approx(sdg.throughput, rel=0.1)
+
+    def test_disk_collapse_with_large_state(self):
+        """Fig. 6: Naiad-Disk throughput collapses as state grows."""
+        small = NaiadModel.disk().simulate(65_000, 100e6, **FAST)
+        large = NaiadModel.disk().simulate(65_000, 2.5e9, **FAST)
+        assert large.throughput < small.throughput * 0.5
+
+    def test_nodisk_still_well_below_sdg_at_2_5gb(self):
+        """Fig. 6: even on a RAM disk Naiad loses most of its throughput
+        relative to the SDG at 2.5 GB (paper: 63% lower)."""
+        naiad = NaiadModel.nodisk().simulate(65_000, 2.5e9, **FAST)
+        sdg = sdg_kv_result(65_000, 2.5e9)
+        assert naiad.throughput < sdg.throughput * 0.6
+
+    def test_latency_spike_during_stop_the_world(self):
+        naiad = NaiadModel.nodisk().simulate(40_000, 2.5e9, **FAST)
+        sdg = sdg_kv_result(40_000, 2.5e9)
+        assert naiad.p(95) > sdg.p(95) * 3
+
+
+class TestNaiadBatching:
+    def test_high_throughput_config_tops_the_chart(self):
+        high = NaiadModel.high_throughput().wordcount_throughput(10.0)
+        low = NaiadModel.low_latency().wordcount_throughput(10.0)
+        assert high > low
+
+    def test_high_throughput_collapses_below_100ms(self):
+        """Fig. 8: Naiad-HighThroughput cannot support <100 ms windows."""
+        model = NaiadModel.high_throughput()
+        assert model.wordcount_throughput(0.05) == 0.0
+        assert model.wordcount_throughput(1.0) > 0.0
+
+    def test_low_latency_sustains_small_windows(self):
+        model = NaiadModel.low_latency()
+        assert model.wordcount_throughput(0.05) > 0.0
+
+
+class TestStreamingSpark:
+    def test_collapse_below_250ms(self):
+        """Fig. 8: Streaming Spark's smallest sustainable window."""
+        model = StreamingSparkModel()
+        assert model.wordcount_throughput(0.1) == 0.0
+        assert model.wordcount_throughput(0.25) > 0.0
+
+    def test_peak_comparable_to_sdg(self):
+        model = StreamingSparkModel()
+        assert model.wordcount_throughput(10.0) == pytest.approx(
+            model.service_rate, rel=0.1
+        )
+
+    def test_throughput_recovers_with_window(self):
+        model = StreamingSparkModel()
+        t1 = model.wordcount_throughput(0.3)
+        t2 = model.wordcount_throughput(1.0)
+        t3 = model.wordcount_throughput(10.0)
+        assert t1 < t2 < t3
+
+
+class TestSparkScaling:
+    def test_both_scale_linearly(self):
+        """Fig. 9: both systems scale ~linearly from 25 to 100 nodes."""
+        spark = SparkModel()
+        sdg = SDGBatchModel()
+        for model in (spark, sdg):
+            ratio = model.lr_throughput(100) / model.lr_throughput(25)
+            assert ratio == pytest.approx(4.0, rel=0.15)
+
+    def test_sdg_above_spark_at_every_size(self):
+        spark = SparkModel()
+        sdg = SDGBatchModel()
+        for n in (25, 50, 75, 100):
+            assert sdg.lr_throughput(n) > spark.lr_throughput(n)
+
+    def test_recovery_by_recomputation_grows_with_history(self):
+        spark = SparkModel()
+        assert (spark.recovery_time(1e12, 10)
+                > spark.recovery_time(1e11, 10))
+
+    def test_recomputation_prohibitive_for_long_histories(self):
+        """§7: recomputation is effective only when cheap."""
+        spark = SparkModel()
+        from repro.simulation import recovery_time
+
+        checkpointed = recovery_time(4e9, 2, 2)
+        recomputed = spark.recovery_time(1e12, 10)
+        assert recomputed > checkpointed * 3
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SparkModel().recovery_time(1e9, 0)

@@ -1,0 +1,83 @@
+"""Unit tests for the four-step allocation algorithm (§3.3)."""
+
+import pytest
+
+from repro.core import SDG, AccessMode, Dispatch, StateKind, allocate
+from repro.errors import AllocationError
+from repro.core.allocation import Allocation
+from repro.state import KeyValueMap
+
+from tests.helpers import build_cf_sdg, build_iterative_sdg, noop
+
+
+class TestFig1Allocation:
+    """The paper walks Fig. 1 through the algorithm: n1..n3."""
+
+    def test_cf_uses_three_nodes(self):
+        allocation = allocate(build_cf_sdg())
+        assert allocation.n_nodes == 3
+
+    def test_tasks_colocated_with_their_state(self):
+        allocation = allocate(build_cf_sdg())
+        assert allocation.colocated("updateUserItem", "userItem")
+        assert allocation.colocated("getUserVec", "userItem")
+        assert allocation.colocated("updateCoOcc", "coOcc")
+        assert allocation.colocated("getRecVec", "coOcc")
+
+    def test_states_on_separate_nodes(self):
+        allocation = allocate(build_cf_sdg())
+        assert not allocation.colocated("userItem", "coOcc")
+
+    def test_merge_on_its_own_node(self):
+        allocation = allocate(build_cf_sdg())
+        merge_node = allocation.node_of["mergeRec"]
+        assert allocation.nodes[merge_node] == {"mergeRec"}
+
+
+class TestCycleColocations:
+    def test_cycle_states_share_a_node(self):
+        allocation = allocate(build_iterative_sdg())
+        assert allocation.colocated("modelA", "modelB")
+
+    def test_cycle_tasks_follow_their_states(self):
+        allocation = allocate(build_iterative_sdg())
+        assert allocation.colocated("stepA", "modelA")
+        assert allocation.colocated("stepB", "modelB")
+
+    def test_non_cycle_state_not_dragged_in(self):
+        sdg = build_iterative_sdg()
+        sdg.add_state("other", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("reader", noop, state="other",
+                     access=AccessMode.PARTITIONED)
+        sdg.connect("stepB", "reader", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda x: x, key_name="k")
+        allocation = allocate(sdg)
+        assert not allocation.colocated("other", "modelA")
+
+
+class TestAllocationStructure:
+    def test_every_element_is_placed_once(self):
+        sdg = build_cf_sdg()
+        allocation = allocate(sdg)
+        placed = sorted(allocation.node_of)
+        assert placed == sorted(list(sdg.tasks) + list(sdg.states))
+
+    def test_inverse_mapping_consistent(self):
+        allocation = allocate(build_cf_sdg())
+        for element, node in allocation.node_of.items():
+            assert element in allocation.nodes[node]
+
+    def test_double_placement_rejected(self):
+        allocation = Allocation()
+        allocation.place("x", 0)
+        with pytest.raises(AllocationError):
+            allocation.place("x", 1)
+
+    def test_stateless_pipeline_gets_one_node_per_te(self):
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=True)
+        sdg.add_task("b", noop)
+        sdg.connect("a", "b")
+        allocation = allocate(sdg)
+        assert allocation.n_nodes == 2
+        assert not allocation.colocated("a", "b")

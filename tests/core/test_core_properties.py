@@ -1,0 +1,135 @@
+"""Property-based tests over randomly generated SDG topologies.
+
+The generator builds arbitrary (valid-by-construction) SDGs — random
+mixes of partitioned/partial SEs, stateful/stateless TEs, and random
+extra dataflow edges — and checks the structural invariants that
+allocation and execution rely on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SDG,
+    AccessMode,
+    Dispatch,
+    StateKind,
+    allocate,
+)
+from repro.runtime import Runtime, RuntimeConfig
+from repro.state import KeyValueMap
+
+
+def noop(ctx, item):
+    return item
+
+
+@st.composite
+def random_sdgs(draw):
+    """A random well-formed SDG: a pipeline plus random extra edges."""
+    sdg = SDG("random")
+    n_states = draw(st.integers(0, 4))
+    kinds = []
+    for s in range(n_states):
+        kind = draw(st.sampled_from([StateKind.PARTITIONED,
+                                     StateKind.PARTIAL]))
+        kinds.append(kind)
+        sdg.add_state(f"se{s}", KeyValueMap, kind=kind)
+
+    n_tasks = draw(st.integers(1, 8))
+    names = []
+    for t in range(n_tasks):
+        use_state = n_states and draw(st.booleans())
+        name = f"te{t}"
+        if use_state:
+            index = draw(st.integers(0, n_states - 1))
+            if kinds[index] is StateKind.PARTITIONED:
+                access = AccessMode.PARTITIONED
+            else:
+                access = draw(st.sampled_from([AccessMode.LOCAL,
+                                               AccessMode.GLOBAL]))
+            sdg.add_task(
+                name, noop, state=f"se{index}", access=access,
+                is_entry=(t == 0),
+                entry_key_fn=(lambda x: x) if t == 0 else None,
+                entry_key_name="k" if t == 0 else None,
+            )
+        else:
+            sdg.add_task(name, noop, is_entry=(t == 0))
+        names.append(name)
+
+    # A pipeline spine so everything is reachable from the entry.
+    for i in range(n_tasks - 1):
+        dst = sdg.task(names[i + 1])
+        if dst.access is AccessMode.PARTITIONED:
+            sdg.connect(names[i], names[i + 1],
+                        Dispatch.KEY_PARTITIONED,
+                        key_fn=lambda x: x, key_name="k")
+        elif dst.access is AccessMode.GLOBAL:
+            sdg.connect(names[i], names[i + 1], Dispatch.ONE_TO_ALL)
+        else:
+            sdg.connect(names[i], names[i + 1], Dispatch.ONE_TO_ANY)
+    # Random extra *forward* edges (keeping dispatch legal and the
+    # graph acyclic, so the noop pipeline always drains).
+    n_extra = draw(st.integers(0, 3)) if n_tasks > 1 else 0
+    for _ in range(n_extra):
+        src = draw(st.integers(0, n_tasks - 2))
+        dst_index = draw(st.integers(src + 1, n_tasks - 1))
+        dst = sdg.task(names[dst_index])
+        if dst.is_merge:
+            continue
+        if dst.access is AccessMode.PARTITIONED:
+            sdg.connect(names[src], names[dst_index],
+                        Dispatch.KEY_PARTITIONED,
+                        key_fn=lambda x: x, key_name="k")
+        elif dst.access is AccessMode.GLOBAL:
+            sdg.connect(names[src], names[dst_index],
+                        Dispatch.ONE_TO_ALL)
+        else:
+            sdg.connect(names[src], names[dst_index],
+                        Dispatch.ONE_TO_ANY)
+    return sdg
+
+
+@given(sdg=random_sdgs())
+@settings(max_examples=80, deadline=None)
+def test_generated_sdgs_validate(sdg):
+    sdg.validate()
+
+
+@given(sdg=random_sdgs())
+@settings(max_examples=80, deadline=None)
+def test_allocation_invariants(sdg):
+    allocation = allocate(sdg)
+    # Every element placed exactly once.
+    assert sorted(allocation.node_of) == sorted(
+        list(sdg.tasks) + list(sdg.states)
+    )
+    # TEs are colocated with the SE they access (no remote state).
+    for te in sdg.tasks.values():
+        if te.state is not None:
+            assert allocation.colocated(te.name, te.state)
+    # SEs inside one dataflow cycle share a node (step 1).
+    for cycle in sdg.cycles():
+        cycle_states = {
+            sdg.task(te).state for te in cycle
+            if sdg.task(te).state is not None
+        }
+        cycle_states.discard(None)
+        nodes = {allocation.node_of[s] for s in cycle_states}
+        assert len(nodes) <= 1
+    # The inverse mapping is consistent.
+    for element, node in allocation.node_of.items():
+        assert element in allocation.nodes[node]
+
+
+@given(sdg=random_sdgs(), items=st.integers(1, 20))
+@settings(max_examples=40, deadline=None)
+def test_generated_sdgs_execute_to_idle(sdg, items):
+    """Any generated (acyclic-spine) SDG deploys and drains."""
+    runtime = Runtime(sdg, RuntimeConfig()).deploy()
+    entry = sdg.entries()[0].name
+    for i in range(items):
+        runtime.inject(entry, i)
+    runtime.run_until_idle(max_steps=200_000)
+    assert runtime.is_idle()

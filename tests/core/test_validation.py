@@ -1,0 +1,126 @@
+"""Unit tests for SDG structural validation."""
+
+import pytest
+
+from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.errors import ValidationError
+from repro.state import KeyValueMap, Matrix
+
+from tests.helpers import build_cf_sdg, build_iterative_sdg, build_kv_sdg, noop
+
+
+class TestValidGraphs:
+    def test_cf_sdg_validates(self):
+        build_cf_sdg().validate()
+
+    def test_kv_sdg_validates(self):
+        build_kv_sdg().validate()
+
+    def test_iterative_sdg_validates(self):
+        build_iterative_sdg().validate()
+
+
+class TestAccessModeInvariants:
+    def test_global_access_requires_partial_state(self):
+        sdg = SDG()
+        sdg.add_state("s", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("t", noop, state="s", access=AccessMode.GLOBAL,
+                     is_entry=True)
+        with pytest.raises(ValidationError, match="global access"):
+            sdg.validate()
+
+    def test_partitioned_access_requires_partitioned_state(self):
+        sdg = SDG()
+        sdg.add_state("s", KeyValueMap, kind=StateKind.PARTIAL)
+        sdg.add_task("t", noop, state="s", access=AccessMode.PARTITIONED,
+                     is_entry=True)
+        with pytest.raises(ValidationError, match="partitioned access"):
+            sdg.validate()
+
+    def test_local_access_on_partitioned_state_rejected(self):
+        sdg = SDG()
+        sdg.add_state("s", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("t", noop, state="s", access=AccessMode.LOCAL,
+                     is_entry=True)
+        with pytest.raises(ValidationError, match="local access"):
+            sdg.validate()
+
+
+class TestUniquePartitioning:
+    def test_conflicting_keys_rejected(self):
+        sdg = SDG()
+        sdg.add_state("m", Matrix, kind=StateKind.PARTITIONED)
+        sdg.add_task("src", noop, is_entry=True)
+        sdg.add_task("byRow", noop, state="m",
+                     access=AccessMode.PARTITIONED)
+        sdg.add_task("byCol", noop, state="m",
+                     access=AccessMode.PARTITIONED)
+        sdg.connect("src", "byRow", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda x: x[0], key_name="row")
+        sdg.connect("src", "byCol", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda x: x[1], key_name="col")
+        with pytest.raises(ValidationError, match="conflicting"):
+            sdg.validate()
+
+    def test_agreeing_keys_accepted(self):
+        sdg = SDG()
+        sdg.add_state("m", Matrix, kind=StateKind.PARTITIONED)
+        sdg.add_task("src", noop, is_entry=True)
+        sdg.add_task("a", noop, state="m", access=AccessMode.PARTITIONED)
+        sdg.add_task("b", noop, state="m", access=AccessMode.PARTITIONED)
+        sdg.connect("src", "a", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda x: x[0], key_name="row")
+        sdg.connect("src", "b", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda x: x[0], key_name="row")
+        sdg.validate()
+
+    def test_unkeyed_route_into_partitioned_state_rejected(self):
+        sdg = SDG()
+        sdg.add_state("m", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("src", noop, is_entry=True)
+        sdg.add_task("sink", noop, state="m",
+                     access=AccessMode.PARTITIONED)
+        sdg.connect("src", "sink", Dispatch.ONE_TO_ANY)
+        with pytest.raises(ValidationError, match="keyed dispatch"):
+            sdg.validate()
+
+    def test_entry_into_partitioned_state_needs_entry_key(self):
+        sdg = SDG()
+        sdg.add_state("m", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("serve", noop, state="m",
+                     access=AccessMode.PARTITIONED, is_entry=True)
+        with pytest.raises(ValidationError, match="entry_key_fn"):
+            sdg.validate()
+
+
+class TestGatherInvariants:
+    def test_gather_must_end_at_merge(self):
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=True)
+        sdg.add_task("b", noop)
+        sdg.connect("a", "b", Dispatch.ALL_TO_ONE)
+        with pytest.raises(ValidationError, match="merge"):
+            sdg.validate()
+
+    def test_merge_without_gather_input_rejected(self):
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=True)
+        sdg.add_task("m", noop, is_merge=True)
+        sdg.connect("a", "m", Dispatch.ONE_TO_ANY)
+        with pytest.raises(ValidationError, match="all-to-one"):
+            sdg.validate()
+
+
+class TestReachability:
+    def test_no_entry_rejected(self):
+        sdg = SDG()
+        sdg.add_task("t", noop)
+        with pytest.raises(ValidationError, match="no entry"):
+            sdg.validate()
+
+    def test_unreachable_te_rejected(self):
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=True)
+        sdg.add_task("orphan", noop)
+        with pytest.raises(ValidationError, match="unreachable"):
+            sdg.validate()

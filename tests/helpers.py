@@ -1,0 +1,14 @@
+"""Shared test fixtures — re-exported from the public testing module.
+
+The reference graphs live in :mod:`repro.testing` so downstream users
+can exercise their own deployments against them; the test suite imports
+them through this shim.
+"""
+
+from repro.testing import (  # noqa: F401
+    build_cf_sdg,
+    build_iterative_sdg,
+    build_kv_sdg,
+    noop,
+    reference_cf,
+)

@@ -1,0 +1,135 @@
+"""Partitioning-epoch safety: stale checkpoints must not restore.
+
+A checkpoint captured under partitioning epoch E holds exactly the keys
+its instance owned *then*; restoring it after a repartition would both
+resurrect keys the instance no longer owns and miss keys it gained.
+Recovery therefore refuses stale-epoch checkpoints, and the scheduler
+re-checkpoints affected nodes as soon as an epoch changes.
+"""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery import (
+    BackupStore,
+    CheckpointManager,
+    CheckpointScheduler,
+    RecoveryManager,
+)
+from repro.runtime import Runtime, RuntimeConfig
+
+from tests.helpers import build_kv_sdg
+
+
+def cluster(n=2):
+    runtime = Runtime(build_kv_sdg(),
+                      RuntimeConfig(se_instances={"table": n},
+                                    max_instances=8)).deploy()
+    store = BackupStore(m_targets=2)
+    return (runtime, CheckpointManager(runtime, store),
+            RecoveryManager(runtime, store), store)
+
+
+class TestEpochTracking:
+    def test_epoch_starts_at_zero(self):
+        runtime, *_ = cluster()
+        assert runtime.se_epoch("table") == 0
+
+    def test_repartition_bumps_epoch(self):
+        runtime, *_ = cluster()
+        runtime.scale_up("serve")
+        assert runtime.se_epoch("table") == 1
+        runtime.scale_up("serve")
+        assert runtime.se_epoch("table") == 2
+
+    def test_checkpoint_records_epoch(self):
+        runtime, ckpt, _rec, _store = cluster()
+        node = runtime.se_instance("table", 0).node_id
+        checkpoint = ckpt.checkpoint(node)
+        assert checkpoint.se_epochs == {"table": 0}
+
+
+class TestStaleCheckpointRefusal:
+    def test_recovery_refuses_pre_scale_checkpoint(self):
+        runtime, ckpt, rec, _store = cluster()
+        for i in range(40):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        node = runtime.se_instance("table", 0).node_id
+        ckpt.checkpoint(node)
+        runtime.scale_up("serve")  # repartition: epoch 0 -> 1
+        node_after = runtime.se_instance("table", 0).node_id
+        runtime.fail_node(node_after)
+        with pytest.raises(RecoveryError, match="repartitioned"):
+            rec.recover_node(node_after)
+
+    def test_fresh_checkpoint_after_scale_recovers_cleanly(self):
+        runtime, ckpt, rec, _store = cluster()
+        for i in range(40):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        runtime.scale_up("serve")
+        node = runtime.se_instance("table", 0).node_id
+        ckpt.checkpoint(node)  # re-checkpoint under the new epoch
+        runtime.fail_node(node)
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        merged = {}
+        for inst in runtime.se_instances("table"):
+            merged.update(dict(inst.element.items()))
+        assert merged == {i: i for i in range(40)}
+
+
+class TestRepartitionCheckpointExclusion:
+    def test_scale_refused_while_checkpoint_open(self):
+        from repro.errors import RuntimeExecutionError
+
+        runtime, ckpt, _rec, _store = cluster()
+        node = runtime.se_instance("table", 0).node_id
+        pending = ckpt.begin(node)
+        with pytest.raises(RuntimeExecutionError, match="in progress"):
+            runtime.scale_up("serve")
+        ckpt.complete(pending)
+        assert runtime.scale_up("serve")  # fine once closed
+
+    def test_auto_scale_skips_checkpointing_se(self):
+        runtime, ckpt, _rec, _store = cluster(n=1)
+        node = runtime.se_instance("table", 0).node_id
+        pending = ckpt.begin(node)
+        runtime.config.auto_scale = True
+        runtime.config.scale_threshold = 10
+        runtime.config.scale_check_every = 20
+        for i in range(200):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()  # must not blow up mid-checkpoint
+        assert len(runtime.se_instances("table")) == 1
+        ckpt.complete(pending)
+
+
+class TestSchedulerEpochReaction:
+    def test_scheduler_recheckpoints_after_scale(self):
+        runtime, ckpt, rec, store = cluster()
+        scheduler = CheckpointScheduler(ckpt, every_items=1_000_000,
+                                        complete_after_steps=0).install()
+        for i in range(30):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        assert scheduler.completed_count == 0  # interval far away
+        runtime.scale_up("serve")
+        # A few more items let the hook observe the epoch change and
+        # force fresh checkpoints of the affected nodes.
+        for i in range(30, 40):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        scheduler.flush()
+        assert scheduler.completed_count >= 3  # all table partitions
+        # And those checkpoints now support recovery.
+        node = runtime.se_instance("table", 1).node_id
+        assert store.latest(node).se_epochs == {"table": 1}
+        runtime.fail_node(node)
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        merged = {}
+        for inst in runtime.se_instances("table"):
+            merged.update(dict(inst.element.items()))
+        assert merged == {i: i for i in range(40)}

@@ -1,0 +1,139 @@
+"""Recovery edge cases: multi-SE nodes and failures mid-gather."""
+
+import pytest
+
+from repro.recovery import BackupStore, CheckpointManager, RecoveryManager
+from repro.runtime import Runtime, RuntimeConfig
+
+from tests.helpers import build_cf_sdg, build_iterative_sdg
+
+
+class TestMultiSENodeRecovery:
+    """Cycle allocation colocates several SEs on one node (§3.3 step 1);
+    a checkpoint and recovery of that node must cover all of them."""
+
+    def deploy(self):
+        runtime = Runtime(build_iterative_sdg()).deploy()
+        store = BackupStore(m_targets=2)
+        return (runtime, CheckpointManager(runtime, store),
+                RecoveryManager(runtime, store))
+
+    def test_both_ses_share_a_node(self):
+        runtime, _c, _r = self.deploy()
+        a = runtime.se_instance("modelA", 0)
+        b = runtime.se_instance("modelB", 0)
+        assert a.node_id == b.node_id
+
+    def test_checkpoint_covers_both_ses(self):
+        runtime, ckpt, _rec = self.deploy()
+        for value in (5, 3, 7):
+            runtime.inject("stepA", value)
+        runtime.run_until_idle()
+        node = runtime.se_instance("modelA", 0).node_id
+        checkpoint = ckpt.checkpoint(node)
+        assert ("modelA", 0) in checkpoint.se_chunks
+        assert ("modelB", 0) in checkpoint.se_chunks
+
+    def test_recovery_restores_both_ses(self):
+        runtime, ckpt, rec = self.deploy()
+
+        # Make both loop SEs stateful: stepA/stepB write via increment.
+        def run_items(values):
+            for value in values:
+                runtime.inject("stepA", value)
+            runtime.run_until_idle()
+
+        # Patch state writes into the loop by driving items through;
+        # build_iterative_sdg's TEs don't mutate state, so write some
+        # state directly to verify restore fidelity.
+        run_items([4, 2])
+        runtime.se_instance("modelA", 0).element.put("a", 1)
+        runtime.se_instance("modelB", 0).element.put("b", 2)
+        node = runtime.se_instance("modelA", 0).node_id
+        ckpt.checkpoint(node)
+        runtime.fail_node(node)
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        assert runtime.se_instance("modelA", 0).element.get("a") == 1
+        assert runtime.se_instance("modelB", 0).element.get("b") == 2
+
+
+class TestFailureMidGather:
+    RATINGS = [(0, 0, 5), (0, 1, 3), (1, 0, 4), (1, 2, 2), (2, 1, 1)]
+
+    def deploy(self):
+        runtime = Runtime(
+            build_cf_sdg(),
+            RuntimeConfig(se_instances={"userItem": 1, "coOcc": 2}),
+        ).deploy()
+        store = BackupStore(m_targets=2)
+        return (runtime, CheckpointManager(runtime, store),
+                RecoveryManager(runtime, store))
+
+    def baseline(self):
+        runtime, _c, _r = self.deploy()
+        for rating in self.RATINGS:
+            runtime.inject("updateUserItem", rating)
+        runtime.run_until_idle()
+        runtime.inject("getUserVec", 0)
+        runtime.run_until_idle()
+        return runtime.results["mergeRec"][0][1].to_list()
+
+    def test_partial_replica_fails_before_responding(self):
+        """The merge barrier waits for n responses; a dead replica's
+        response arrives only after recovery replays the broadcast."""
+        runtime, ckpt, rec = self.deploy()
+        for rating in self.RATINGS:
+            runtime.inject("updateUserItem", rating)
+        runtime.run_until_idle()
+        replica1 = runtime.se_instances("coOcc")[1]
+        node = replica1.node_id
+        ckpt.checkpoint(node)
+        runtime.inject("getUserVec", 0)
+        # Process just far enough for the broadcast to be delivered but
+        # not answered by replica 1, then kill it.
+        runtime.step()  # getUserVec processes, broadcasts
+        runtime.fail_node(node)
+        runtime.run_until_idle()
+        # The gather is stuck waiting for the dead replica.
+        merge_instance = runtime.te_instances("mergeRec")[0]
+        assert merge_instance.pending_gathers
+        assert runtime.results["mergeRec"] == []
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        assert not merge_instance.pending_gathers
+        assert (runtime.results["mergeRec"][0][1].to_list()
+                == self.baseline())
+
+    def test_unchecked_replica_rebuilt_from_replay(self):
+        """No checkpoint at all: the replica's state is reconstructed
+        purely by replaying its one-to-any input stream."""
+        runtime, _ckpt, rec = self.deploy()
+        for rating in self.RATINGS:
+            runtime.inject("updateUserItem", rating)
+        runtime.run_until_idle()
+        replica1 = runtime.se_instances("coOcc")[1]
+        before = sorted(replica1.element._store_items())
+        assert before  # it did receive some co-occurrence updates
+        node = replica1.node_id
+        runtime.fail_node(node)
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        after = sorted(
+            runtime.se_instances("coOcc")[1].element._store_items()
+        )
+        assert after == before  # deterministic replay rebuilt it exactly
+
+    def test_reads_after_unchecked_recovery_are_correct(self):
+        runtime, _ckpt, rec = self.deploy()
+        for rating in self.RATINGS:
+            runtime.inject("updateUserItem", rating)
+        runtime.run_until_idle()
+        node = runtime.se_instances("coOcc")[1].node_id
+        runtime.fail_node(node)
+        rec.recover_node(node)
+        runtime.run_until_idle()
+        runtime.inject("getUserVec", 0)
+        runtime.run_until_idle()
+        assert (runtime.results["mergeRec"][0][1].to_list()
+                == self.baseline())

@@ -1,0 +1,73 @@
+"""Range partitioning through the runtime (§3.2 strategies)."""
+
+import pytest
+
+from repro.errors import RuntimeExecutionError, StateError
+from repro.runtime import Runtime, RuntimeConfig
+from repro.state import RangePartitioner
+
+from tests.helpers import build_cf_sdg, build_kv_sdg
+
+
+class TestRangePartitionedDeployment:
+    def deploy(self):
+        # keys < 10 -> partition 0, 10..19 -> 1, >= 20 -> 2.
+        partitioner = RangePartitioner([10, 20])
+        runtime = Runtime(build_kv_sdg(), RuntimeConfig(
+            partitioners={"table": partitioner},
+        ))
+        return runtime.deploy(), partitioner
+
+    def test_partitioner_fixes_instance_count(self):
+        runtime, partitioner = self.deploy()
+        assert len(runtime.se_instances("table")) == 3
+
+    def test_keys_land_in_their_range(self):
+        runtime, partitioner = self.deploy()
+        for key in (1, 5, 12, 18, 25, 30):
+            runtime.inject("serve", ("put", key, key))
+        runtime.run_until_idle()
+        contents = [sorted(inst.element.keys())
+                    for inst in runtime.se_instances("table")]
+        assert contents == [[1, 5], [12, 18], [25, 30]]
+
+    def test_reads_follow_ranges(self):
+        runtime, _p = self.deploy()
+        for key in (1, 12, 25):
+            runtime.inject("serve", ("put", key, key * 2))
+        for key in (1, 12, 25):
+            runtime.inject("serve", ("get", key, None))
+        runtime.run_until_idle()
+        assert sorted(runtime.results["serve"]) == [
+            (1, 2), (12, 24), (25, 50),
+        ]
+
+    def test_scale_up_refuses_range_partitions(self):
+        runtime, _p = self.deploy()
+        with pytest.raises((RuntimeExecutionError, StateError)):
+            runtime.scale_up("serve")
+
+
+class TestConfigValidation:
+    def test_conflicting_instance_count_rejected(self):
+        runtime = Runtime(build_kv_sdg(), RuntimeConfig(
+            partitioners={"table": RangePartitioner([10])},
+            se_instances={"table": 5},
+        ))
+        with pytest.raises(RuntimeExecutionError, match="conflicts"):
+            runtime.deploy()
+
+    def test_matching_instance_count_accepted(self):
+        runtime = Runtime(build_kv_sdg(), RuntimeConfig(
+            partitioners={"table": RangePartitioner([10])},
+            se_instances={"table": 2},
+        ))
+        runtime.deploy()
+        assert len(runtime.se_instances("table")) == 2
+
+    def test_partitioner_on_partial_se_rejected(self):
+        runtime = Runtime(build_cf_sdg(), RuntimeConfig(
+            partitioners={"coOcc": RangePartitioner([10])},
+        ))
+        with pytest.raises(RuntimeExecutionError, match="partial"):
+            runtime.deploy()

@@ -1,0 +1,76 @@
+"""Tests for the runtime monitor."""
+
+from repro.runtime import Runtime, RuntimeConfig, RuntimeMonitor
+
+from tests.helpers import build_kv_sdg
+
+
+def deploy_with_monitor(sample_every=10):
+    runtime = Runtime(build_kv_sdg(),
+                      RuntimeConfig(se_instances={"table": 2}))
+    runtime.deploy()
+    monitor = RuntimeMonitor(sample_every=sample_every).install(runtime)
+    return runtime, monitor
+
+
+class TestMonitor:
+    def test_samples_taken_periodically(self):
+        runtime, monitor = deploy_with_monitor(sample_every=10)
+        for i in range(100):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        assert len(monitor.samples) == 10
+        assert [s.step for s in monitor.samples] == list(
+            range(10, 101, 10)
+        )
+
+    def test_backlog_series_drains_to_zero(self):
+        runtime, monitor = deploy_with_monitor(sample_every=5)
+        for i in range(50):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        series = monitor.backlog_series("serve")
+        assert series[0][1] > series[-1][1]
+        assert series[-1][1] == 0
+
+    def test_throughput_series_steady_state(self):
+        runtime, monitor = deploy_with_monitor(sample_every=10)
+        for i in range(200):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        series = monitor.throughput_series("serve")
+        # One TE, one item per step: unit throughput throughout.
+        assert all(rate == 1.0 for _step, rate in series)
+
+    def test_peak_backlog(self):
+        runtime, monitor = deploy_with_monitor(sample_every=1)
+        for i in range(30):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        assert monitor.peak_backlog("serve") >= 25
+
+    def test_instances_tracked_through_scaling(self):
+        runtime, monitor = deploy_with_monitor(sample_every=1)
+        for i in range(10):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        runtime.scale_up("serve")
+        for i in range(10, 20):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        first, last = monitor.samples[0], monitor.samples[-1]
+        assert first.instances["serve"] == 2
+        assert last.instances["serve"] == 3
+
+    def test_uninstall_stops_sampling(self):
+        runtime, monitor = deploy_with_monitor(sample_every=1)
+        monitor.uninstall()
+        runtime.inject("serve", ("put", 1, 1))
+        runtime.run_until_idle()
+        assert monitor.samples == []
+
+    def test_manual_sample(self):
+        runtime, monitor = deploy_with_monitor(sample_every=1_000_000)
+        runtime.inject("serve", ("put", 1, 1))
+        sample = monitor.take_sample(runtime)
+        assert sample.backlog["serve"] == 1

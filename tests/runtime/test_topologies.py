@@ -1,0 +1,195 @@
+"""Runtime tests for non-trivial dataflow topologies."""
+
+import pytest
+
+from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.runtime import Runtime, RuntimeConfig
+from repro.state import KeyValueMap
+
+
+class TestDiamond:
+    """a fans out to b and c; both feed d."""
+
+    def build(self):
+        sdg = SDG("diamond")
+        sdg.add_task("a", lambda ctx, x: x, is_entry=True)
+        sdg.add_task("b", lambda ctx, x: ("b", x))
+        sdg.add_task("c", lambda ctx, x: ("c", x))
+        sdg.add_task("d", lambda ctx, pair: pair)
+        sdg.connect("a", "b")
+        sdg.connect("a", "c")
+        sdg.connect("b", "d")
+        sdg.connect("c", "d")
+        return sdg
+
+    def test_each_item_travels_both_paths(self):
+        runtime = Runtime(self.build()).deploy()
+        runtime.inject("a", 1)
+        runtime.inject("a", 2)
+        runtime.run_until_idle()
+        assert sorted(runtime.results["d"]) == [
+            ("b", 1), ("b", 2), ("c", 1), ("c", 2),
+        ]
+
+
+class TestParallelEdges:
+    """Two distinct dataflow edges between the same TE pair."""
+
+    def test_item_delivered_once_per_edge(self):
+        sdg = SDG("parallel")
+        sdg.add_task("src", lambda ctx, x: x, is_entry=True)
+        sdg.add_task("sink", lambda ctx, x: x)
+        sdg.connect("src", "sink")
+        sdg.connect("src", "sink")
+        runtime = Runtime(sdg).deploy()
+        runtime.inject("src", "item")
+        runtime.run_until_idle()
+        assert runtime.results["sink"] == ["item", "item"]
+
+
+class TestFanIn:
+    """Two entry TEs feed one downstream stateful TE."""
+
+    def build(self):
+        sdg = SDG("fanin")
+        sdg.add_state("store", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("writes", lambda ctx, kv: kv, is_entry=True)
+        sdg.add_task("deletes", lambda ctx, k: (k, None), is_entry=True)
+
+        def apply(ctx, item):
+            key, value = item
+            if value is None:
+                if ctx.state.contains(key):
+                    ctx.state.delete(key)
+            else:
+                ctx.state.put(key, value)
+
+        sdg.add_task("apply", apply, state="store",
+                     access=AccessMode.PARTITIONED)
+        sdg.connect("writes", "apply", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda kv: kv[0], key_name="key")
+        sdg.connect("deletes", "apply", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda kv: kv[0], key_name="key")
+        return sdg
+
+    def test_streams_merge_at_consumer(self):
+        runtime = Runtime(self.build(),
+                          RuntimeConfig(se_instances={"store": 3}))
+        runtime.deploy()
+        for i in range(20):
+            runtime.inject("writes", (i, i * 10))
+        runtime.run_until_idle()
+        for i in range(0, 20, 2):
+            runtime.inject("deletes", i)
+        runtime.run_until_idle()
+        remaining = {}
+        for inst in runtime.se_instances("store"):
+            remaining.update(dict(inst.element.items()))
+        assert remaining == {i: i * 10 for i in range(1, 20, 2)}
+
+
+class TestStatelessParallelism:
+    def test_configured_instances_round_robin(self):
+        sdg = SDG("stateless")
+        sdg.add_task("src", lambda ctx, x: x, is_entry=True)
+
+        def tag(ctx, x):
+            return (ctx.instance_id, x)
+
+        sdg.add_task("worker", tag)
+        sdg.connect("src", "worker", Dispatch.ONE_TO_ANY)
+        runtime = Runtime(sdg, RuntimeConfig(te_instances={"worker": 3}))
+        runtime.deploy()
+        for i in range(9):
+            runtime.inject("src", i)
+        runtime.run_until_idle()
+        per_instance = {}
+        for instance_id, _x in runtime.results["worker"]:
+            per_instance[instance_id] = per_instance.get(instance_id,
+                                                         0) + 1
+        assert per_instance == {0: 3, 1: 3, 2: 3}
+
+    def test_ctx_reports_instance_count(self):
+        sdg = SDG("counts")
+
+        def report(ctx, x):
+            return ctx.n_instances
+
+        sdg.add_task("t", report, is_entry=True)
+        runtime = Runtime(sdg, RuntimeConfig(te_instances={"t": 4}))
+        runtime.deploy()
+        runtime.inject("t", None)
+        runtime.run_until_idle()
+        assert runtime.results["t"] == [4]
+
+
+class TestKeyedCycle:
+    """A cycle whose loop edge is key-partitioned (iterative keyed work)."""
+
+    def build(self):
+        sdg = SDG("keyed_loop")
+        sdg.add_state("progress", KeyValueMap, kind=StateKind.PARTITIONED)
+
+        def step(ctx, item):
+            key, remaining = item
+            ctx.state.increment(key)
+            if remaining > 1:
+                return (key, remaining - 1)
+            return None
+
+        sdg.add_task("step", step, state="progress",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda item: item[0], entry_key_name="k")
+        sdg.connect("step", "step", Dispatch.KEY_PARTITIONED,
+                    key_fn=lambda item: item[0], key_name="k")
+        return sdg
+
+    def test_loop_counts_to_n_per_key(self):
+        runtime = Runtime(self.build(),
+                          RuntimeConfig(se_instances={"progress": 2}))
+        runtime.deploy()
+        runtime.inject("step", ("a", 5))
+        runtime.inject("step", ("b", 3))
+        runtime.run_until_idle()
+        counts = {}
+        for inst in runtime.se_instances("progress"):
+            counts.update(dict(inst.element.items()))
+        assert counts == {"a": 5, "b": 3}
+
+
+class TestDeepPipeline:
+    def test_twenty_stage_pipeline(self):
+        sdg = SDG("deep")
+        n = 20
+        for i in range(n):
+            sdg.add_task(f"s{i}", lambda ctx, x: x + 1,
+                         is_entry=(i == 0))
+        for i in range(n - 1):
+            sdg.connect(f"s{i}", f"s{i+1}")
+        runtime = Runtime(sdg).deploy()
+        runtime.inject("s0", 0)
+        runtime.run_until_idle()
+        assert runtime.results[f"s{n-1}"] == [n]
+
+    def test_pipelining_interleaves_items(self):
+        """Items flow through stages without per-stage batching: the
+        second item starts before the first one finishes."""
+        order = []
+        sdg = SDG("interleave")
+
+        def make(stage):
+            def fn(ctx, x):
+                order.append((stage, x))
+                return x
+
+            return fn
+
+        sdg.add_task("s0", make(0), is_entry=True)
+        sdg.add_task("s1", make(1))
+        sdg.connect("s0", "s1")
+        runtime = Runtime(sdg).deploy()
+        runtime.inject("s0", "a")
+        runtime.inject("s0", "b")
+        runtime.run_until_idle()
+        # 'a' reaches stage 1 before 'b' has been processed by stage 0.
+        assert order.index((1, "a")) < order.index((0, "b"))

@@ -1,0 +1,134 @@
+"""Tests for the event loop and the cluster-lifetime simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    EventLoop,
+    LifetimeConfig,
+    simulate_lifetime,
+)
+from repro.simulation.recovery_model import RecoveryParams
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, fired.append, "c")
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(2.0, fired.append, "b")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_ties_fire_fifo(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "first")
+        loop.schedule(1.0, fired.append, "second")
+        loop.run()
+        assert fired == ["first", "second"]
+
+    def test_cancellation(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "never")
+        event.cancel()
+        loop.run()
+        assert fired == []
+        assert loop.pending == 0
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "early")
+        loop.schedule(5.0, fired.append, "late")
+        loop.run_until(2.0)
+        assert fired == ["early"]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n > 0:
+                loop.schedule(1.0, chain, n - 1)
+
+        loop.schedule(0.0, chain, 3)
+        loop.run()
+        assert fired == [3, 2, 1, 0]
+        assert loop.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1, print)
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.1, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            loop.run(max_events=100)
+
+
+class TestLifetime:
+    def test_no_failures_full_availability(self):
+        result = simulate_lifetime(LifetimeConfig(failures=()))
+        assert result.availability == pytest.approx(1.0, abs=0.01)
+        assert all(p.nodes_up == 4 for p in result.timeline)
+
+    def test_failure_produces_a_dip_then_recovery(self):
+        result = simulate_lifetime(LifetimeConfig(
+            failures=((20.0, 0),), duration_s=80.0,
+        ))
+        by_t = {p.t: p for p in result.timeline}
+        assert by_t[10.0].nodes_up == 4
+        assert by_t[25.0].nodes_up == 3          # during recovery
+        assert result.timeline[-1].nodes_up == 4  # recovered
+        assert result.availability < 1.0
+
+    def test_faster_strategy_shrinks_the_dip(self):
+        slow = simulate_lifetime(LifetimeConfig(
+            failures=((20.0, 0),), m_backups=1, n_recovering=1,
+            duration_s=120.0,
+        ))
+        fast = simulate_lifetime(LifetimeConfig(
+            failures=((20.0, 0),), m_backups=2, n_recovering=2,
+            duration_s=120.0,
+        ))
+        assert fast.recovery_times[0] < slow.recovery_times[0]
+        assert fast.lost_requests < slow.lost_requests
+        assert fast.availability > slow.availability
+
+    def test_deficit_matches_recovery_window(self):
+        config = LifetimeConfig(failures=((10.0, 1),), duration_s=100.0)
+        result = simulate_lifetime(config)
+        # Lost requests ~ one node's served rate x recovery duration.
+        per_node = min(
+            config.per_node_offered,
+            config.per_node_capacity * (1 - config.checkpoint_overhead),
+        )
+        expected = per_node * result.recovery_times[0]
+        assert result.lost_requests == pytest.approx(expected,
+                                                     rel=0.15)
+
+    def test_multiple_failures(self):
+        result = simulate_lifetime(LifetimeConfig(
+            failures=((10.0, 0), (40.0, 2)), duration_s=120.0,
+        ))
+        assert len(result.recovery_times) == 2
+        events = [p.event for p in result.timeline if p.event]
+        assert len(events) == 4  # two failures + two recoveries
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_lifetime(LifetimeConfig(n_nodes=0))
+        with pytest.raises(SimulationError):
+            simulate_lifetime(LifetimeConfig(failures=((1.0, 99),)))

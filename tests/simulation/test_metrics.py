@@ -1,0 +1,68 @@
+"""Unit tests for metric collection."""
+
+import pytest
+
+from repro.simulation.metrics import (
+    LatencyRecorder,
+    candlestick,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_sample(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCandlestick:
+    def test_five_points_ordered(self):
+        stick = candlestick(list(range(100)))
+        values = stick.as_tuple()
+        assert values == tuple(sorted(values))
+        assert stick.p50 == pytest.approx(49.5)
+
+    def test_matches_paper_percentiles(self):
+        data = list(range(1, 101))
+        stick = candlestick(data)
+        assert stick.p5 == pytest.approx(percentile(data, 5))
+        assert stick.p95 == pytest.approx(percentile(data, 95))
+
+
+class TestLatencyRecorder:
+    def test_record_and_summarise(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert len(recorder) == 3
+        assert recorder.mean() == pytest.approx(2.0)
+        assert recorder.percentile(50) == 2.0
+
+    def test_weighted_record(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0, weight=9)
+        recorder.record(100.0, weight=1)
+        assert recorder.percentile(50) == 1.0
+        assert recorder.percentile(95) > 1.0
+
+    def test_mean_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()

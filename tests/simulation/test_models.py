@@ -1,0 +1,174 @@
+"""Tests for the batching, recovery, straggler and CF models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    RecoveryParams,
+    StragglerScenario,
+    deployment_time,
+    microbatch_throughput,
+    pipelined_throughput,
+    recovery_time,
+    scaling_throughput,
+    simulate_stragglers,
+    sustainable,
+)
+from repro.simulation.cf_model import CFModel, ratio_to_read_fraction
+
+
+class TestBatchingModel:
+    def test_large_batches_amortise_overhead(self):
+        small = microbatch_throughput(100_000, 100, 0.01)
+        large = microbatch_throughput(100_000, 20_000, 0.01)
+        assert large > small
+
+    def test_microbatch_peak_can_beat_pipelined(self):
+        # Naiad-HighThroughput tops the chart at large windows (Fig. 8)
+        pipelined = pipelined_throughput(100_000,
+                                         per_item_overhead_s=2e-6)
+        batched = microbatch_throughput(120_000, 20_000, 0.01)
+        assert batched > pipelined * 0.9
+
+    def test_sustainability_cliff(self):
+        # A 20k batch at 100k/s + 10ms sched takes 210 ms: a 100 ms
+        # window is not sustainable, a 250 ms window is.
+        assert not sustainable(0.1, 20_000, 100_000, 0.01)
+        assert sustainable(0.25, 20_000, 100_000, 0.01)
+
+    def test_pipelined_has_no_cliff(self):
+        # Pipelining has no batch to finish within the window.
+        assert pipelined_throughput(100_000) == pytest.approx(100_000)
+
+    def test_scaling_linear_without_coordination(self):
+        t25 = scaling_throughput(25, 500e6)
+        t100 = scaling_throughput(100, 500e6)
+        assert t100 == pytest.approx(4 * t25)
+
+    def test_per_iteration_overhead_lowers_throughput(self):
+        clean = scaling_throughput(50, 500e6,
+                                   per_iteration_overhead_s=0.0)
+        spark = scaling_throughput(50, 500e6,
+                                   per_iteration_overhead_s=2.0)
+        assert spark < clean
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            microbatch_throughput(1000, 0, 0.01)
+        with pytest.raises(SimulationError):
+            scaling_throughput(0, 1000)
+        with pytest.raises(SimulationError):
+            sustainable(0, 10, 100, 0.01)
+
+
+class TestRecoveryModel:
+    def test_paper_ordering_of_strategies(self):
+        """Fig. 11: 2-to-2 fastest, 1-to-1 slowest."""
+        for state in (1e9, 2e9, 4e9):
+            t11 = recovery_time(state, 1, 1)
+            t21 = recovery_time(state, 2, 1)
+            t12 = recovery_time(state, 1, 2)
+            t22 = recovery_time(state, 2, 2)
+            assert t22 <= min(t21, t12) <= max(t21, t12) <= t11
+
+    def test_reconstruction_dominates_at_large_state(self):
+        """Fig. 11: at 4 GB, a second disk (m) no longer helps; a
+        second recovering node (n) still does."""
+        base = recovery_time(4e9, 1, 1)
+        extra_disk = recovery_time(4e9, 2, 1)
+        extra_node = recovery_time(4e9, 1, 2)
+        gain_disk = base - extra_disk
+        gain_node = base - extra_node
+        assert gain_node > gain_disk
+
+    def test_recovery_grows_with_state(self):
+        assert (recovery_time(4e9, 2, 2) > recovery_time(2e9, 2, 2)
+                > recovery_time(1e9, 2, 2))
+
+    def test_recovery_in_seconds_band(self):
+        """The paper recovers multi-GB state 'in seconds' (<40 s)."""
+        assert recovery_time(4e9, 1, 1) < 60
+        assert recovery_time(1e9, 2, 2) < 15
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            recovery_time(-1, 1, 1)
+        with pytest.raises(SimulationError):
+            recovery_time(1e9, 0, 1)
+
+    def test_deployment_cost_matches_paper_point(self):
+        """§3.4: 50 instances deploy in ~7 s."""
+        assert deployment_time(50) == pytest.approx(7.0, abs=1.0)
+
+
+class TestStragglerTimeline:
+    def test_paper_walkthrough(self):
+        timeline = simulate_stragglers()
+        by_t = {p.t: p for p in timeline}
+        assert by_t[5].throughput == pytest.approx(3600)
+        assert by_t[15].throughput == pytest.approx(6200)
+        # Adding an instance at t=30 without relieving the straggler
+        # does not move throughput.
+        assert by_t[35].throughput == pytest.approx(6200)
+        assert by_t[35].n_nodes == 3
+        # Relief at t=50 unlocks the jump.
+        assert by_t[55].throughput > 10_000
+        assert by_t[55].n_nodes == 4
+
+    def test_events_in_order(self):
+        events = [p.event for p in simulate_stragglers() if p.event]
+        assert len(events) == 3
+        assert "add instance" in events[0]
+        assert "add instance" in events[1]
+        assert "relieve" in events[2]
+
+    def test_monotone_nodes(self):
+        timeline = simulate_stragglers()
+        nodes = [p.n_nodes for p in timeline]
+        assert nodes == sorted(nodes)
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_stragglers(StragglerScenario(duration_s=0))
+        with pytest.raises(SimulationError):
+            simulate_stragglers(StragglerScenario(node_pool=()))
+
+
+class TestCFModel:
+    def test_calibration_end_points(self):
+        model = CFModel()
+        write_heavy = model.throughput(ratio_to_read_fraction(1, 5))
+        read_heavy = model.throughput(ratio_to_read_fraction(5, 1))
+        assert write_heavy == pytest.approx(14_000, rel=0.02)
+        assert read_heavy == pytest.approx(10_000, rel=0.02)
+
+    def test_throughput_monotone_in_read_share(self):
+        model = CFModel()
+        values = [model.throughput(f) for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_throughput_band_matches_paper(self):
+        """Fig. 5: 10-14 k requests/s across all measured ratios."""
+        model = CFModel()
+        for reads, writes in ((1, 5), (1, 2), (1, 1), (2, 1), (5, 1)):
+            f = ratio_to_read_fraction(reads, writes)
+            assert 9_500 <= model.throughput(f) <= 14_500
+
+    def test_latency_tail_under_paper_staleness_bound(self):
+        """95th percentile at most ~1.5 s stale."""
+        model = CFModel()
+        for f in (0.2, 0.5, 0.8):
+            stick = model.read_latency(f)
+            assert stick.p95 <= 1.6
+            assert stick.p5 < stick.p50 < stick.p95
+
+    def test_latency_grows_with_read_share(self):
+        model = CFModel()
+        assert (model.read_latency(0.8).p50
+                > model.read_latency(0.2).p50)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            CFModel().throughput(1.5)
+        with pytest.raises(SimulationError):
+            ratio_to_read_fraction(0, 0)

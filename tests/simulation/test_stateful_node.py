@@ -1,0 +1,140 @@
+"""Tests for the checkpointing-node simulator (the Fig. 6/12/13 engine)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    CheckpointPolicy,
+    NodeParams,
+    simulate_cluster,
+    simulate_node,
+)
+
+FAST = dict(duration_s=30.0, tick_s=0.005)
+
+
+class TestBasicService:
+    def test_underloaded_node_serves_everything(self):
+        result = simulate_node(10_000, NodeParams(service_rate=65_000),
+                               CheckpointPolicy.none(), **FAST)
+        assert result.throughput == pytest.approx(10_000, rel=0.02)
+
+    def test_overloaded_node_caps_at_service_rate(self):
+        result = simulate_node(100_000, NodeParams(service_rate=65_000),
+                               CheckpointPolicy.none(), **FAST)
+        assert result.throughput == pytest.approx(65_000, rel=0.02)
+
+    def test_latency_is_base_when_underloaded(self):
+        result = simulate_node(
+            10_000, NodeParams(service_rate=65_000, base_latency_s=0.001),
+            CheckpointPolicy.none(), **FAST)
+        assert result.p(95) < 0.02
+
+    def test_straggler_speed_reduces_capacity(self):
+        slow = NodeParams(service_rate=65_000, speed=0.5)
+        result = simulate_node(100_000, slow, CheckpointPolicy.none(),
+                               **FAST)
+        assert result.throughput == pytest.approx(32_500, rel=0.02)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_node(-1, NodeParams(), CheckpointPolicy.none())
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(mode="magic")
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(interval_s=0)
+
+
+class TestSyncCheckpointing:
+    def test_pauses_reduce_throughput(self):
+        params = NodeParams(service_rate=65_000, state_bytes=2e9)
+        sync = simulate_node(
+            60_000, params,
+            CheckpointPolicy(mode="sync", interval_s=10, disk_bw=400e6),
+            **FAST)
+        none = simulate_node(60_000, params, CheckpointPolicy.none(),
+                             **FAST)
+        # 5 s pause every 10 s => roughly half the capacity.
+        assert sync.throughput < none.throughput * 0.75
+
+    def test_pause_length_grows_with_state(self):
+        def p95(state_bytes):
+            return simulate_node(
+                40_000, NodeParams(service_rate=65_000,
+                                   state_bytes=state_bytes),
+                CheckpointPolicy(mode="sync", interval_s=10,
+                                 disk_bw=400e6),
+                **FAST).p(95)
+
+        assert p95(4e9) > p95(1e9) > p95(0.1e9)
+
+    def test_tail_latency_reflects_stop_the_world(self):
+        result = simulate_node(
+            40_000, NodeParams(service_rate=65_000, state_bytes=2e9),
+            CheckpointPolicy(mode="sync", interval_s=10, disk_bw=1e9),
+            **FAST)
+        # A 2 s pause shows up in the high percentiles.
+        assert result.p(99) > 1.0
+        assert result.p(25) < 0.1
+
+
+class TestAsyncCheckpointing:
+    def test_throughput_impact_is_small(self):
+        params = NodeParams(service_rate=65_000, state_bytes=4e9)
+        async_result = simulate_node(
+            60_000, params,
+            CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+            **FAST)
+        none = simulate_node(60_000, params, CheckpointPolicy.none(),
+                             **FAST)
+        # The paper reports ~5% impact even at 4 GB.
+        assert async_result.throughput > none.throughput * 0.90
+
+    def test_async_beats_sync_on_tail_latency(self):
+        params = NodeParams(service_rate=65_000, state_bytes=2e9)
+        kwargs = dict(interval_s=10, disk_bw=400e6)
+        async_result = simulate_node(
+            40_000, params, CheckpointPolicy(mode="async", **kwargs),
+            **FAST)
+        sync_result = simulate_node(
+            40_000, params, CheckpointPolicy(mode="sync", **kwargs),
+            **FAST)
+        assert async_result.p(99) < sync_result.p(99) / 5
+
+    def test_consolidation_lock_scales_with_update_rate_not_state(self):
+        # Doubling state size (persist window) at a fixed update rate
+        # roughly doubles dirty state; but the lock stays tiny compared
+        # to a sync pause over the same state.
+        params = NodeParams(service_rate=65_000, state_bytes=4e9,
+                            bytes_per_update=64)
+        result = simulate_node(
+            40_000, params,
+            CheckpointPolicy(mode="async", interval_s=10, disk_bw=400e6),
+            **FAST)
+        assert result.p(99) < 1.5
+
+
+class TestCluster:
+    def test_throughput_scales_with_nodes(self):
+        params = NodeParams(service_rate=50_000, state_bytes=5e9)
+        policy = CheckpointPolicy(mode="async", interval_s=10,
+                                  disk_bw=400e6)
+        t10 = simulate_cluster(10, 450_000, params, policy, **FAST)
+        t40 = simulate_cluster(40, 1_800_000, params, policy, **FAST)
+        assert t40.throughput == pytest.approx(t10.throughput * 4,
+                                               rel=0.05)
+
+    def test_remote_latency_added(self):
+        params = NodeParams(service_rate=50_000)
+        single = simulate_node(10_000, params, CheckpointPolicy.none(),
+                               **FAST)
+        cluster = simulate_cluster(1, 10_000, params,
+                                   CheckpointPolicy.none(),
+                                   remote_latency_s=0.004, **FAST)
+        assert cluster.p(50) == pytest.approx(single.p(50) + 0.004,
+                                              abs=1e-6)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_cluster(0, 1000, NodeParams(),
+                             CheckpointPolicy.none())

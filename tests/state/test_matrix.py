@@ -1,0 +1,155 @@
+"""Unit tests for the sparse Matrix and DenseMatrix state elements."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.state import DenseMatrix, Matrix, Vector
+
+
+class TestSparseMatrix:
+    def test_unwritten_cell_reads_zero(self):
+        assert Matrix().get_element(3, 4) == 0.0
+
+    def test_set_then_get(self):
+        m = Matrix()
+        m.set_element(1, 2, 7.0)
+        assert m.get_element(1, 2) == 7.0
+
+    def test_add_element(self):
+        m = Matrix()
+        assert m.add_element(0, 0, 1.0) == 1.0
+        assert m.add_element(0, 0, 1.0) == 2.0
+
+    def test_nnz_counts_stored_cells(self):
+        m = Matrix()
+        m.set_element(0, 0, 1.0)
+        m.set_element(5, 9, 2.0)
+        assert m.nnz() == 2
+
+    def test_dimensions(self):
+        m = Matrix()
+        m.set_element(2, 7, 1.0)
+        assert m.num_rows() == 3
+        assert m.num_cols() == 8
+
+    def test_empty_dimensions(self):
+        assert Matrix().num_rows() == 0
+        assert Matrix().num_cols() == 0
+
+    def test_get_row_returns_vector_copy(self):
+        m = Matrix()
+        m.set_element(1, 0, 3.0)
+        m.set_element(1, 2, 4.0)
+        row = m.get_row(1)
+        assert row.get(0) == 3.0
+        assert row.get(2) == 4.0
+        row.set(0, 99.0)
+        assert m.get_element(1, 0) == 3.0  # copy, not a view
+
+    def test_set_row_replaces_contents(self):
+        m = Matrix()
+        m.set_element(0, 5, 1.0)
+        m.set_row(0, Vector(values=[2.0, 0.0, 3.0]))
+        assert m.get_element(0, 0) == 2.0
+        assert m.get_element(0, 2) == 3.0
+        assert m.get_element(0, 5) == 0.0
+
+    def test_multiply_matches_manual_product(self):
+        m = Matrix()
+        m.set_element(0, 0, 1.0)
+        m.set_element(0, 1, 2.0)
+        m.set_element(1, 1, 3.0)
+        result = m.multiply(Vector(values=[10.0, 100.0]))
+        assert result.get(0) == 210.0
+        assert result.get(1) == 300.0
+
+    def test_multiply_skips_out_of_range_columns(self):
+        m = Matrix()
+        m.set_element(0, 9, 5.0)
+        assert m.multiply(Vector(values=[1.0])).get(0) == 0.0
+
+    def test_invalid_key_rejected(self):
+        with pytest.raises(StateError):
+            Matrix().set_element(-1, 0, 1.0)
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(StateError):
+            Matrix(partition_axis="diagonal")
+
+    def test_partition_key_follows_axis(self):
+        assert Matrix(partition_axis="row").partition_key((3, 9)) == 3
+        assert Matrix(partition_axis="col").partition_key((3, 9)) == 9
+
+
+class TestSparseMatrixCheckpointing:
+    def test_get_row_sees_dirty_writes(self):
+        m = Matrix()
+        m.set_element(0, 0, 1.0)
+        m.begin_checkpoint()
+        m.set_element(0, 1, 2.0)
+        row = m.get_row(0)
+        assert row.get(0) == 1.0
+        assert row.get(1) == 2.0
+        snapshot = dict(m.snapshot_items())
+        assert (0, 1) not in snapshot
+        m.consolidate()
+        assert m.get_element(0, 1) == 2.0
+
+    def test_multiply_sees_dirty_writes(self):
+        m = Matrix()
+        m.begin_checkpoint()
+        m.set_element(0, 0, 4.0)
+        assert m.multiply(Vector(values=[2.0])).get(0) == 8.0
+        m.consolidate()
+
+    def test_row_index_consistent_after_consolidate(self):
+        m = Matrix()
+        m.set_element(0, 0, 1.0)
+        m.begin_checkpoint()
+        m.set_element(0, 1, 2.0)
+        m.consolidate()
+        row = m.get_row(0)
+        assert row.to_list() == [1.0, 2.0]
+
+
+class TestDenseMatrix:
+    def test_shape_is_fixed(self):
+        m = DenseMatrix(2, 3)
+        assert m.n_rows == 2 and m.n_cols == 3
+        with pytest.raises(StateError):
+            m.set_element(2, 0, 1.0)
+        with pytest.raises(StateError):
+            m.get_element(0, 3)
+
+    def test_cells_default_to_zero(self):
+        assert DenseMatrix(2, 2).get_element(1, 1) == 0.0
+
+    def test_set_get_roundtrip(self):
+        m = DenseMatrix(2, 2)
+        m.set_element(0, 1, 5.0)
+        assert m.get_element(0, 1) == 5.0
+
+    def test_multiply(self):
+        m = DenseMatrix(2, 2)
+        m.set_element(0, 0, 1.0)
+        m.set_element(0, 1, 2.0)
+        m.set_element(1, 0, 3.0)
+        result = m.multiply(Vector(values=[1.0, 1.0]))
+        assert result.to_list() == [3.0, 3.0]
+
+    def test_get_row(self):
+        m = DenseMatrix(1, 3)
+        m.set_element(0, 2, 9.0)
+        assert m.get_row(0).to_list() == [0.0, 0.0, 9.0]
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(StateError):
+            DenseMatrix(-1, 2)
+
+    def test_chunk_meta_restores_shape(self):
+        m = DenseMatrix(2, 2)
+        m.set_element(1, 1, 3.0)
+        chunks = m.to_chunks(2)
+        restored = DenseMatrix.from_chunks(m, chunks)
+        assert restored.get_element(1, 1) == 3.0
+        assert restored.n_rows == 2

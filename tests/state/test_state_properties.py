@@ -1,0 +1,136 @@
+"""Property-based tests for state-element invariants.
+
+The invariants checked here are the ones the paper's recovery mechanism
+relies on: the dirty-state overlay must be transparent to readers, a
+checkpoint snapshot must be exactly the pre-checkpoint contents, chunking
+must be a lossless partition of the snapshot, and partitioning must be a
+disjoint cover of the key space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state import HashPartitioner, KeyValueMap, Matrix, Vector
+
+keys = st.one_of(st.integers(0, 200), st.text(max_size=8))
+values = st.integers(-1000, 1000)
+ops = st.lists(st.tuples(keys, values), max_size=60)
+
+
+def apply_model(pairs):
+    model = {}
+    for key, value in pairs:
+        model[key] = value
+    return model
+
+
+@given(before=ops, during=ops)
+def test_overlay_reads_match_plain_dict_semantics(before, during):
+    """Reads through the overlay behave exactly like an unfrozen map."""
+    kv = KeyValueMap()
+    for key, value in before:
+        kv.put(key, value)
+    kv.begin_checkpoint()
+    for key, value in during:
+        kv.put(key, value)
+    expected = apply_model(before + during)
+    for key, value in expected.items():
+        assert kv.get(key) == value
+    assert sorted(map(repr, kv.keys())) == sorted(map(repr, expected))
+    kv.consolidate()
+
+
+@given(before=ops, during=ops)
+def test_snapshot_is_exactly_pre_checkpoint_contents(before, during):
+    kv = KeyValueMap()
+    for key, value in before:
+        kv.put(key, value)
+    kv.begin_checkpoint()
+    snapshot_before_writes = dict(kv.snapshot_items())
+    for key, value in during:
+        kv.put(key, value)
+    assert dict(kv.snapshot_items()) == snapshot_before_writes
+    assert snapshot_before_writes == apply_model(before)
+    kv.consolidate()
+
+
+@given(before=ops, during=ops)
+def test_consolidate_equals_uninterrupted_execution(before, during):
+    """checkpoint+consolidate is invisible: same result as no checkpoint."""
+    interrupted = KeyValueMap()
+    plain = KeyValueMap()
+    for key, value in before:
+        interrupted.put(key, value)
+        plain.put(key, value)
+    interrupted.begin_checkpoint()
+    for key, value in during:
+        interrupted.put(key, value)
+        plain.put(key, value)
+    interrupted.consolidate()
+    assert sorted(map(repr, interrupted.items())) == sorted(
+        map(repr, plain.items())
+    )
+
+
+@given(pairs=ops, m=st.integers(1, 7))
+def test_chunking_is_lossless(pairs, m):
+    kv = KeyValueMap()
+    for key, value in pairs:
+        kv.put(key, value)
+    restored = KeyValueMap.from_chunks(kv, kv.to_chunks(m))
+    assert sorted(map(repr, restored.items())) == sorted(
+        map(repr, kv.items())
+    )
+
+
+@given(pairs=ops, n=st.integers(1, 6))
+def test_partitions_are_a_disjoint_cover(pairs, n):
+    kv = KeyValueMap()
+    for key, value in pairs:
+        kv.put(key, value)
+    partitioner = HashPartitioner(n)
+    parts = [kv.extract_partition(partitioner, i) for i in range(n)]
+    collected = [key for part in parts for key in part.keys()]
+    assert len(collected) == len(kv.keys())
+    assert sorted(map(repr, collected)) == sorted(map(repr, kv.keys()))
+
+
+@given(
+    cells=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15),
+                  st.floats(-100, 100, allow_nan=False)),
+        max_size=40,
+    ),
+    vec=st.lists(st.floats(-10, 10, allow_nan=False), max_size=16),
+)
+@settings(max_examples=50)
+def test_matrix_multiply_matches_reference(cells, vec):
+    m = Matrix()
+    model = {}
+    for row, col, value in cells:
+        m.set_element(row, col, value)
+        model[(row, col)] = value
+    result = m.multiply(Vector(values=vec))
+    expected = {}
+    for (row, col), value in model.items():
+        if col < len(vec):
+            expected[row] = expected.get(row, 0.0) + value * vec[col]
+    for row, total in expected.items():
+        assert abs(result.get(row) - total) < 1e-9
+
+
+@given(ops_list=st.lists(st.tuples(st.integers(0, 30), values), max_size=50))
+def test_vector_checkpoint_transparency(ops_list):
+    plain = Vector()
+    checkpointed = Vector()
+    mid = len(ops_list) // 2
+    for index, value in ops_list[:mid]:
+        plain.set(index, value)
+        checkpointed.set(index, value)
+    checkpointed.begin_checkpoint()
+    for index, value in ops_list[mid:]:
+        plain.set(index, value)
+        checkpointed.set(index, value)
+    assert checkpointed.to_list() == plain.to_list()
+    checkpointed.consolidate()
+    assert checkpointed.to_list() == plain.to_list()

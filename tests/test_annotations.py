@@ -1,0 +1,96 @@
+"""Tests for the annotation descriptors and markers (§4.1)."""
+
+import pytest
+
+from repro import (
+    Partial,
+    Partitioned,
+    SDGProgram,
+    TranslationError,
+    collection,
+    entry,
+    global_,
+)
+from repro.core import StateKind
+from repro.state import KeyValueMap, Matrix, Vector
+
+
+class TestDescriptors:
+    def test_partitioned_kind_and_key(self):
+        field = Partitioned(Matrix, key="user")
+        assert field.kind is StateKind.PARTITIONED
+        assert field.key == "user"
+
+    def test_partial_kind(self):
+        field = Partial(Vector)
+        assert field.kind is StateKind.PARTIAL
+        assert field.key is None
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(TranslationError, match="callable"):
+            Partial(42)
+
+    def test_instance_access_materialises_lazily(self):
+        class P(SDGProgram):
+            table = Partitioned(KeyValueMap, key="k")
+
+            @entry
+            def put(self, k, v):
+                self.table.put(k, v)
+
+        program = P()
+        assert "table" not in program.__dict__
+        program.table.put("x", 1)
+        assert "table" in program.__dict__
+        # Same instance on every access.
+        assert program.table is program.table
+
+    def test_instances_do_not_share_state(self):
+        class P(SDGProgram):
+            table = Partial(KeyValueMap)
+
+            @entry
+            def put(self, k, v):
+                self.table.put(k, v)
+
+        first, second = P(), P()
+        first.table.put("x", 1)
+        assert second.table.get("x") is None
+
+    def test_class_access_returns_descriptor(self):
+        class P(SDGProgram):
+            table = Partial(KeyValueMap)
+
+            @entry
+            def noop(self, x):
+                return x
+
+        assert isinstance(P.table, Partial)
+
+    def test_factory_must_produce_state_element(self):
+        class P(SDGProgram):
+            bad = Partial(dict)
+
+            @entry
+            def op(self, x):
+                return self.bad
+
+        program = P()
+        with pytest.raises(TranslationError, match="StateElement"):
+            program.bad  # noqa: B018 - attribute access is the test
+
+
+class TestMarkers:
+    def test_entry_marks_method(self):
+        @entry
+        def method(self):
+            pass
+
+        assert method._sdg_entry is True
+
+    def test_global_is_identity_sequentially(self):
+        kv = KeyValueMap()
+        assert global_(kv) is kv
+
+    def test_collection_wraps_sequentially(self):
+        assert collection(5) == [5]

@@ -1,0 +1,128 @@
+"""Chaos integration: scaling, scheduled checkpoints and failures mixed.
+
+The riskiest interplay in the system is scale-up (which repartitions
+state and bumps the partitioning epoch) happening between a checkpoint
+and a failure. These tests drive all three mechanisms together and
+require the final state to match an uninterrupted sequential run.
+"""
+
+import pytest
+
+from repro.apps import KeyValueStore
+from repro.recovery import (
+    BackupStore,
+    CheckpointManager,
+    CheckpointScheduler,
+    RecoveryManager,
+)
+from repro.workloads import KVWorkload
+
+
+def merged_state(app):
+    merged = {}
+    for element in app.state_of("table"):
+        merged.update(dict(element.items()))
+    return merged
+
+
+class TestScaleThenFail:
+    def test_scale_checkpoint_fail_recover(self):
+        """scale -> (scheduler re-checkpoints) -> fail -> recover."""
+        app = KeyValueStore.launch(table=2)
+        store = BackupStore(m_targets=2)
+        manager = CheckpointManager(app.runtime, store)
+        scheduler = CheckpointScheduler(manager, every_items=30,
+                                        complete_after_steps=5).install()
+        recovery = RecoveryManager(app.runtime, store)
+        sequential = KeyValueStore()
+        workload = KVWorkload(n_keys=80, read_fraction=0.0, seed=41)
+        ops = list(workload.ops(400))
+
+        for op in ops[:150]:
+            app.put(op.key, op.value)
+            sequential.put(op.key, op.value)
+        app.run()
+
+        put_te = app.translation.entry_info("put").entry_te
+        scheduler.flush()  # close any open checkpoint window
+        assert app.runtime.scale_up(put_te)  # epoch bump
+
+        # Keep writing: the scheduler notices the epoch change and
+        # refreshes every partition's checkpoint.
+        for op in ops[150:300]:
+            app.put(op.key, op.value)
+            sequential.put(op.key, op.value)
+        app.run()
+        scheduler.flush()
+
+        victim = app.runtime.se_instance("table", 1).node_id
+        app.runtime.fail_node(victim)
+        recovery.recover_node(victim)
+        app.run()
+
+        for op in ops[300:]:
+            app.put(op.key, op.value)
+            sequential.put(op.key, op.value)
+        app.run()
+        scheduler.flush()
+        assert merged_state(app) == dict(sequential.table.items())
+
+    def test_repeated_scale_and_failure_rounds(self):
+        app = KeyValueStore.launch(table=1)
+        store = BackupStore(m_targets=2)
+        manager = CheckpointManager(app.runtime, store)
+        scheduler = CheckpointScheduler(manager, every_items=25,
+                                        complete_after_steps=3).install()
+        recovery = RecoveryManager(app.runtime, store)
+        sequential = KeyValueStore()
+        workload = KVWorkload(n_keys=50, read_fraction=0.0, seed=43)
+        ops = list(workload.ops(300))
+        put_te = app.translation.entry_info("put").entry_te
+
+        chunk = 100
+        for round_index in range(3):
+            for op in ops[round_index * chunk:(round_index + 1) * chunk]:
+                app.put(op.key, op.value)
+                sequential.put(op.key, op.value)
+            app.run()
+            if round_index < 2:
+                # Close any open checkpoint window before repartitioning
+                # (the engine refuses to reshard dirty state).
+                scheduler.flush()
+                app.runtime.scale_up(put_te)
+                # Give the scheduler steps to refresh checkpoints
+                # under the new epoch before the failure.
+                for op in workload.ops(60):
+                    app.put(op.key, op.value)
+                    sequential.put(op.key, op.value)
+                app.run()
+                scheduler.flush()
+                victim = app.runtime.se_instance(
+                    "table", round_index
+                ).node_id
+                app.runtime.fail_node(victim)
+                recovery.recover_node(victim)
+                app.run()
+
+        scheduler.flush()
+        assert merged_state(app) == dict(sequential.table.items())
+
+    def test_failure_in_unprotected_window_is_loud_not_corrupt(self):
+        """Failing right after a scale-up (before any fresh checkpoint)
+        must raise, never silently restore the stale partitioning."""
+        app = KeyValueStore.launch(table=2)
+        store = BackupStore(m_targets=2)
+        manager = CheckpointManager(app.runtime, store)
+        recovery = RecoveryManager(app.runtime, store)
+        for i in range(50):
+            app.put(i, i)
+        app.run()
+        manager.checkpoint_all()
+        put_te = app.translation.entry_info("put").entry_te
+        app.runtime.scale_up(put_te)
+        victim = app.runtime.se_instance("table", 0).node_id
+        app.runtime.fail_node(victim)
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError, match="repartitioned"):
+            recovery.recover_node(victim)

@@ -1,0 +1,75 @@
+"""Tests for the py2sdg command-line tool."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestTranslateCommand:
+    def test_translate_cf(self, capsys):
+        assert main(["translate",
+                     "repro.apps:CollaborativeFiltering"]) == 0
+        out = capsys.readouterr().out
+        assert "5 task elements" in out
+        assert "user_item" in out and "co_occ" in out
+        assert "one_to_all" in out and "all_to_one" in out
+        assert "add_rating(user, item, rating)" in out
+
+    def test_translate_dot(self, capsys):
+        assert main(["translate", "repro.apps:KeyValueStore",
+                     "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"table"' in out
+
+    def test_allocate(self, capsys):
+        assert main(["allocate",
+                     "repro.apps:CollaborativeFiltering"]) == 0
+        out = capsys.readouterr().out
+        assert "allocation (3 nodes" in out
+        assert "node 0:" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SDG" in out and "Piccolo" in out
+
+
+class TestErrors:
+    def test_bad_spec_format(self, capsys):
+        assert main(["translate", "no-colon"]) == 1
+        assert "expected <module>:<Class>" in capsys.readouterr().err
+
+    def test_unknown_module(self, capsys):
+        assert main(["translate", "nope.nope:X"]) == 1
+        assert "cannot import" in capsys.readouterr().err
+
+    def test_unknown_class(self, capsys):
+        assert main(["translate", "repro.apps:Missing"]) == 1
+        assert "no class" in capsys.readouterr().err
+
+    def test_untranslatable_class(self, capsys):
+        # A class without annotations fails with a TranslationError.
+        assert main(["translate", "repro.state:Vector"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSubprocessEntryPoint:
+    def test_python_dash_m_repro(self):
+        completed = run_cli("translate", "repro.apps:KMeans")
+        assert completed.returncode == 0
+        assert "accumulators" in completed.stdout
+
+    def test_exit_code_on_error(self):
+        completed = run_cli("translate", "garbage")
+        assert completed.returncode == 1

@@ -1,0 +1,75 @@
+"""Tests for the BoundProgram / SDGProgram public API surface."""
+
+import pytest
+
+from repro import RuntimeConfig, TranslationError
+from repro.apps import KeyValueStore
+
+
+class TestLaunch:
+    def test_launch_with_kwargs_sets_instances(self):
+        app = KeyValueStore.launch(table=5)
+        assert len(app.runtime.se_instances("table")) == 5
+
+    def test_launch_with_config_object(self):
+        config = RuntimeConfig(se_instances={"table": 2})
+        app = KeyValueStore.launch(config=config)
+        assert len(app.runtime.se_instances("table")) == 2
+
+    def test_kwargs_override_config(self):
+        config = RuntimeConfig(se_instances={"table": 2})
+        app = KeyValueStore.launch(config=config, table=4)
+        assert len(app.runtime.se_instances("table")) == 4
+
+    def test_to_sdg_returns_validated_graph(self):
+        sdg = KeyValueStore.to_sdg()
+        sdg.validate()
+        assert "table" in sdg.states
+
+
+class TestEntryProxies:
+    def test_unknown_entry_attribute_raises(self):
+        app = KeyValueStore.launch()
+        with pytest.raises(AttributeError, match="no entry method"):
+            app.not_a_method("x")
+
+    def test_wrong_arity_raises(self):
+        app = KeyValueStore.launch()
+        with pytest.raises(TypeError, match="takes 2 arguments"):
+            app.put("only-key")
+
+    def test_call_by_name(self):
+        app = KeyValueStore.launch()
+        app.call("put", "k", 1)
+        app.run()
+        app.call("get", "k")
+        app.run()
+        assert app.results("get") == [("k", 1)]
+
+    def test_results_of_unknown_method_raises(self):
+        app = KeyValueStore.launch()
+        with pytest.raises(TranslationError, match="not an entry"):
+            app.results("nope")
+
+    def test_results_are_a_copy(self):
+        app = KeyValueStore.launch()
+        app.put("k", 1)
+        app.get("k")
+        app.run()
+        first = app.results("get")
+        first.append("tampered")
+        assert app.results("get") == [("k", 1)]
+
+    def test_state_of_returns_live_elements(self):
+        app = KeyValueStore.launch(table=2)
+        app.put("k", 7)
+        app.run()
+        elements = app.state_of("table")
+        assert len(elements) == 2
+        assert any(e.get("k") == 7 for e in elements)
+
+    def test_run_returns_items_processed(self):
+        app = KeyValueStore.launch()
+        app.put("a", 1)
+        app.put("b", 2)
+        assert app.run() == 2

@@ -1,0 +1,110 @@
+"""The tutorial's HashtagStats program must work as documented."""
+
+import pytest
+
+from repro import (
+    Partial,
+    Partitioned,
+    SDGProgram,
+    collection,
+    entry,
+    global_,
+)
+from repro.core import AccessMode, Dispatch
+from repro.state import KeyValueMap
+
+
+class HashtagStats(SDGProgram):
+    by_author = Partitioned(KeyValueMap, key="author")
+    totals = Partial(KeyValueMap)
+
+    @entry
+    def mention(self, author, tag):
+        counts = self.by_author.get(author) or {}
+        counts[tag] = counts.get(tag, 0) + 1
+        self.by_author.put(author, counts)
+        self.totals.increment(tag)
+
+    @entry
+    def favourite(self, author):
+        counts = self.by_author.get(author) or {}
+        best = None
+        for tag in counts:
+            if best is None or counts[tag] > counts[best]:
+                best = tag
+        return (author, best)
+
+    @entry
+    def total_of(self, tag):
+        partial_count = global_(self.totals).get(tag, 0)
+        count = self.sum_up(collection(partial_count))
+        return (tag, count)
+
+    def sum_up(self, values):
+        total = 0
+        for value in values:
+            total = total + value
+        return total
+
+
+STREAM = [
+    ("ada", "#sdg"), ("ada", "#sdg"), ("ada", "#dataflow"),
+    ("bob", "#sdg"), ("bob", "#state"), ("carol", "#state"),
+    ("carol", "#state"), ("ada", "#sdg"),
+]
+
+
+class TestTutorialSequential:
+    def test_sequential_walkthrough(self):
+        local = HashtagStats()
+        local.mention("ada", "#sdg")
+        local.mention("ada", "#sdg")
+        assert local.favourite("ada") == ("ada", "#sdg")
+        assert local.total_of("#sdg") == ("#sdg", 2)
+
+
+class TestTutorialTranslation:
+    def test_mention_splits_into_two_tes(self):
+        result = HashtagStats.translate()
+        info = result.entry_info("mention")
+        assert len(info.te_names) == 2
+        tasks = result.sdg.tasks
+        assert tasks[info.te_names[0]].state == "by_author"
+        assert tasks[info.te_names[1]].state == "totals"
+        assert tasks[info.te_names[1]].access is AccessMode.LOCAL
+
+    def test_total_of_is_broadcast_merge(self):
+        result = HashtagStats.translate()
+        info = result.entry_info("total_of")
+        # The entry TE itself carries the global access: injection
+        # broadcasts to every replica, and the merge gathers.
+        first = result.sdg.task(info.te_names[0])
+        assert first.access is AccessMode.GLOBAL
+        dispatches = [e.dispatch for e in result.sdg.dataflows
+                      if e.src == info.te_names[0]]
+        assert dispatches == [Dispatch.ALL_TO_ONE]
+        assert result.sdg.task(info.te_names[1]).is_merge
+
+
+class TestTutorialDistributed:
+    @pytest.mark.parametrize("replicas", [1, 2])
+    def test_distributed_matches_sequential(self, replicas):
+        local = HashtagStats()
+        app = HashtagStats.launch(by_author=4, totals=replicas)
+        for author, tag in STREAM:
+            local.mention(author, tag)
+            app.mention(author, tag)
+        app.run()
+        for author in ("ada", "bob", "carol"):
+            app.favourite(author)
+        for tag in ("#sdg", "#state", "#dataflow"):
+            app.total_of(tag)
+        app.run()
+        assert sorted(app.results("favourite")) == sorted(
+            local.favourite(author)
+            for author in ("ada", "bob", "carol")
+        )
+        assert sorted(app.results("total_of")) == sorted(
+            local.total_of(tag)
+            for tag in ("#sdg", "#state", "#dataflow")
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for state-access extraction and classification (step 3)."""
+
+import ast
+
+import pytest
+
+from repro.annotations import Partial, Partitioned
+from repro.core.elements import AccessMode
+from repro.errors import TranslationError
+from repro.state import KeyValueMap, Matrix
+from repro.translate.accesses import analyse_statement
+
+FIELDS = {
+    "user_item": Partitioned(Matrix, key="user"),
+    "co_occ": Partial(Matrix),
+    "table": Partitioned(KeyValueMap, key="key"),
+}
+
+
+def first_stmt(code: str) -> ast.stmt:
+    return ast.parse(code).body[0]
+
+
+class TestClassification:
+    def test_partitioned_access(self):
+        info = analyse_statement(
+            first_stmt("self.user_item.set_element(user, item, r)"), FIELDS
+        )
+        assert len(info.accesses) == 1
+        access = info.accesses[0]
+        assert access.field == "user_item"
+        assert access.mode is AccessMode.PARTITIONED
+        assert access.key == "user"
+
+    def test_local_access_on_partial(self):
+        info = analyse_statement(
+            first_stmt("self.co_occ.set_element(i, j, 1)"), FIELDS
+        )
+        assert info.accesses[0].mode is AccessMode.LOCAL
+
+    def test_global_access(self):
+        info = analyse_statement(
+            first_stmt("x = global_(self.co_occ).multiply(v)"), FIELDS
+        )
+        assert info.accesses[0].mode is AccessMode.GLOBAL
+
+    def test_accesses_deduplicated(self):
+        stmt = first_stmt(
+            "self.co_occ.set_element(a, b, self.co_occ.get_element(a, b))"
+        )
+        info = analyse_statement(stmt, FIELDS)
+        assert len(info.accesses) == 1
+
+    def test_compound_statement_accesses_found(self):
+        stmt = first_stmt(
+            "for i in range(10):\n"
+            "    self.co_occ.set_element(i, i, 1)\n"
+        )
+        info = analyse_statement(stmt, FIELDS)
+        assert info.accesses[0].field == "co_occ"
+
+    def test_stateless_statement(self):
+        info = analyse_statement(first_stmt("x = y + 1"), FIELDS)
+        assert info.accesses == []
+        assert info.merge is None
+
+
+class TestMergeDetection:
+    def test_merge_call_detected(self):
+        info = analyse_statement(
+            first_stmt("rec = self.merge(collection(user_rec))"), FIELDS
+        )
+        assert info.merge is not None
+        assert info.merge.method == "merge"
+        assert info.merge.collection_var == "user_rec"
+
+    def test_helper_call_without_collection_is_not_merge(self):
+        info = analyse_statement(
+            first_stmt("x = self.helper(a, b)"), FIELDS
+        )
+        assert info.merge is None
+        assert info.helper_calls == ["helper"]
+
+    def test_collection_outside_merge_rejected(self):
+        with pytest.raises(TranslationError, match="collection"):
+            analyse_statement(first_stmt("x = collection(y)"), FIELDS)
+
+    def test_merge_with_extra_single_valued_args_allowed(self):
+        info = analyse_statement(
+            first_stmt("x = self.merge(collection(y), z)"), FIELDS
+        )
+        assert info.merge.collection_var == "y"
+
+    def test_collection_must_come_first(self):
+        with pytest.raises(TranslationError, match="first argument"):
+            analyse_statement(
+                first_stmt("x = self.merge(z, collection(y))"), FIELDS
+            )
+
+    def test_second_collection_rejected(self):
+        with pytest.raises(TranslationError, match="only the first"):
+            analyse_statement(
+                first_stmt(
+                    "x = self.merge(collection(y), collection(z))"
+                ),
+                FIELDS,
+            )
+
+    def test_collection_of_expression_rejected(self):
+        with pytest.raises(TranslationError, match="single local variable"):
+            analyse_statement(
+                first_stmt("x = self.merge(collection(y + 1))"), FIELDS
+            )
+
+
+class TestInvalidAccesses:
+    def test_two_state_fields_in_one_statement_rejected(self):
+        with pytest.raises(TranslationError, match="multiple state"):
+            analyse_statement(
+                first_stmt(
+                    "self.table.put(k, self.co_occ.get_element(0, 0))"
+                ),
+                FIELDS,
+            )
+
+    def test_mixed_modes_on_one_field_rejected(self):
+        with pytest.raises(TranslationError, match="mixes access modes"):
+            analyse_statement(
+                first_stmt(
+                    "x = global_(self.co_occ).multiply("
+                    "self.co_occ.get_row(0))"
+                ),
+                FIELDS,
+            )
+
+    def test_unknown_self_attribute_rejected(self):
+        with pytest.raises(TranslationError, match="explicit state"):
+            analyse_statement(first_stmt("x = self.mystery"), FIELDS)
+
+    def test_global_on_partitioned_rejected(self):
+        with pytest.raises(TranslationError, match="Partial"):
+            analyse_statement(
+                first_stmt("x = global_(self.user_item)"), FIELDS
+            )
+
+    def test_global_of_non_field_rejected(self):
+        with pytest.raises(TranslationError, match="annotated state"):
+            analyse_statement(first_stmt("x = global_(y)"), FIELDS)

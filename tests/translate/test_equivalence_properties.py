@@ -1,0 +1,108 @@
+"""Property-based translation-equivalence and CF-recovery tests.
+
+The translator's contract: for any workload, the distributed execution
+of an annotated program computes exactly what the plain sequential
+execution computes — including across replica counts, and including
+runs interrupted by a failure and recovery.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import CollaborativeFiltering, KeyValueStore
+from repro.recovery import BackupStore, CheckpointManager, RecoveryManager
+
+ratings = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 4), st.integers(1, 5)),
+    min_size=1, max_size=25,
+)
+
+
+@given(ops=ratings, replicas=st.integers(1, 3),
+       query_user=st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_cf_distributed_equals_sequential(ops, replicas, query_user):
+    sequential = CollaborativeFiltering()
+    app = CollaborativeFiltering.launch(user_item=2, co_occ=replicas)
+    for user, item, rating in ops:
+        sequential.add_rating(user, item, rating)
+        app.add_rating(user, item, rating)
+    app.run()
+    app.get_rec(query_user)
+    app.run()
+    assert (app.results("get_rec")[0].to_list()
+            == sequential.get_rec(query_user).to_list())
+
+
+kv_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "bump", "remove"]),
+              st.integers(0, 8), st.integers(0, 50)),
+    min_size=1, max_size=30,
+)
+
+
+@given(ops=kv_ops, partitions=st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_kv_distributed_equals_sequential(ops, partitions):
+    """Each op kind is its own entry TE, and the model guarantees
+    ordering only *within* one dataflow stream — so the property drains
+    between ops to serialise across entry streams, exactly what a
+    client needing cross-operation ordering would do."""
+    sequential = KeyValueStore()
+    app = KeyValueStore.launch(table=partitions)
+    for op, key, value in ops:
+        if op == "put":
+            sequential.put(key, value)
+            app.put(key, value)
+        elif op == "bump":
+            sequential.bump(key, value)
+            app.bump(key, value)
+        else:
+            sequential.remove(key)
+            app.remove(key)
+        app.run()
+    merged = {}
+    for element in app.state_of("table"):
+        merged.update(dict(element.items()))
+    assert merged == dict(sequential.table.items())
+
+
+@given(ops=ratings, fail_at=st.integers(0, 25),
+       checkpoint_at=st.integers(0, 25))
+@settings(max_examples=20, deadline=None)
+def test_cf_recovery_transparent_under_random_workloads(
+    ops, fail_at, checkpoint_at
+):
+    checkpoint_at = min(checkpoint_at, len(ops))
+    fail_at = min(max(fail_at, checkpoint_at), len(ops))
+
+    sequential = CollaborativeFiltering()
+    for user, item, rating in ops:
+        sequential.add_rating(user, item, rating)
+
+    app = CollaborativeFiltering.launch(user_item=1, co_occ=2)
+    store = BackupStore(m_targets=2)
+    manager = CheckpointManager(app.runtime, store)
+    recovery = RecoveryManager(app.runtime, store)
+    victim = app.runtime.se_instance("user_item", 0).node_id
+
+    for index, (user, item, rating) in enumerate(ops):
+        if index == checkpoint_at:
+            app.run()
+            manager.checkpoint(victim)
+        if index == fail_at:
+            app.runtime.fail_node(victim)
+            recovery.recover_node(victim)
+        app.add_rating(user, item, rating)
+    if fail_at >= len(ops):
+        if checkpoint_at >= len(ops):
+            app.run()
+            manager.checkpoint(victim)
+        app.run()
+        app.runtime.fail_node(victim)
+        recovery.recover_node(victim)
+    app.run()
+    app.get_rec(0)
+    app.run()
+    assert (app.results("get_rec")[0].to_list()
+            == sequential.get_rec(0).to_list())

@@ -1,0 +1,100 @@
+"""Unit tests for live-variable analysis (step 5)."""
+
+import ast
+
+from repro.translate.liveness import block_uses_defs, live_ins, uses_defs
+
+
+def stmt(code: str) -> ast.stmt:
+    return ast.parse(code).body[0]
+
+
+def stmts(code: str) -> list[ast.stmt]:
+    return ast.parse(code).body
+
+
+class TestUsesDefs:
+    def test_simple_assign(self):
+        uses, defs = uses_defs(stmt("x = y + 1"))
+        assert uses == {"y"}
+        assert defs == {"x"}
+
+    def test_use_before_def_within_statement(self):
+        uses, defs = uses_defs(stmt("x = x + 1"))
+        assert uses == {"x"}
+        assert defs == {"x"}
+
+    def test_def_then_use_is_not_a_use(self):
+        uses, defs = block_uses_defs(stmts("x = 1\ny = x"))
+        assert uses == set()
+        assert defs == {"x", "y"}
+
+    def test_aug_assign_uses_target(self):
+        uses, defs = uses_defs(stmt("total += v"))
+        assert uses == {"total", "v"}
+        assert defs == {"total"}
+
+    def test_for_loop_target_is_def(self):
+        uses, defs = uses_defs(stmt(
+            "for i in items:\n    out = out + i"
+        ))
+        assert "items" in uses
+        assert "out" in uses  # used before defined on first iteration
+        assert "i" in defs
+
+    def test_loop_local_def_before_use_not_live(self):
+        uses, defs = uses_defs(stmt(
+            "for i in items:\n    t = i * 2\n    acc.append(t)"
+        ))
+        assert "t" not in uses
+        assert "acc" in uses
+
+    def test_if_branches_union_uses(self):
+        uses, defs = uses_defs(stmt(
+            "if cond:\n    x = a\nelse:\n    x = b"
+        ))
+        assert uses == {"cond", "a", "b"}
+        assert defs == {"x"}
+
+    def test_self_is_ignored(self):
+        uses, defs = uses_defs(stmt("self.table.put(k, v)"))
+        assert uses == {"k", "v"}
+
+    def test_comprehension_target_is_scoped(self):
+        uses, defs = uses_defs(stmt("out = [w * 2 for w in words]"))
+        assert uses == {"words"}
+        assert "w" not in defs
+
+    def test_lambda_params_are_scoped(self):
+        uses, defs = uses_defs(stmt("f = lambda a: a + b"))
+        assert uses == {"b"}
+
+
+class TestBlockLiveness:
+    def test_params_feed_first_block(self):
+        blocks = [stmts("x = user + 1"), stmts("y = x + item")]
+        lives = live_ins(blocks, ["user", "item"])
+        assert lives[0] == ["user", "item"]
+        assert lives[1] == ["item", "x"]
+
+    def test_transitive_liveness(self):
+        # 'user' skips the middle block and is used in the last one.
+        blocks = [stmts("a = user"), stmts("b = a"), stmts("c = b + user")]
+        lives = live_ins(blocks, ["user"])
+        assert lives[1] == ["a", "user"]
+        assert lives[2] == ["b", "user"]
+
+    def test_redefined_variable_not_carried(self):
+        blocks = [stmts("x = 1"), stmts("x = 2\ny = x")]
+        lives = live_ins(blocks, [])
+        assert lives[1] == []
+
+    def test_globals_not_carried(self):
+        # 'range' is never defined upstream, so it is not payload.
+        blocks = [stmts("x = 1"), stmts("y = [x for i in range(3)]")]
+        lives = live_ins(blocks, [])
+        assert lives[1] == ["x"]
+
+    def test_deterministic_order(self):
+        blocks = [stmts("b = 1\na = 2\nz = 3"), stmts("w = a + b + z")]
+        assert live_ins(blocks, [])[1] == ["a", "b", "z"]

@@ -1,0 +1,156 @@
+"""Tests for merges whose dataflow carries more than the partial var.
+
+When a single-valued variable (e.g. the request's user id) is live
+across the gather barrier alongside the partial variable, the merge
+prologue must take the single-valued component from any one gathered
+item and build the list only for the collection variable — the §4.1
+"side-effect-free parallelism" guarantee makes that sound.
+"""
+
+import pytest
+
+from repro import (
+    Partial,
+    Partitioned,
+    SDGProgram,
+    collection,
+    entry,
+    global_,
+)
+from repro.state import KeyValueMap, Matrix, Vector
+
+
+class EchoingCF(SDGProgram):
+    """CF variant returning (user, rec): 'user' crosses the barrier."""
+
+    user_item = Partitioned(Matrix, key="user")
+    co_occ = Partial(Matrix)
+
+    @entry
+    def add_rating(self, user, item, rating):
+        self.user_item.set_element(user, item, rating)
+        user_row = self.user_item.get_row(user)
+        values = user_row.to_list()
+        for i in range(len(values)):
+            if values[i] > 0:
+                self.co_occ.add_element(item, i, 1)
+                self.co_occ.add_element(i, item, 1)
+
+    @entry
+    def get_rec(self, user):
+        user_row = self.user_item.get_row(user)
+        user_rec = global_(self.co_occ).multiply(user_row)
+        rec = self.merge(collection(user_rec))
+        return (user, rec.to_list())
+
+    def merge(self, all_user_rec):
+        rec = Vector()
+        for cur in all_user_rec:
+            rec.add_vector(cur)
+        return rec
+
+
+class TestMultiVariableGatherPayload:
+    def test_merge_live_in_includes_both_variables(self):
+        result = EchoingCF.translate()
+        info = result.entry_info("get_rec")
+        merge_te = result.sdg.task(info.te_names[-1])
+        assert merge_te.is_merge
+
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_user_id_travels_with_the_partials(self, replicas):
+        seq = EchoingCF()
+        app = EchoingCF.launch(user_item=2, co_occ=replicas)
+        ratings = [(0, 0, 5), (0, 1, 3), (1, 0, 4), (2, 2, 2)]
+        for rating in ratings:
+            seq.add_rating(*rating)
+            app.add_rating(*rating)
+        app.run()
+        for user in (0, 1, 2):
+            app.get_rec(user)
+        app.run()
+        got = {user: rec for user, rec in app.results("get_rec")}
+        for user in (0, 1, 2):
+            assert got[user] == seq.get_rec(user)[1]
+            assert seq.get_rec(user)[0] == user
+
+
+class MultiExtraLive(SDGProgram):
+    """Two single-valued variables cross the barrier with the partial."""
+
+    counters = Partial(KeyValueMap)
+
+    @entry
+    def bump(self, key):
+        self.counters.increment(key)
+
+    @entry
+    def report(self, key, label):
+        scale = 10
+        count = global_(self.counters).get(key, 0)
+        total = self.total(collection(count))
+        return (label, key, total * scale)
+
+    def total(self, counts):
+        result = 0
+        for value in counts:
+            result = result + value
+        return result
+
+
+class MergeWithArguments(SDGProgram):
+    """The merge helper takes extra single-valued arguments."""
+
+    counters = Partial(KeyValueMap)
+
+    @entry
+    def bump(self, key):
+        self.counters.increment(key)
+
+    @entry
+    def top_scaled(self, key, factor, offset):
+        count = global_(self.counters).get(key, 0)
+        result = self.combine(collection(count), factor, offset)
+        return result
+
+    def combine(self, counts, factor, offset):
+        total = 0
+        for value in counts:
+            total = total + value
+        return total * factor + offset
+
+
+class TestMergeWithExtraArguments:
+    @pytest.mark.parametrize("replicas", [1, 3])
+    def test_extra_args_reach_the_merge_helper(self, replicas):
+        app = MergeWithArguments.launch(counters=replicas)
+        for _ in range(6):
+            app.bump("k")
+        app.run()
+        app.top_scaled("k", 10, 5)
+        app.run()
+        assert app.results("top_scaled") == [65]
+
+    def test_sequential_agrees(self):
+        seq = MergeWithArguments()
+        for _ in range(6):
+            seq.bump("k")
+        assert seq.top_scaled("k", 10, 5) == 65
+
+
+class TestSeveralSingleValuedVariables:
+    @pytest.mark.parametrize("replicas", [1, 4])
+    def test_all_constants_preserved(self, replicas):
+        app = MultiExtraLive.launch(counters=replicas)
+        for _ in range(12):
+            app.bump("hits")
+        app.run()
+        app.report("hits", "daily")
+        app.run()
+        assert app.results("report") == [("daily", "hits", 120)]
+
+    def test_sequential_agrees(self):
+        seq = MultiExtraLive()
+        for _ in range(12):
+            seq.bump("hits")
+        assert seq.report("hits", "daily") == ("daily", "hits", 120)

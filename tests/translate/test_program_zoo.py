@@ -1,0 +1,302 @@
+"""A zoo of small annotated programs stressing the translator.
+
+Each program covers a pattern the paper's translation rules must
+handle: chained state elements, shared keys, partial-then-partitioned
+hops, consecutive global accesses with double merges, control flow
+inside TEs, and the rule-4 barrier restriction. Every runnable program
+is checked for sequential/distributed equivalence — the translator's
+correctness contract.
+"""
+
+import pytest
+
+from repro import (
+    Partial,
+    Partitioned,
+    SDGProgram,
+    TranslationError,
+    collection,
+    entry,
+    global_,
+)
+from repro.core import AccessMode, Dispatch
+from repro.state import KeyValueMap, Vector
+
+
+class ChainedPartitioned(SDGProgram):
+    """Two partitioned SEs touched in sequence, same key."""
+
+    accounts = Partitioned(KeyValueMap, key="user")
+    audit = Partitioned(KeyValueMap, key="user")
+
+    @entry
+    def deposit(self, user, amount):
+        balance = self.accounts.get(user)
+        if balance is None:
+            balance = 0
+        self.accounts.put(user, balance + amount)
+        self.audit.put(user, amount)
+
+    @entry
+    def balance_of(self, user):
+        return (user, self.accounts.get(user))
+
+    @entry
+    def last_audit(self, user):
+        return (user, self.audit.get(user))
+
+
+class TestChainedPartitioned:
+    def test_splits_at_second_state_element(self):
+        result = ChainedPartitioned.translate()
+        info = result.entry_info("deposit")
+        assert len(info.te_names) == 2
+        tasks = result.sdg.tasks
+        assert tasks[info.te_names[0]].state == "accounts"
+        assert tasks[info.te_names[1]].state == "audit"
+
+    def test_inter_te_edge_is_keyed(self):
+        result = ChainedPartitioned.translate()
+        info = result.entry_info("deposit")
+        edge = next(e for e in result.sdg.dataflows
+                    if e.src == info.te_names[0])
+        assert edge.dispatch is Dispatch.KEY_PARTITIONED
+        assert edge.key_name == "user"
+
+    def test_equivalence(self):
+        seq = ChainedPartitioned()
+        app = ChainedPartitioned.launch(accounts=3, audit=2)
+        for i in range(40):
+            seq.deposit(i % 7, i)
+            app.deposit(i % 7, i)
+        app.run()
+        for user in range(7):
+            app.balance_of(user)
+            app.last_audit(user)
+        app.run()
+        assert sorted(app.results("balance_of")) == sorted(
+            seq.balance_of(user) for user in range(7)
+        )
+        assert sorted(app.results("last_audit")) == sorted(
+            seq.last_audit(user) for user in range(7)
+        )
+
+
+class PartialThenPartitioned(SDGProgram):
+    """A local partial hop before a keyed partitioned hop."""
+
+    cache = Partial(KeyValueMap)
+    profiles = Partitioned(KeyValueMap, key="user")
+
+    @entry
+    def track(self, user, item):
+        self.cache.increment(item)
+        self.profiles.put(user, item)
+
+    @entry
+    def profile_of(self, user):
+        return (user, self.profiles.get(user))
+
+
+class TestPartialThenPartitioned:
+    def test_dispatch_sequence(self):
+        result = PartialThenPartitioned.translate()
+        info = result.entry_info("track")
+        assert len(info.te_names) == 2
+        tasks = result.sdg.tasks
+        assert tasks[info.te_names[0]].access is AccessMode.LOCAL
+        assert tasks[info.te_names[1]].access is AccessMode.PARTITIONED
+        edge = next(e for e in result.sdg.dataflows
+                    if e.src == info.te_names[0])
+        assert edge.dispatch is Dispatch.KEY_PARTITIONED
+
+    def test_entry_is_load_balanced_not_keyed(self):
+        result = PartialThenPartitioned.translate()
+        te = result.sdg.task(result.entry_info("track").entry_te)
+        assert te.entry_key_fn is None  # local access => one-to-any
+
+    def test_equivalence(self):
+        seq = PartialThenPartitioned()
+        app = PartialThenPartitioned.launch(cache=2, profiles=3)
+        for i in range(30):
+            seq.track(i % 5, f"item{i % 4}")
+            app.track(i % 5, f"item{i % 4}")
+        app.run()
+        for user in range(5):
+            app.profile_of(user)
+        app.run()
+        assert sorted(app.results("profile_of")) == sorted(
+            seq.profile_of(user) for user in range(5)
+        )
+        # The partial cache counts are load-balanced but conserved.
+        total = sum(
+            sum(v for _k, v in element.items())
+            for element in app.state_of("cache")
+        )
+        assert total == 30
+
+
+class DoubleGlobal(SDGProgram):
+    """Two global accesses, each reconciled by its own merge."""
+
+    stats = Partial(KeyValueMap)
+
+    @entry
+    def record(self, value):
+        self.stats.increment("count")
+        self.stats.increment("sum", value)
+
+    @entry
+    def mean(self):
+        counts = global_(self.stats).get("count", 0)
+        total_count = self.sum_up(collection(counts))
+        sums = global_(self.stats).get("sum", 0)
+        total_sum = self.sum_up(collection(sums))
+        return total_sum / total_count if total_count else 0.0
+
+    def sum_up(self, values):
+        total = 0
+        for value in values:
+            total = total + value
+        return total
+
+
+class TestDoubleGlobal:
+    def test_five_te_pipeline(self):
+        result = DoubleGlobal.translate()
+        info = result.entry_info("mean")
+        # global -> merge -> global -> merge.
+        assert len(info.te_names) == 4
+        modes = [result.sdg.tasks[name] for name in info.te_names]
+        assert modes[0].access is AccessMode.GLOBAL
+        assert modes[1].is_merge
+        assert modes[2].access is AccessMode.GLOBAL
+        assert modes[3].is_merge
+
+    @pytest.mark.parametrize("replicas", [1, 3])
+    def test_equivalence(self, replicas):
+        seq = DoubleGlobal()
+        app = DoubleGlobal.launch(stats=replicas)
+        values = [3, 5, 7, 9, 11, 13]
+        for value in values:
+            seq.record(value)
+            app.record(value)
+        app.run()
+        app.mean()
+        app.run()
+        assert app.results("mean") == [seq.mean()]
+        assert seq.mean() == pytest.approx(sum(values) / len(values))
+
+
+class LoopInsideTE(SDGProgram):
+    """While/for loops and conditionals stay inside one TE."""
+
+    totals = Partitioned(KeyValueMap, key="bucket")
+
+    @entry
+    def add_digits(self, bucket, number):
+        total = 0
+        remaining = number
+        while remaining > 0:
+            total = total + remaining % 10
+            remaining = remaining // 10
+        if total % 2 == 0:
+            label = "even"
+        else:
+            label = "odd"
+        self.totals.put(bucket, (label, total))
+
+    @entry
+    def read(self, bucket):
+        return self.totals.get(bucket)
+
+
+class TestLoopInsideTE:
+    def test_single_te(self):
+        result = LoopInsideTE.translate()
+        assert len(result.entry_info("add_digits").te_names) == 1
+
+    def test_equivalence(self):
+        seq = LoopInsideTE()
+        app = LoopInsideTE.launch(totals=2)
+        for i, number in enumerate((12345, 808, 9, 1000, 77)):
+            seq.add_digits(i, number)
+            app.add_digits(i, number)
+        app.run()
+        for i in range(5):
+            app.read(i)
+        app.run()
+        assert sorted(app.results("read")) == sorted(
+            seq.read(i) for i in range(5)
+        )
+
+
+class VectorState(SDGProgram):
+    """A partial Vector SE exercised through arithmetic helpers."""
+
+    totals = Partial(Vector)
+
+    @entry
+    def accumulate(self, values):
+        index = 0
+        for value in values:
+            self.totals.add(index, value)
+            index = index + 1
+
+    @entry
+    def grand_total(self):
+        partials = global_(self.totals).to_list()
+        result = self.combine(collection(partials))
+        return result
+
+    def combine(self, lists):
+        total = 0.0
+        for values in lists:
+            for value in values:
+                total = total + value
+        return total
+
+
+class TestVectorState:
+    @pytest.mark.parametrize("replicas", [1, 2, 4])
+    def test_equivalence(self, replicas):
+        seq = VectorState()
+        app = VectorState.launch(totals=replicas)
+        batches = [[1.0, 2.0], [3.0], [4.0, 5.0, 6.0], [7.0]]
+        for batch in batches:
+            seq.accumulate(batch)
+            app.accumulate(batch)
+        app.run()
+        app.grand_total()
+        app.run()
+        assert app.results("grand_total") == [seq.grand_total()]
+        assert seq.grand_total() == 28.0
+
+
+class TestRule4Rejection:
+    def test_state_access_after_global_rejected(self):
+        class Unreconciled(SDGProgram):
+            replicas = Partial(KeyValueMap)
+            sink = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def bad(self, key):
+                value = global_(self.replicas).get(key)
+                self.sink.put(key, value)  # multi-valued, unmerged!
+
+        with pytest.raises(TranslationError, match="rule 4"):
+            Unreconciled.translate()
+
+    def test_global_as_final_block_allowed(self):
+        class BroadcastWrite(SDGProgram):
+            replicas = Partial(KeyValueMap)
+
+            @entry
+            def seed(self, key, value):
+                global_(self.replicas).put(key, value)
+
+        app = BroadcastWrite.launch(replicas=3)
+        app.seed("config", 9)
+        app.run()
+        for element in app.state_of("replicas"):
+            assert element.get("config") == 9

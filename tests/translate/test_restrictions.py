@@ -1,0 +1,120 @@
+"""Tests for the §4.1 program-restriction scanner."""
+
+import pytest
+
+from repro import (
+    Partial,
+    Partitioned,
+    SDGProgram,
+    TranslationError,
+    entry,
+)
+from repro.state import KeyValueMap
+
+
+class TestDeterminism:
+    def test_random_rejected(self):
+        class UsesRandom(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                import random
+
+                self.table.put(key, random.random())
+
+        with pytest.raises(TranslationError, match="deterministic"):
+            UsesRandom.translate()
+
+    def test_time_rejected(self):
+        class UsesTime(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                import time
+
+                self.table.put(key, time.time())
+
+        with pytest.raises(TranslationError, match="deterministic"):
+            UsesTime.translate()
+
+    def test_violation_in_helper_rejected(self):
+        class HelperViolates(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                self.table.put(key, self.stamp())
+
+            def stamp(self):
+                import datetime
+
+                return datetime.datetime.now()
+
+        with pytest.raises(TranslationError, match="deterministic"):
+            HelperViolates.translate()
+
+    def test_timestamps_as_arguments_allowed(self):
+        class Clean(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key, timestamp):
+                self.table.put(key, timestamp)
+
+        Clean.translate()  # no error: determinism is the caller's job
+
+
+class TestLocationIndependence:
+    def test_open_rejected(self):
+        class ReadsFiles(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def load(self, key):
+                with open("/etc/hosts") as fh:
+                    self.table.put(key, fh.read())
+
+        with pytest.raises(TranslationError, match="location independent"):
+            ReadsFiles.translate()
+
+    def test_socket_rejected(self):
+        class UsesSockets(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def ping(self, key):
+                import socket
+
+                self.table.put(key, socket.gethostname())
+
+        with pytest.raises(TranslationError, match="location independent"):
+            UsesSockets.translate()
+
+    def test_os_environ_rejected(self):
+        class ReadsEnv(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def load(self, key):
+                import os
+
+                self.table.put(key, os.getenv("HOME"))
+
+        with pytest.raises(TranslationError, match="location independent"):
+            ReadsEnv.translate()
+
+    def test_error_carries_line_number(self):
+        class UsesRandom(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                import random
+
+                value = random.random()
+                self.table.put(key, value)
+
+        with pytest.raises(TranslationError, match="line"):
+            UsesRandom.translate()
