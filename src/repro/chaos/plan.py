@@ -1,0 +1,196 @@
+"""Fault plans: declarative, deterministic chaos schedules.
+
+A fault plan is an ordered list of fault records, each pinned to a
+logical step (``at_step``) of the runtime. Targets are *selectors*
+rather than raw node ids — "the node hosting partition 2 of SE
+``table``" — because node ids are only known at execution time and
+change as recovery replaces nodes. The
+:class:`~repro.chaos.injector.FaultInjector` resolves selectors when a
+fault fires.
+
+:func:`random_plan` draws a reproducible plan from a seed — the chaos
+soak tests run a fixed seed in CI and crank the seed range locally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True)
+class KillNode:
+    """Fail the node hosting an SE partition (or a node by id)."""
+
+    at_step: int
+    se: str | None = None
+    index: int = 0
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class CrashTask:
+    """Make one TE instance raise out of its task code mid-item."""
+
+    at_step: int
+    te: str
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Inflate a node's per-step service time (``factor`` = new speed).
+
+    ``factor=0`` pauses the node entirely; the failure detector then
+    reports it as stalled once it sits on queued work long enough.
+    """
+
+    at_step: int
+    factor: float
+    se: str | None = None
+    index: int = 0
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class DropEnvelope:
+    """Lose one in-flight envelope, then fail the destination node.
+
+    The engine's channels are reliable FIFO: a silently lost envelope
+    with no subsequent failure is unrecoverable by design (the paper
+    assumes TCP). Chaos therefore models the realistic compound event —
+    the fault that ate the packet also takes the node down — so that
+    replay-based recovery is responsible for resurrecting the lost item.
+    """
+
+    at_step: int
+    te: str
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class DuplicateEnvelope:
+    """Redeliver an already-queued envelope (tests timestamp dedup)."""
+
+    at_step: int
+    te: str
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class CorruptChunk:
+    """Flip bytes in one backed-up checkpoint chunk."""
+
+    at_step: int
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class TargetOffline:
+    """Take a backup-store target offline (or bring it back)."""
+
+    at_step: int
+    target: int
+    offline: bool = True
+
+
+@dataclass(frozen=True)
+class ScaleUp:
+    """Grow a TE by one instance (repartitions its SE, bumps the epoch).
+
+    Retried automatically by the injector when the runtime refuses
+    (checkpoint mid-flight, failed instance pending recovery).
+    """
+
+    at_step: int
+    te: str
+
+
+Fault = (KillNode | CrashTask | SlowNode | DropEnvelope
+         | DuplicateEnvelope | CorruptChunk | TargetOffline | ScaleUp)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, step-stamped schedule of faults."""
+
+    faults: list[Fault] = field(default_factory=list)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if fault.at_step < 0:
+                raise ChaosError(
+                    f"fault scheduled before step 0: {fault!r}"
+                )
+        self.faults.sort(key=lambda f: f.at_step)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def kills(self) -> list[KillNode]:
+        return [f for f in self.faults if isinstance(f, KillNode)]
+
+
+def random_plan(seed: int, *, horizon: int, se: str,
+                entry_te: str | None = None,
+                n_kills: int = 3, n_crashes: int = 1,
+                n_duplicates: int = 2, n_slow: int = 0,
+                n_scale_ups: int = 1,
+                min_gap: int = 60) -> FaultPlan:
+    """Draw a reproducible fault plan over ``horizon`` logical steps.
+
+    Kills (and crashes, which also take their node down) are spaced at
+    least ``min_gap`` steps apart so each detection→recovery cycle can
+    complete before the next failure lands — the paper's single-failure-
+    at-a-time recovery assumption, applied per window.
+    """
+    if horizon < (n_kills + n_crashes + 1) * min_gap:
+        raise ChaosError(
+            f"horizon {horizon} too short for {n_kills} kills and "
+            f"{n_crashes} crashes spaced {min_gap} steps apart"
+        )
+    rng = random.Random(seed)
+    faults: list[Fault] = []
+
+    # Failure steps: evenly strided windows, jittered within each.
+    n_failures = n_kills + n_crashes
+    stride = horizon // (n_failures + 1)
+    failure_steps = [
+        (i + 1) * stride + rng.randrange(-stride // 4, stride // 4 + 1)
+        for i in range(n_failures)
+    ]
+    kinds = ["kill"] * n_kills + ["crash"] * n_crashes
+    rng.shuffle(kinds)
+    for step, kind in zip(failure_steps, kinds):
+        if kind == "kill":
+            faults.append(KillNode(at_step=step, se=se,
+                                   index=rng.randrange(8)))
+        else:
+            faults.append(CrashTask(at_step=step,
+                                    te=entry_te or se,
+                                    index=rng.randrange(8)))
+
+    for _ in range(n_duplicates):
+        faults.append(DuplicateEnvelope(
+            at_step=rng.randrange(horizon // 10, horizon),
+            te=entry_te or se, index=rng.randrange(8),
+        ))
+    for _ in range(n_slow):
+        faults.append(SlowNode(
+            at_step=rng.randrange(horizon // 10, horizon // 2),
+            factor=0.25 + rng.random() * 0.5,
+            se=se, index=rng.randrange(8),
+        ))
+    if entry_te is not None:
+        for _ in range(n_scale_ups):
+            faults.append(ScaleUp(
+                at_step=rng.randrange(horizon // 8, horizon // 2),
+                te=entry_te,
+            ))
+    return FaultPlan(faults=faults, seed=seed)

@@ -58,5 +58,29 @@ class RecoveryError(SDGError):
     """Raised when checkpointing, backup or restore cannot proceed."""
 
 
+class StaleCheckpointError(RecoveryError):
+    """Raised when a checkpoint was captured under a superseded
+    partitioning epoch.
+
+    Restoring it would resurrect keys the instance no longer owns and
+    miss keys it gained. The :class:`~repro.recovery.supervisor.
+    RecoverySupervisor` reacts by falling back to pure log-replay
+    recovery instead of restoring the stale snapshot.
+    """
+
+
+class BackupIntegrityError(RecoveryError):
+    """Raised when stored checkpoint chunks fail verification.
+
+    Covers missing chunks (a backup target offline or data lost) and
+    CRC-32 checksum mismatches (corrupted chunk payloads). Restores must
+    never silently proceed with partial or tampered state.
+    """
+
+
+class ChaosError(SDGError):
+    """Raised on invalid fault plans or fault-injection misuse."""
+
+
 class SimulationError(SDGError):
     """Raised by the discrete-event cluster simulator on invalid input."""

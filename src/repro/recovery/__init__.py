@@ -16,7 +16,11 @@ The mechanism combines **asynchronous local checkpoints** with
   global rollback, no output-commit problem.
 """
 
-from repro.recovery.backup import BackupStore, DiskBackupStore
+from repro.recovery.backup import (
+    BackupStore,
+    DiskBackupStore,
+    chunk_checksum,
+)
 from repro.recovery.checkpoint import (
     CheckpointManager,
     NodeCheckpoint,
@@ -25,6 +29,7 @@ from repro.recovery.checkpoint import (
 )
 from repro.recovery.manager import RecoveryManager
 from repro.recovery.scheduler import CheckpointScheduler
+from repro.recovery.supervisor import RecoveryEvent, RecoverySupervisor
 
 __all__ = [
     "BackupStore",
@@ -33,6 +38,9 @@ __all__ = [
     "DiskBackupStore",
     "NodeCheckpoint",
     "PendingCheckpoint",
+    "RecoveryEvent",
     "RecoveryManager",
+    "RecoverySupervisor",
     "TEMeta",
+    "chunk_checksum",
 ]

@@ -5,18 +5,33 @@ distributed round-robin across backup targets so that no single disk or
 NIC becomes a bottleneck during backup or restore. Two implementations
 are provided — an in-memory store for tests and fast experiments, and a
 disk-backed store that actually serialises chunks to files.
+
+Backup integrity is first-class: at save time the store records, in the
+checkpoint metadata, the expected chunk count per SE instance and a
+CRC-32 checksum per chunk. :meth:`BackupStore.chunks_for` verifies both
+on the read path, so a lost chunk (e.g. a backup target offline) or a
+corrupted chunk surfaces as a typed
+:class:`~repro.errors.BackupIntegrityError` instead of a silently
+truncated restore.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import zlib
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError
+from repro.errors import BackupIntegrityError, RecoveryError
+from repro.state.base import StateChunk
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.recovery.checkpoint import NodeCheckpoint
+
+
+def chunk_checksum(chunk: StateChunk) -> int:
+    """CRC-32 of the chunk's serialised form (what goes on the wire)."""
+    return zlib.crc32(pickle.dumps(chunk))
 
 
 class BackupStore:
@@ -34,17 +49,38 @@ class BackupStore:
         self._targets: list[dict] = [{} for _ in range(m_targets)]
         #: node_id -> checkpoint metadata (se chunk counts, TE meta)
         self._meta: dict[int, "NodeCheckpoint"] = {}
+        self._offline: set[int] = set()
         self._rr = 0
 
     # -- write path ------------------------------------------------------
 
     def save(self, checkpoint: "NodeCheckpoint") -> None:
-        """Persist a node checkpoint, spreading chunks over targets (B3)."""
+        """Persist a node checkpoint, spreading chunks over targets (B3).
+
+        Records the expected chunk count and a CRC-32 checksum per chunk
+        into the checkpoint metadata so the read path can verify
+        completeness and integrity.
+        """
+        online = [i for i in range(self.m_targets)
+                  if i not in self._offline]
+        if not online:
+            raise RecoveryError(
+                "cannot save checkpoint: every backup target is offline"
+            )
         node_id = checkpoint.node_id
         self._evict(node_id)
+        checkpoint.chunk_counts = {
+            se_key: len(chunks)
+            for se_key, chunks in checkpoint.se_chunks.items()
+        }
+        checkpoint.chunk_checksums = {
+            (se_key, chunk.index): chunk_checksum(chunk)
+            for se_key, chunks in checkpoint.se_chunks.items()
+            for chunk in chunks
+        }
         for se_key, chunks in checkpoint.se_chunks.items():
             for chunk in chunks:
-                target = self._targets[self._rr % self.m_targets]
+                target = self._targets[online[self._rr % len(online)]]
                 self._rr += 1
                 target[(node_id, se_key, chunk.index)] = chunk
         self._meta[node_id] = checkpoint
@@ -55,6 +91,62 @@ class BackupStore:
             for key in stale:
                 del target[key]
         self._meta.pop(node_id, None)
+
+    # -- availability ----------------------------------------------------
+
+    def set_target_offline(self, target: int, offline: bool = True) -> None:
+        """Mark one backup target (un)reachable.
+
+        Chunks on an offline target are invisible to the read path — the
+        completeness check then reports them as missing — and the write
+        path spreads new chunks over the remaining targets only.
+        """
+        if not 0 <= target < self.m_targets:
+            raise RecoveryError(
+                f"no backup target {target}; store has {self.m_targets}"
+            )
+        if offline:
+            self._offline.add(target)
+        else:
+            self._offline.discard(target)
+
+    def offline_targets(self) -> list[int]:
+        return sorted(self._offline)
+
+    def corrupt_chunk(self, node_id: int | None = None) -> tuple | None:
+        """Tamper with one stored chunk, leaving its checksum stale.
+
+        Chaos/testing hook: deterministically picks the first stored
+        chunk (optionally restricted to ``node_id``), replaces its
+        payload with a perturbed copy and returns the storage key —
+        or ``None`` if nothing matched. The recorded checksum is *not*
+        updated, so the read path detects the corruption.
+        """
+        candidates = sorted(
+            (key, i)
+            for i, target in enumerate(self._targets)
+            for key in target
+            if node_id is None or key[0] == node_id
+        )
+        if not candidates:
+            return None
+        key, target_index = candidates[0]
+        chunk = self._targets[target_index][key]
+        self._targets[target_index][key] = self._tampered(chunk)
+        return key
+
+    @staticmethod
+    def _tampered(chunk: StateChunk) -> StateChunk:
+        if chunk.items:
+            first_key, first_value = chunk.items[0]
+            items = ((first_key, ("corrupted", first_value)),) + \
+                chunk.items[1:]
+        else:
+            items = chunk.items
+        meta = dict(chunk.meta)
+        meta["__corrupted__"] = True
+        return StateChunk(index=chunk.index, total=chunk.total,
+                          items=items, meta=meta)
 
     # -- read path ---------------------------------------------------------
 
@@ -68,14 +160,50 @@ class BackupStore:
             return None
         return meta
 
-    def chunks_for(self, node_id: int, se_key: tuple[str, int]):
-        """Stream all chunks of one SE instance, across all targets."""
+    def chunks_for(self, node_id: int, se_key: tuple[str, int],
+                   verify: bool = True):
+        """Stream all chunks of one SE instance, across online targets.
+
+        With ``verify`` (the default), the result is checked against the
+        chunk counts and CRC-32 checksums recorded at save time; a gap
+        or a mismatch raises :class:`BackupIntegrityError`. Checkpoints
+        saved without recorded counts (hand-built fixtures) skip
+        verification.
+        """
         found = []
-        for target in self._targets:
+        for i, target in enumerate(self._targets):
+            if i in self._offline:
+                continue
             for (nid, key, _index), chunk in target.items():
                 if nid == node_id and key == se_key:
                     found.append(chunk)
-        return sorted(found, key=lambda c: c.index)
+        found.sort(key=lambda c: c.index)
+        if not verify:
+            return found
+        meta = self._meta.get(node_id)
+        if meta is None:
+            return found
+        expected = getattr(meta, "chunk_counts", {}).get(se_key)
+        if expected is None:
+            return found
+        indices = [c.index for c in found]
+        if indices != list(range(expected)):
+            missing = sorted(set(range(expected)) - set(indices))
+            raise BackupIntegrityError(
+                f"checkpoint of node {node_id}, SE {se_key}: expected "
+                f"{expected} chunks but chunk(s) {missing} are missing "
+                f"(backup target offline or data lost)"
+            )
+        checksums = getattr(meta, "chunk_checksums", {})
+        for chunk in found:
+            recorded = checksums.get((se_key, chunk.index))
+            if recorded is not None and chunk_checksum(chunk) != recorded:
+                raise BackupIntegrityError(
+                    f"checkpoint of node {node_id}, SE {se_key}: chunk "
+                    f"{chunk.index} failed its CRC-32 check (stored "
+                    f"data corrupted)"
+                )
+        return found
 
     def target_loads(self) -> list[int]:
         """Number of chunks per backup target (balance diagnostics)."""
@@ -90,8 +218,8 @@ class DiskBackupStore(BackupStore):
 
     Each target directory models one backup node's disk; chunks are
     pickled to individual files, and restore reads them back. Metadata
-    (the checkpoint skeleton with TE bookkeeping) is replicated to every
-    target for availability.
+    (the checkpoint skeleton with TE bookkeeping, chunk counts and
+    checksums) is replicated to every target for availability.
     """
 
     def __init__(self, root: str, m_targets: int = 2) -> None:
@@ -106,6 +234,8 @@ class DiskBackupStore(BackupStore):
         super().save(checkpoint)
         node_id = checkpoint.node_id
         for i, target in enumerate(self._targets):
+            if i in self._offline:
+                continue
             directory = self._dirs[i]
             for name in os.listdir(directory):
                 if name.startswith(f"node{node_id}_"):
@@ -122,19 +252,39 @@ class DiskBackupStore(BackupStore):
             with open(meta_path, "wb") as fh:
                 pickle.dump(checkpoint, fh)
 
+    def corrupt_chunk(self, node_id: int | None = None) -> tuple | None:
+        key = super().corrupt_chunk(node_id)
+        if key is None:
+            return None
+        nid, se_key, index = key
+        filename = f"node{nid}_{se_key[0]}_{se_key[1]}_chunk{index}.pkl"
+        for i, target in enumerate(self._targets):
+            if key in target:
+                with open(os.path.join(self._dirs[i], filename),
+                          "wb") as fh:
+                    pickle.dump(target[key], fh)
+        return key
+
     def reload_from_disk(self) -> None:
         """Rebuild the in-memory index from the target directories.
 
         Used to recover checkpoints across process restarts, or to
-        verify that the on-disk representation is complete.
+        verify that the on-disk representation is complete. Files that
+        no longer unpickle (flipped bytes, truncation) are skipped; the
+        resulting gap is then caught by the chunk-count check on the
+        read path rather than crashing the reload of every other node's
+        checkpoints.
         """
         self._targets = [{} for _ in range(self.m_targets)]
         self._meta = {}
         for i, directory in enumerate(self._dirs):
             for name in sorted(os.listdir(directory)):
                 path = os.path.join(directory, name)
-                with open(path, "rb") as fh:
-                    payload = pickle.load(fh)
+                try:
+                    with open(path, "rb") as fh:
+                        payload = pickle.load(fh)
+                except Exception:
+                    continue  # unreadable file == lost chunk
                 if name.endswith("_meta.pkl"):
                     node_id = int(name.split("_")[0][len("node"):])
                     self._meta[node_id] = payload

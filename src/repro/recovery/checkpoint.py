@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
-from repro.runtime.envelope import ChannelId, Envelope
+from repro.runtime.envelope import INPUT_EDGE, ChannelId, Envelope
 from repro.runtime.instances import GatherState, StreamKey
 from repro.state.base import StateChunk
 
@@ -61,6 +61,16 @@ class NodeCheckpoint:
     #: Partitioning epoch of each SE at capture time; a checkpoint is
     #: only restorable while the SE's partitioning is unchanged.
     se_epochs: dict[str, int] = field(default_factory=dict)
+    #: Expected chunk count per SE instance, recorded by the backup
+    #: store at save time. The read path refuses to reassemble an SE
+    #: from fewer chunks than were written — a lost chunk must raise,
+    #: never yield a silently truncated restore.
+    chunk_counts: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: CRC-32 per (se_key, chunk_index), recorded at save time and
+    #: verified on restore.
+    chunk_checksums: dict[tuple[tuple[str, int], int], int] = field(
+        default_factory=dict
+    )
 
     def state_entries(self) -> int:
         return sum(
@@ -85,11 +95,18 @@ class CheckpointManager:
     """Coordinates per-node asynchronous checkpoints."""
 
     def __init__(self, runtime: "Runtime", store: "BackupStore",
-                 n_chunks: int | None = None) -> None:
+                 n_chunks: int | None = None,
+                 trim_input_log: bool = True) -> None:
         self.runtime = runtime
         self.store = store
         #: chunks per SE snapshot; defaults to the store's target count.
         self.n_chunks = n_chunks if n_chunks is not None else store.m_targets
+        #: Whether step 5 also trims the client-side input log. Keeping
+        #: the full log (``False``) costs memory but guarantees that
+        #: pure log-replay recovery of an entry TE's node can rebuild
+        #: its state from scratch even when every checkpoint of it is
+        #: corrupt or stale — the RecoverySupervisor's last-resort path.
+        self.trim_input_log = trim_input_log
         self._versions: dict[int, int] = {}
         self._pending: dict[int, PendingCheckpoint] = {}
 
@@ -189,4 +206,6 @@ class CheckpointManager:
         """Step 5b: upstream buffers drop items covered by the checkpoint."""
         for (te_name, index), meta in checkpoint.te_meta.items():
             for stream, ts in meta.last_seen.items():
+                if not self.trim_input_log and stream[0] == INPUT_EDGE:
+                    continue
                 self.runtime.trim_stream(stream, te_name, index, ts)

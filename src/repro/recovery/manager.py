@@ -24,7 +24,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.core.elements import StateKind
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StaleCheckpointError
 from repro.recovery.checkpoint import NodeCheckpoint, TEMeta
 from repro.runtime.instances import SEInstance, TEInstance
 from repro.runtime.node import PhysicalNode
@@ -45,17 +45,20 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------
 
-    def recover_node(self, node_id: int,
-                     n_new: int = 1) -> list[PhysicalNode]:
+    def recover_node(self, node_id: int, n_new: int = 1,
+                     use_checkpoint: bool = True) -> list[PhysicalNode]:
         """Replace a failed node; returns the new node(s).
 
-        Without a stored checkpoint, instances restart empty and the
-        entire input history is replayed (pure log-based recovery).
+        Without a stored checkpoint — or with ``use_checkpoint=False``,
+        the supervisor's fallback when the stored checkpoint is corrupt
+        or captured under a stale partitioning epoch — instances restart
+        empty and the entire input history is replayed (pure log-based
+        recovery).
         """
         failed = self.runtime.nodes[node_id]
         if failed.alive:
             raise RecoveryError(f"node {node_id} has not failed")
-        checkpoint = self.store.latest(node_id)
+        checkpoint = self.store.latest(node_id) if use_checkpoint else None
         if checkpoint is not None:
             self._check_epochs(checkpoint)
         if n_new < 1:
@@ -101,7 +104,7 @@ class RecoveryManager:
         for se_name, epoch in checkpoint.se_epochs.items():
             current = self.runtime.se_epoch(se_name)
             if epoch != current:
-                raise RecoveryError(
+                raise StaleCheckpointError(
                     f"checkpoint of node {checkpoint.node_id} captured "
                     f"SE {se_name!r} at partitioning epoch {epoch}, but "
                     f"the SE has since been repartitioned (epoch "
@@ -113,10 +116,17 @@ class RecoveryManager:
 
     def _restore_element(self, spec, se_key: tuple[str, int],
                          checkpoint: NodeCheckpoint | None) -> StateElement:
+        """Reassemble one SE instance from its backed-up chunks (R1/R2).
+
+        Chunks are fetched through the backup store's verified read
+        path, so a missing or corrupted chunk raises
+        :class:`~repro.errors.BackupIntegrityError` before any state is
+        installed — never a silently partial restore.
+        """
         template = spec.factory()
         if checkpoint is None:
             return template
-        chunks = checkpoint.se_chunks.get(se_key, [])
+        chunks = self.store.chunks_for(checkpoint.node_id, se_key)
         return type(template).from_chunks(template, chunks)
 
     @staticmethod

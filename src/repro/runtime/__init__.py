@@ -12,6 +12,7 @@ buffers (retained for replay-based recovery), and ``@Global`` access is
 implemented with broadcast + gather barriers.
 """
 
+from repro.runtime.detector import DetectionEvent, FailureDetector
 from repro.runtime.engine import Runtime, RuntimeConfig
 from repro.runtime.envelope import Envelope, NO_RESPONSE
 from repro.runtime.monitor import RuntimeMonitor, Sample
@@ -19,7 +20,9 @@ from repro.runtime.scaling import BottleneckDetector
 
 __all__ = [
     "BottleneckDetector",
+    "DetectionEvent",
     "Envelope",
+    "FailureDetector",
     "NO_RESPONSE",
     "Runtime",
     "RuntimeConfig",

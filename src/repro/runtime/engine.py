@@ -68,6 +68,52 @@ class RuntimeConfig:
     #: could. Enable to get wire-faithful isolation at a CPU cost.
     copy_payloads: bool = False
 
+    def validate(self, sdg: "SDG") -> None:
+        """Reject malformed deployment knobs before they misbehave.
+
+        Called by :meth:`Runtime.deploy`; raising here turns a typo'd SE
+        name or a zero scaling interval into a clear deploy-time error
+        instead of a silently ignored setting.
+        """
+        for knob in ("scale_threshold", "max_instances",
+                     "scale_check_every"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise RuntimeExecutionError(
+                    f"RuntimeConfig.{knob} must be an integer >= 1, "
+                    f"got {value!r}"
+                )
+        known_ses = set(sdg.states)
+        unknown_ses = sorted(set(self.se_instances) - known_ses)
+        if unknown_ses:
+            raise RuntimeExecutionError(
+                f"se_instances names unknown SEs {unknown_ses}; this "
+                f"SDG declares {sorted(known_ses)}"
+            )
+        unknown_parts = sorted(set(self.partitioners) - known_ses)
+        if unknown_parts:
+            raise RuntimeExecutionError(
+                f"partitioners names unknown SEs {unknown_parts}; this "
+                f"SDG declares {sorted(known_ses)}"
+            )
+        known_tes = set(sdg.tasks)
+        unknown_tes = sorted(set(self.te_instances) - known_tes)
+        if unknown_tes:
+            raise RuntimeExecutionError(
+                f"te_instances names unknown TEs {unknown_tes}; this "
+                f"SDG declares {sorted(known_tes)}"
+            )
+        for mapping, what in ((self.se_instances, "se_instances"),
+                              (self.te_instances, "te_instances")):
+            for name, count in mapping.items():
+                if not isinstance(count, int) or isinstance(count, bool) \
+                        or count < 1:
+                    raise RuntimeExecutionError(
+                        f"{what}[{name!r}] must be an integer >= 1, "
+                        f"got {count!r}"
+                    )
+
 
 class Runtime:
     """Deploys and executes one SDG in-process."""
@@ -98,6 +144,7 @@ class Runtime:
         self._rotor = 0
         self._terminal_seen: set = set()
         self._step_hooks: list = []
+        self._crash_handlers: list = []
         self._deployed = False
         self._scale_events: list[tuple[int, str, int]] = []
 
@@ -110,6 +157,7 @@ class Runtime:
         if self._deployed:
             raise RuntimeExecutionError("runtime already deployed")
         self.sdg.validate()
+        self.config.validate(self.sdg)
         base = allocate(self.sdg)
 
         for se in self.sdg.states.values():
@@ -302,7 +350,16 @@ class Runtime:
         return True
 
     def step(self) -> bool:
-        """Process one envelope on one TE instance; False when idle."""
+        """Process one envelope on one TE instance; False when idle.
+
+        A node with ``speed < 1`` is throttled deterministically: each
+        scheduling visit earns it ``speed`` credit and an item is only
+        served once a full credit accrues, inflating its per-item
+        service time by ``1/speed``. When every pending item sits on a
+        throttled node the step still counts (a *stall tick*): logical
+        time passes and hooks run, which is what lets the failure
+        detector observe a stalled node.
+        """
         self._require_deployed()
         instances = [
             inst for inst in self.all_te_instances()
@@ -311,17 +368,45 @@ class Runtime:
         if not instances:
             return False
         n = len(instances)
+        throttled = False
         for offset in range(n):
             instance = instances[(self._rotor + offset) % n]
-            if instance.inbox:
-                self._rotor = (self._rotor + offset + 1) % n
-                envelope = instance.inbox.popleft()
+            if not instance.inbox:
+                continue
+            node = self.nodes[instance.node_id]
+            if node.speed < 1.0:
+                node.credit += max(node.speed, 0.0)
+                if node.credit < 1.0:
+                    throttled = True
+                    continue
+                node.credit -= 1.0
+            self._rotor = (self._rotor + offset + 1) % n
+            envelope = instance.inbox.popleft()
+            try:
                 self._process(instance, envelope)
-                self.total_steps += 1
-                for hook in self._step_hooks:
-                    hook(self)
-                return True
+            except RuntimeExecutionError as exc:
+                if not self._crash_handlers:
+                    raise
+                # Supervised mode: a task crash kills its host node (the
+                # envelope survives upstream and is replayed during
+                # recovery) and the handlers are told, instead of the
+                # whole pipeline aborting.
+                if self.nodes[instance.node_id].alive:
+                    self.fail_node(instance.node_id)
+                for handler in list(self._crash_handlers):
+                    handler(self, instance, envelope, exc)
+            self._tick()
+            return True
+        if throttled:
+            self._tick()
+            return True
         return False
+
+    def _tick(self) -> None:
+        """Advance logical time by one step and run the step hooks."""
+        self.total_steps += 1
+        for hook in list(self._step_hooks):
+            hook(self)
 
     def add_step_hook(self, hook) -> None:
         """Register ``hook(runtime)`` to run after every processed item.
@@ -333,6 +418,19 @@ class Runtime:
 
     def remove_step_hook(self, hook) -> None:
         self._step_hooks.remove(hook)
+
+    def add_crash_handler(self, handler) -> None:
+        """Register ``handler(runtime, instance, envelope, exc)``.
+
+        While at least one handler is registered, a task-code exception
+        no longer propagates out of :meth:`step`; the hosting node is
+        failed (crash-stop semantics) and every handler is informed —
+        the failure detector uses this as its immediate crash report.
+        """
+        self._crash_handlers.append(handler)
+
+    def remove_crash_handler(self, handler) -> None:
+        self._crash_handlers.remove(handler)
 
     def run_until_idle(self, max_steps: int = 10_000_000) -> int:
         """Drain all inboxes; returns the number of items processed."""
@@ -393,6 +491,12 @@ class Runtime:
         slots = self.te_slot_count(instance.name)
         ctx = TaskContext(state=element, instance_id=instance.index,
                           n_instances=slots)
+        if instance.crash_next:
+            instance.crash_next = False
+            raise RuntimeExecutionError(
+                f"TE {instance.name!r}[{instance.index}] crashed "
+                f"mid-item on {payload!r} (injected fault)"
+            )
         try:
             returned = instance.spec.fn(ctx, payload)
         except Exception as exc:
@@ -626,6 +730,15 @@ class Runtime:
             for channel, buffered in producer.output_buffers.items():
                 if channel.dst_te == dst_te:
                     streams.extend(buffered)
+        # Deliver in per-stream timestamp order. One logical stream may
+        # span several buffered channels after a repartition (the same
+        # source injected to different destination indices across
+        # epochs); since ``last_seen`` is per *stream*, out-of-order
+        # delivery across those channels would make the dedup filter
+        # drop genuinely unprocessed items during a full log replay.
+        streams.sort(key=lambda e: (e.channel.edge_index,
+                                    e.channel.src_te,
+                                    e.channel.src_instance, e.ts))
         for envelope in streams:
             index = route(envelope)
             if index not in recovered:

@@ -93,6 +93,10 @@ class TEInstance:
         #: Merge-TE barrier state per in-flight request id.
         self.pending_gathers: dict[int, GatherState] = {}
         self.processed_count = 0
+        #: Chaos flag: when set, the next item this instance processes
+        #: raises out of the task code (crash-mid-item fault injection).
+        #: Deliberately not part of checkpointed bookkeeping.
+        self.crash_next = False
 
     @property
     def name(self) -> str:

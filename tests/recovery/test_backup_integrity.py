@@ -1,0 +1,200 @@
+"""Backup integrity: chunk counts, CRC-32 checksums, offline targets.
+
+A restore must never be silently partial or silently corrupt — a lost
+or tampered chunk surfaces as a typed
+:class:`~repro.errors.BackupIntegrityError` on the read path.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import KeyValueStore
+from repro.errors import BackupIntegrityError, RecoveryError
+from repro.recovery import (
+    BackupStore,
+    CheckpointManager,
+    DiskBackupStore,
+    NodeCheckpoint,
+    RecoveryManager,
+    chunk_checksum,
+)
+from repro.state import KeyValueMap
+
+
+def make_checkpoint(node_id=0, version=1, n_entries=30, n_chunks=4):
+    kv = KeyValueMap()
+    for i in range(n_entries):
+        kv.put(f"k{i}", i)
+    return NodeCheckpoint(
+        node_id=node_id, version=version,
+        se_chunks={("table", 0): kv.to_chunks(n_chunks)},
+    )
+
+
+class TestSaveRecordsIntegrityMetadata:
+    def test_chunk_counts_and_checksums_recorded(self):
+        store = BackupStore(m_targets=2)
+        checkpoint = make_checkpoint(n_chunks=4)
+        store.save(checkpoint)
+        assert checkpoint.chunk_counts == {("table", 0): 4}
+        assert set(checkpoint.chunk_checksums) == {
+            (("table", 0), i) for i in range(4)
+        }
+        for chunk in checkpoint.se_chunks[("table", 0)]:
+            recorded = checkpoint.chunk_checksums[(("table", 0),
+                                                   chunk.index)]
+            assert recorded == chunk_checksum(chunk)
+
+    def test_verified_read_passes_on_intact_data(self):
+        store = BackupStore(m_targets=3)
+        store.save(make_checkpoint(n_chunks=5))
+        chunks = store.chunks_for(0, ("table", 0))
+        assert [c.index for c in chunks] == [0, 1, 2, 3, 4]
+
+
+class TestCorruptionDetection:
+    def test_corrupted_chunk_fails_its_crc_check(self):
+        store = BackupStore(m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        key = store.corrupt_chunk()
+        assert key is not None
+        with pytest.raises(BackupIntegrityError, match="CRC-32"):
+            store.chunks_for(0, ("table", 0))
+
+    def test_unverified_read_still_returns_raw_chunks(self):
+        store = BackupStore(m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        store.corrupt_chunk()
+        assert len(store.chunks_for(0, ("table", 0), verify=False)) == 4
+
+    def test_corrupt_chunk_on_empty_store_is_a_noop(self):
+        assert BackupStore().corrupt_chunk() is None
+
+    def test_corruption_scoped_to_node(self):
+        store = BackupStore(m_targets=2)
+        store.save(make_checkpoint(node_id=0))
+        store.save(make_checkpoint(node_id=1))
+        key = store.corrupt_chunk(node_id=1)
+        assert key[0] == 1
+        store.chunks_for(0, ("table", 0))  # node 0 unaffected
+        with pytest.raises(BackupIntegrityError):
+            store.chunks_for(1, ("table", 0))
+
+
+class TestMissingChunks:
+    def test_offline_target_surfaces_as_missing_chunks(self):
+        store = BackupStore(m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        store.set_target_offline(0)
+        with pytest.raises(BackupIntegrityError, match="missing"):
+            store.chunks_for(0, ("table", 0))
+        # Bringing the target back heals the read path.
+        store.set_target_offline(0, offline=False)
+        assert len(store.chunks_for(0, ("table", 0))) == 4
+
+    def test_save_skips_offline_targets(self):
+        store = BackupStore(m_targets=3)
+        store.set_target_offline(1)
+        store.save(make_checkpoint(n_chunks=6))
+        assert store.target_loads()[1] == 0
+        assert len(store.chunks_for(0, ("table", 0))) == 6
+
+    def test_save_with_every_target_offline_raises(self):
+        store = BackupStore(m_targets=2)
+        store.set_target_offline(0)
+        store.set_target_offline(1)
+        with pytest.raises(RecoveryError, match="every backup target"):
+            store.save(make_checkpoint())
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(RecoveryError, match="no backup target"):
+            BackupStore(m_targets=2).set_target_offline(5)
+
+    def test_legacy_checkpoints_without_counts_skip_verification(self):
+        """Hand-built checkpoints predating the integrity metadata (or
+        assembled by external tools) still restore unverified."""
+        store = BackupStore(m_targets=2)
+        checkpoint = make_checkpoint(n_chunks=4)
+        store.save(checkpoint)
+        checkpoint.chunk_counts = {}
+        checkpoint.chunk_checksums = {}
+        store.set_target_offline(0)
+        # Incomplete, but nothing recorded to verify against.
+        chunks = store.chunks_for(0, ("table", 0))
+        assert 0 < len(chunks) < 4
+
+
+class TestDiskIntegrity:
+    def test_disk_corruption_survives_reload(self, tmp_path):
+        store = DiskBackupStore(str(tmp_path), m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        store.corrupt_chunk()
+        fresh = DiskBackupStore(str(tmp_path), m_targets=2)
+        fresh.reload_from_disk()
+        with pytest.raises(BackupIntegrityError, match="CRC-32"):
+            fresh.chunks_for(0, ("table", 0))
+
+    def test_unreadable_file_becomes_a_missing_chunk(self, tmp_path):
+        store = DiskBackupStore(str(tmp_path), m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        chunk_files = [
+            os.path.join(directory, name)
+            for directory in store._dirs
+            for name in os.listdir(directory)
+            if "chunk" in name
+        ]
+        with open(sorted(chunk_files)[0], "wb") as fh:
+            fh.write(b"\x00garbage")  # not a pickle any more
+        fresh = DiskBackupStore(str(tmp_path), m_targets=2)
+        fresh.reload_from_disk()
+        with pytest.raises(BackupIntegrityError, match="missing"):
+            fresh.chunks_for(0, ("table", 0))
+
+    def test_deleted_file_becomes_a_missing_chunk(self, tmp_path):
+        store = DiskBackupStore(str(tmp_path), m_targets=2)
+        store.save(make_checkpoint(n_chunks=4))
+        chunk_files = [
+            os.path.join(directory, name)
+            for directory in store._dirs
+            for name in os.listdir(directory)
+            if "chunk" in name
+        ]
+        os.unlink(sorted(chunk_files)[0])
+        fresh = DiskBackupStore(str(tmp_path), m_targets=2)
+        fresh.reload_from_disk()
+        with pytest.raises(BackupIntegrityError, match="missing"):
+            fresh.chunks_for(0, ("table", 0))
+
+
+class TestRecoveryRefusesPartialRestore:
+    """Satellite regression: recovery raises on gaps instead of
+    silently restoring a truncated SE."""
+
+    def _checkpointed_kv(self):
+        app = KeyValueStore.launch(table=2)
+        store = BackupStore(m_targets=2)
+        manager = CheckpointManager(app.runtime, store)
+        for i in range(60):
+            app.put(i, i)
+        app.run()
+        manager.checkpoint_all()
+        return app, store
+
+    def test_corrupt_chunk_fails_recovery_loudly(self):
+        app, store = self._checkpointed_kv()
+        victim = app.runtime.se_instance("table", 0).node_id
+        store.corrupt_chunk(node_id=victim)
+        app.runtime.fail_node(victim)
+        recovery = RecoveryManager(app.runtime, store)
+        with pytest.raises(BackupIntegrityError, match="CRC-32"):
+            recovery.recover_node(victim)
+
+    def test_missing_chunk_fails_recovery_loudly(self):
+        app, store = self._checkpointed_kv()
+        victim = app.runtime.se_instance("table", 1).node_id
+        store.set_target_offline(1)
+        app.runtime.fail_node(victim)
+        recovery = RecoveryManager(app.runtime, store)
+        with pytest.raises(BackupIntegrityError, match="missing"):
+            recovery.recover_node(victim)

@@ -1,0 +1,68 @@
+"""Deploy-time validation of ``RuntimeConfig`` knobs.
+
+A typo'd SE name or a zero scaling interval must fail at ``deploy()``
+with a clear message, not be silently ignored (or divide by zero deep
+inside the engine).
+"""
+
+import pytest
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime import Runtime, RuntimeConfig
+from repro.state import HashPartitioner
+from repro.testing import build_kv_sdg
+
+
+def deploy(config):
+    return Runtime(build_kv_sdg(), config).deploy()
+
+
+class TestScalarKnobs:
+    @pytest.mark.parametrize("knob", ["scale_threshold", "max_instances",
+                                      "scale_check_every"])
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "16", True, None])
+    def test_non_positive_or_non_int_rejected(self, knob, bad):
+        config = RuntimeConfig(**{knob: bad})
+        with pytest.raises(RuntimeExecutionError, match=knob):
+            deploy(config)
+
+    def test_valid_config_deploys(self):
+        runtime = deploy(RuntimeConfig(scale_threshold=10,
+                                       max_instances=4,
+                                       scale_check_every=100,
+                                       se_instances={"table": 2}))
+        assert len(runtime.se_instances("table")) == 2
+
+
+class TestInstanceMaps:
+    def test_unknown_se_name_rejected(self):
+        config = RuntimeConfig(se_instances={"tabel": 2})  # typo
+        with pytest.raises(RuntimeExecutionError, match="tabel"):
+            deploy(config)
+
+    def test_unknown_partitioner_se_rejected(self):
+        config = RuntimeConfig(partitioners={"nope": HashPartitioner(2)})
+        with pytest.raises(RuntimeExecutionError, match="nope"):
+            deploy(config)
+
+    def test_unknown_te_name_rejected(self):
+        config = RuntimeConfig(te_instances={"server": 2})  # typo
+        with pytest.raises(RuntimeExecutionError, match="server"):
+            deploy(config)
+
+    def test_error_lists_known_names(self):
+        config = RuntimeConfig(se_instances={"tabel": 2})
+        with pytest.raises(RuntimeExecutionError, match="'table'"):
+            deploy(config)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+    def test_non_positive_se_count_rejected(self, bad):
+        config = RuntimeConfig(se_instances={"table": bad})
+        with pytest.raises(RuntimeExecutionError, match="se_instances"):
+            deploy(config)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+    def test_non_positive_te_count_rejected(self, bad):
+        config = RuntimeConfig(te_instances={"serve": bad})
+        with pytest.raises(RuntimeExecutionError, match="te_instances"):
+            deploy(config)
