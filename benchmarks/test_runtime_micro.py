@@ -8,12 +8,13 @@ library rather than reproducing a figure.
 """
 
 from repro.apps import CollaborativeFiltering, KeyValueStore
+from repro.core import SDG, Dispatch
 from repro.recovery import BackupStore, CheckpointManager
 from repro.runtime import Runtime, RuntimeConfig
 from repro.state import KeyValueMap
 from repro.translate import translate
 
-from repro.testing import build_kv_sdg
+from repro.testing import build_kv_sdg, noop
 
 
 def test_micro_kv_put_throughput(benchmark):
@@ -53,6 +54,31 @@ def test_micro_cf_get_rec(benchmark):
         app.run()
 
     benchmark(one_read)
+
+
+def test_micro_wide_graph_dispatch(benchmark):
+    """Per-item dispatch on a many-edge graph.
+
+    Every item traverses a 60-hop chain, so each injection triggers 60
+    dispatch decisions. The seed engine rescanned (and copied) the full
+    edge list on every decision — O(edges) per hop, quadratic in chain
+    length per item; the dispatcher's deploy-time successor index makes
+    each hop O(out-degree).
+    """
+    hops = 60
+    sdg = SDG("wide")
+    sdg.add_task("hop0", noop, is_entry=True)
+    for i in range(1, hops):
+        sdg.add_task(f"hop{i}", noop)
+        sdg.connect(f"hop{i - 1}", f"hop{i}", Dispatch.ONE_TO_ANY)
+    runtime = Runtime(sdg).deploy()
+    counter = iter(range(100_000_000))
+
+    def one_traversal():
+        runtime.inject("hop0", next(counter))
+        runtime.run_until_idle()
+
+    benchmark(one_traversal)
 
 
 def test_micro_checkpoint_cycle(benchmark):

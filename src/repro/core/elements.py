@@ -8,7 +8,7 @@ materialises every spec into one or more physical instances (§3.3).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.state.base import StateElement

@@ -8,7 +8,7 @@ access edges) and the runtime (successors and entry points).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable
+from typing import Any, Callable, Hashable
 
 from repro.core.dispatch import Dispatch
 from repro.core.elements import (

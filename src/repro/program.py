@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.graph import SDG
-from repro.errors import TranslationError
 from repro.runtime.engine import Runtime, RuntimeConfig
 from repro.translate.builder import TranslationResult, translate
 

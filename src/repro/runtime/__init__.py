@@ -6,26 +6,54 @@ pipelined TE-to-TE without intermediate materialisation, and the number
 of TE instances changes reactively at runtime in response to bottlenecks
 and stragglers.
 
-This package executes SDGs for real, in-process: logical nodes hold TE
-and SE instances, dataflow edges become channels with upstream output
-buffers (retained for replay-based recovery), and ``@Global`` access is
-implemented with broadcast + gather barriers.
+This package executes SDGs for real, in-process, as four layers behind
+the :class:`Runtime` facade (see ``docs/architecture.md``):
+
+* **deployment** (:class:`Topology`) — instance materialisation, node
+  placement, partitioners and repartition epochs;
+* **scheduling** (:class:`Scheduler` policies) — which instance serves
+  the next item, plus straggler-credit throttling;
+* **transport** (:class:`Transport`) — channels, inbox delivery,
+  payload isolation and backpressure reporting;
+* **dispatch** (:class:`Dispatcher`) — the paper's four routing
+  semantics over a deploy-time successor index.
+
+Logical nodes hold TE and SE instances, dataflow edges become channels
+with upstream output buffers (retained for replay-based recovery), and
+``@Global`` access is implemented with broadcast + gather barriers.
 """
 
+from repro.runtime.deployment import Topology
 from repro.runtime.detector import DetectionEvent, FailureDetector
+from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.engine import Runtime, RuntimeConfig
 from repro.runtime.envelope import Envelope, NO_RESPONSE
 from repro.runtime.monitor import RuntimeMonitor, Sample
 from repro.runtime.scaling import BottleneckDetector
+from repro.runtime.scheduler import (
+    LongestQueueScheduler,
+    RoundRobinScheduler,
+    SCHEDULERS,
+    Scheduler,
+)
+from repro.runtime.transport import Channel, Transport
 
 __all__ = [
     "BottleneckDetector",
+    "Channel",
     "DetectionEvent",
+    "Dispatcher",
     "Envelope",
     "FailureDetector",
+    "LongestQueueScheduler",
     "NO_RESPONSE",
+    "RoundRobinScheduler",
     "Runtime",
     "RuntimeConfig",
     "RuntimeMonitor",
+    "SCHEDULERS",
     "Sample",
+    "Scheduler",
+    "Topology",
+    "Transport",
 ]

@@ -1,0 +1,131 @@
+"""The dispatch layer: the paper's four routing semantics (§4.2).
+
+A TE's outputs travel its outgoing dataflow edges under one of four
+dispatch strategies (§3.1): keyed partitioning, round-robin
+``ONE_TO_ANY``, ``ONE_TO_ALL`` broadcast with a fresh request id, and
+``ALL_TO_ONE`` gather feeding a merge barrier. The :class:`Dispatcher`
+implements one method per semantic on top of the transport layer.
+
+Routing is fed by a **successor index** precomputed at deploy time:
+``sdg.dataflows`` is scanned once and every TE's outgoing
+``(edge_index, edge)`` pairs are stored in a dict. The seed engine
+re-scanned (and re-copied) the full edge list for every processed item
+— O(edges) per item; the index makes it O(out-degree).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.dispatch import Dispatch
+from repro.core.graph import SDG
+from repro.errors import RuntimeExecutionError
+from repro.runtime.envelope import NO_RESPONSE, Envelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.deployment import Topology
+    from repro.runtime.instances import TEInstance
+    from repro.runtime.transport import Transport
+
+
+class Dispatcher:
+    """Routes TE outputs along dataflow edges, one method per semantic."""
+
+    def __init__(self, sdg: SDG, topology: "Topology",
+                 transport: "Transport") -> None:
+        self.sdg = sdg
+        self.topology = topology
+        self.transport = transport
+        #: Broadcasts and global-access injections correlate their
+        #: responses through runtime-unique request ids.
+        self._request_ids = itertools.count(1)
+        #: Deploy-time successor index: TE name -> [(edge_index, edge)].
+        self._successors: dict[str, list[tuple[int, Any]]] = {
+            name: [] for name in sdg.tasks
+        }
+        for index, edge in enumerate(sdg.dataflows):
+            self._successors[edge.src].append((index, edge))
+
+    def successors(self, te: str) -> "Sequence[tuple[int, Any]]":
+        """The precomputed outgoing ``(edge_index, edge)`` pairs of ``te``."""
+        return self._successors[te]
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def dispatch(self, instance: "TEInstance", outputs: list[Any],
+                 cause: Envelope) -> None:
+        """Route ``outputs`` along every outgoing edge of ``instance``."""
+        for edge_index, edge in self._successors[instance.name]:
+            if edge.dispatch is Dispatch.ALL_TO_ONE:
+                self.gather(instance, edge_index, edge, outputs, cause)
+            elif edge.dispatch is Dispatch.ONE_TO_ALL:
+                self.broadcast(instance, edge_index, edge, outputs)
+            elif edge.dispatch is Dispatch.KEY_PARTITIONED:
+                self.key_partitioned(instance, edge_index, edge, outputs,
+                                     cause)
+            else:
+                self.one_to_any(instance, edge_index, edge, outputs, cause)
+
+    # ------------------------------------------------------------------
+    # The four semantics
+    # ------------------------------------------------------------------
+
+    def gather(self, instance: "TEInstance", edge_index: int, edge,
+               outputs: list[Any], cause: Envelope) -> None:
+        """``ALL_TO_ONE``: answer a global-access round trip (§3.2)."""
+        if len(outputs) > 1:
+            raise RuntimeExecutionError(
+                f"TE {instance.name!r} produced {len(outputs)} outputs for "
+                f"one request on gather edge {edge.src}->{edge.dst}; "
+                f"global-access TEs must emit at most one item per input"
+            )
+        if cause.request_id is None:
+            # Not part of a global-access round trip: forward directly.
+            for item in outputs:
+                self.transport.send(instance, edge_index, edge.dst, 0,
+                                    item, None, None)
+            return
+        item = outputs[0] if outputs else NO_RESPONSE
+        self.transport.send(instance, edge_index, edge.dst, 0, item,
+                            cause.request_id, cause.expected_responses)
+
+    def broadcast(self, instance: "TEInstance", edge_index: int, edge,
+                  outputs: list[Any]) -> None:
+        """``ONE_TO_ALL``: fan each item out under a fresh request id."""
+        slots = self.topology.te_slot_count(edge.dst)
+        for item in outputs:
+            request_id = self.next_request_id()
+            expected = len(self.topology.te_instances(edge.dst))
+            for dst in range(slots):
+                self.transport.send(instance, edge_index, edge.dst, dst,
+                                    item, request_id, expected)
+
+    def key_partitioned(self, instance: "TEInstance", edge_index: int,
+                        edge, outputs: list[Any], cause: Envelope) -> None:
+        """``KEY_PARTITIONED``: route each item to its key's partition."""
+        spec = self.sdg.task(edge.dst)
+        for item in outputs:
+            dst = self.topology.keyed_index(spec, edge.key_fn(item))
+            self.transport.send(instance, edge_index, edge.dst, dst, item,
+                                cause.request_id, cause.expected_responses)
+
+    def one_to_any(self, instance: "TEInstance", edge_index: int, edge,
+                   outputs: list[Any], cause: Envelope) -> None:
+        """``ONE_TO_ANY``: deterministic producer-local round-robin."""
+        for item in outputs:
+            slots = self.topology.te_slot_count(edge.dst)
+            # The destination is derived from the producer's own
+            # per-edge send counter — producer-local state that
+            # is checkpointed and restored — so deterministic
+            # re-execution after recovery reproduces the exact
+            # original routing and duplicates are recognised.
+            sent = instance.out_seq.get(edge_index, 0)
+            self.transport.send(instance, edge_index, edge.dst,
+                                sent % slots, item, cause.request_id,
+                                cause.expected_responses)

@@ -1,45 +1,58 @@
 """The pipelined SDG execution engine (§3.3).
 
-The engine materialises a validated SDG: every TE/SE spec becomes one or
-more instances grouped onto :class:`~repro.runtime.node.PhysicalNode`
-failure domains according to the four-step allocation algorithm. Data
-items are then processed cooperatively (single-threaded, deterministic):
-``inject`` feeds external input to entry TEs and ``run_until_idle``
-drains the pipeline, dispatching TE outputs along dataflow edges with
-the paper's four dispatch semantics.
+The engine materialises a validated SDG and processes data items
+cooperatively (single-threaded, deterministic): ``inject`` feeds
+external input to entry TEs and ``run_until_idle`` drains the
+pipeline. Since the layered refactor, :class:`Runtime` is a *facade*
+over four subsystems, each a seam where a future policy or backend can
+plug in:
+
+* :mod:`repro.runtime.deployment` — the :class:`~repro.runtime
+  .deployment.Topology` owns instances, nodes, partitioners, epochs;
+* :mod:`repro.runtime.scheduler` — pluggable instance-selection
+  policies plus the straggler-credit accounting;
+* :mod:`repro.runtime.transport` — channels, inbox delivery, payload
+  isolation, and backpressure reporting;
+* :mod:`repro.runtime.dispatcher` — the four dispatch semantics over a
+  deploy-time successor index.
+
+The facade keeps the public API of the original monolithic engine:
+``repro.recovery`` and ``repro.chaos`` drive it unchanged.
 
 Determinism note: the paper requires translated programs to be
 deterministic so that recovery can re-execute computation (§4.1); the
-engine honours the same contract by processing instances in a fixed
-round-robin order.
+default :class:`~repro.runtime.scheduler.RoundRobinScheduler` honours
+the same contract by processing instances in a fixed rotor order.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.core.allocation import allocate
-from repro.core.dispatch import Dispatch
 from repro.core.elements import AccessMode, StateKind, TaskContext
 from repro.core.graph import SDG
 from repro.errors import RuntimeExecutionError
+from repro.runtime.deployment import Topology
+from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.envelope import (
     INPUT_EDGE,
+    NO_RESPONSE,
     ChannelId,
     Envelope,
-    NO_RESPONSE,
 )
 from repro.runtime.instances import (
     GatherState,
     SEInstance,
     StreamKey,
     TEInstance,
+    stream_key,
 )
 from repro.runtime.node import PhysicalNode
+from repro.runtime.scaling import BottleneckDetector
+from repro.runtime.scheduler import Scheduler, resolve_scheduler
+from repro.runtime.transport import Transport
 from repro.state import HashPartitioner
-from repro.state.base import StateElement
 
 
 @dataclass
@@ -67,6 +80,18 @@ class RuntimeConfig:
     #: observe a consumer's mutations; in-process, shared references
     #: could. Enable to get wire-faithful isolation at a CPU cost.
     copy_payloads: bool = False
+    #: Instance-selection policy: a name from
+    #: :data:`repro.runtime.scheduler.SCHEDULERS` (``"round_robin"``,
+    #: ``"longest_queue"``) or a custom
+    #: :class:`~repro.runtime.scheduler.Scheduler` object. The default
+    #: preserves the seed engine's deterministic replay order.
+    scheduler: str | Scheduler = "round_robin"
+    #: Per-channel inbox bound for backpressure *reporting* (None =
+    #: unbounded). Delivery never blocks or drops — recovery relies on
+    #: reliable channels — but channels over this depth show up in
+    #: :meth:`Runtime.blocked_channels` and feed the bottleneck
+    #: detector as a second scaling signal.
+    channel_capacity: int | None = None
 
     def validate(self, sdg: "SDG") -> None:
         """Reject malformed deployment knobs before they misbehave.
@@ -84,6 +109,16 @@ class RuntimeConfig:
                     f"RuntimeConfig.{knob} must be an integer >= 1, "
                     f"got {value!r}"
                 )
+        capacity = self.channel_capacity
+        if capacity is not None:
+            if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                    or capacity < 1:
+                raise RuntimeExecutionError(
+                    f"RuntimeConfig.channel_capacity must be None or an "
+                    f"integer >= 1, got {capacity!r}"
+                )
+        # Raises on unknown policy names / non-scheduler objects.
+        resolve_scheduler(self.scheduler)
         known_ses = set(sdg.states)
         unknown_ses = sorted(set(self.se_instances) - known_ses)
         if unknown_ses:
@@ -116,37 +151,33 @@ class RuntimeConfig:
 
 
 class Runtime:
-    """Deploys and executes one SDG in-process."""
+    """Deploys and executes one SDG in-process (the layer facade)."""
 
     def __init__(self, sdg: SDG, config: RuntimeConfig | None = None) -> None:
         self.sdg = sdg
         self.config = config or RuntimeConfig()
-        self.nodes: dict[int, PhysicalNode] = {}
+        #: The deployment layer: instances, nodes, partitioners, epochs.
+        self.topology = Topology(sdg, self.config)
+        #: The transport layer; built at deploy.
+        self.transport: Transport | None = None
+        #: The dispatch layer; built at deploy.
+        self.dispatcher: Dispatcher | None = None
+        #: The scheduling policy; resolved from the config at deploy.
+        self.scheduler: Scheduler | None = None
         #: Collected payloads of TEs without outgoing dataflows.
         self.results: dict[str, list[Any]] = {}
         self.total_steps = 0
-        self._te_instances: dict[str, list[TEInstance | None]] = {}
-        self._se_instances: dict[str, list[SEInstance | None]] = {}
-        self._partitioners: dict[str, HashPartitioner] = {}
-        #: Per-SE repartition counter. A checkpoint records the epoch it
-        #: was taken under; restoring it under a different partitioning
-        #: would resurrect keys the instance no longer owns, so recovery
-        #: refuses stale-epoch checkpoints.
-        self._se_epochs: dict[str, int] = {}
-        self._node_key_map: dict[tuple[int, int], int] = {}
-        self._next_node_id = 0
         self._rr: dict[Any, int] = {}
-        self._request_ids = itertools.count(1)
         #: Per-entry global injection counter (see TEInstance.out_seq for
         #: why timestamps are per-stream, not per-channel).
         self._input_seq: dict[str, int] = {}
         self._input_buffers: dict[ChannelId, list[Envelope]] = {}
-        self._rotor = 0
         self._terminal_seen: set = set()
         self._step_hooks: list = []
         self._crash_handlers: list = []
         self._deployed = False
         self._scale_events: list[tuple[int, str, int]] = []
+        self._detector: BottleneckDetector | None = None
 
     # ------------------------------------------------------------------
     # Deployment
@@ -158,123 +189,65 @@ class Runtime:
             raise RuntimeExecutionError("runtime already deployed")
         self.sdg.validate()
         self.config.validate(self.sdg)
-        base = allocate(self.sdg)
-
-        for se in self.sdg.states.values():
-            custom = self.config.partitioners.get(se.name)
-            if custom is not None:
-                if se.kind is not StateKind.PARTITIONED:
-                    raise RuntimeExecutionError(
-                        f"SE {se.name!r} is {se.kind.value}; only "
-                        f"partitioned SEs take a custom partitioner"
-                    )
-                n = custom.n_partitions
-                configured = self.config.se_instances.get(se.name)
-                if configured is not None and configured != n:
-                    raise RuntimeExecutionError(
-                        f"SE {se.name!r}: se_instances={configured} "
-                        f"conflicts with the partitioner's "
-                        f"{n} partitions"
-                    )
-            else:
-                n = max(1, self.config.se_instances.get(se.name, 1))
-            self._se_instances[se.name] = [
-                SEInstance(se, i) for i in range(n)
-            ]
-            if se.kind is StateKind.PARTITIONED:
-                self._partitioners[se.name] = (
-                    custom if custom is not None else HashPartitioner(n)
-                )
-
-        for te in self.sdg.tasks.values():
-            if te.state is not None:
-                n = len(self._se_instances[te.state])
-            else:
-                n = max(1, self.config.te_instances.get(te.name, 1))
-            self._te_instances[te.name] = [
-                TEInstance(te, i, se_instance=None) for i in range(n)
-            ]
-
-        # Bind stateful TE instances to the same-index SE instance and
-        # group everything onto nodes following the base allocation.
-        for se_name, instances in self._se_instances.items():
-            for se_inst in instances:
-                node = self._node_for(base.node_of[se_name], se_inst.index)
-                node.host_se(se_inst)
-        for te_name, instances in self._te_instances.items():
-            spec = self.sdg.task(te_name)
-            for te_inst in instances:
-                if spec.state is not None:
-                    se_inst = self._se_instances[spec.state][te_inst.index]
-                    te_inst.se_instance = se_inst
-                    node = self.nodes[se_inst.node_id]
-                else:
-                    node = self._node_for(
-                        base.node_of[te_name], te_inst.index
-                    )
-                node.host_te(te_inst)
-
+        self.topology.materialise()
+        self.transport = Transport(
+            self.topology,
+            capacity=self.config.channel_capacity,
+            copy_payloads=self.config.copy_payloads,
+        )
+        self.dispatcher = Dispatcher(self.sdg, self.topology, self.transport)
+        self.scheduler = resolve_scheduler(self.config.scheduler)
+        # One detector for the runtime's lifetime, built from the
+        # validated config (not per scale check).
+        self._detector = BottleneckDetector(
+            threshold=self.config.scale_threshold,
+            max_instances=self.config.max_instances,
+        )
         for te_name in self.sdg.tasks:
-            if not self.sdg.successors(te_name):
+            if not self.dispatcher.successors(te_name):
                 self.results.setdefault(te_name, [])
         self._deployed = True
         return self
 
-    def _node_for(self, base_node: int, replica: int) -> PhysicalNode:
-        key = (base_node, replica)
-        if key not in self._node_key_map:
-            node_id = self._next_node_id
-            self._next_node_id += 1
-            self._node_key_map[key] = node_id
-            self.nodes[node_id] = PhysicalNode(node_id)
-        return self.nodes[self._node_key_map[key]]
-
-    def _fresh_node(self) -> PhysicalNode:
-        node_id = self._next_node_id
-        self._next_node_id += 1
-        node = PhysicalNode(node_id)
-        self.nodes[node_id] = node
-        return node
-
     # ------------------------------------------------------------------
-    # Instance accessors
+    # Topology facade (instance and node accessors)
     # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> dict[int, PhysicalNode]:
+        """All nodes ever created, dead ones included."""
+        return self.topology.nodes
+
+    @property
+    def _partitioners(self) -> dict[str, HashPartitioner]:
+        # Backwards-compatible peek used by tests and diagnostics.
+        return self.topology._partitioners
 
     def te_instances(self, te: str) -> list[TEInstance]:
         """Live instances of TE ``te`` (failed slots omitted)."""
-        return [i for i in self._te_instances[te] if i is not None]
+        return self.topology.te_instances(te)
 
     def te_instance(self, te: str, index: int) -> TEInstance | None:
-        instances = self._te_instances[te]
-        return instances[index] if index < len(instances) else None
+        return self.topology.te_instance(te, index)
 
     def te_slot_count(self, te: str) -> int:
-        return len(self._te_instances[te])
+        return self.topology.te_slot_count(te)
 
     def se_instances(self, se: str) -> list[SEInstance]:
-        return [i for i in self._se_instances[se] if i is not None]
+        return self.topology.se_instances(se)
 
     def se_instance(self, se: str, index: int) -> SEInstance | None:
-        instances = self._se_instances[se]
-        return instances[index] if index < len(instances) else None
+        return self.topology.se_instance(se, index)
 
     def alive_nodes(self) -> list[PhysicalNode]:
-        return [n for n in self.nodes.values() if n.alive]
+        return self.topology.alive_nodes()
 
     def is_idle(self) -> bool:
         """Whether no envelope is waiting in any live inbox."""
-        return all(
-            not inst.inbox
-            for insts in self._te_instances.values()
-            for inst in insts
-            if inst is not None and self.nodes[inst.node_id].alive
-        )
+        return self.topology.is_idle()
 
     def all_te_instances(self) -> Iterator[TEInstance]:
-        for instances in self._te_instances.values():
-            for instance in instances:
-                if instance is not None:
-                    yield instance
+        return self.topology.all_te_instances()
 
     # ------------------------------------------------------------------
     # External input
@@ -301,7 +274,7 @@ class Runtime:
             index = self._keyed_index(spec, spec.entry_key_fn(payload))
             self._inject_to(entry, index, payload, None, None)
         elif spec.access is AccessMode.GLOBAL:
-            request_id = next(self._request_ids)
+            request_id = self.dispatcher.next_request_id()
             slots = self.te_slot_count(entry)
             for index in range(slots):
                 self._inject_to(entry, index, payload, request_id, slots)
@@ -313,10 +286,7 @@ class Runtime:
 
     def _inject_to(self, entry: str, index: int, payload: Any,
                    request_id: int | None, expected: int | None) -> None:
-        if self.config.copy_payloads:
-            import copy as _copy
-
-            payload = _copy.deepcopy(payload)
+        payload = self.transport.prepare_payload(payload)
         channel = ChannelId(INPUT_EDGE, "__input__", 0, entry, index)
         seq = self._input_seq.get(entry, 0) + 1
         self._input_seq[entry] = seq
@@ -324,83 +294,65 @@ class Runtime:
                             request_id=request_id,
                             expected_responses=expected)
         self._input_buffers.setdefault(channel, []).append(envelope)
-        self._deliver(envelope)
+        self.transport.deliver(envelope)
 
     def _keyed_index(self, spec, key: Any) -> int:
         """Partition index for keyed dispatch into TE ``spec``."""
-        if spec.state is not None and spec.state in self._partitioners:
-            return self._partitioners[spec.state].partition(key)
-        return HashPartitioner(self.te_slot_count(spec.name)).partition(key)
+        return self.topology.keyed_index(spec, key)
 
     # ------------------------------------------------------------------
-    # Delivery and processing
+    # Processing
     # ------------------------------------------------------------------
 
-    def _deliver(self, envelope: Envelope) -> bool:
-        """Append to the destination inbox; drop if the node is dead.
+    def blocked_channels(self) -> list[ChannelId]:
+        """Channels currently reporting backpressure (bounded transport).
 
-        Dropped envelopes are not lost: they stay in the producer-side
-        output buffer and are replayed during recovery.
+        Empty when ``channel_capacity`` is unset; consumed by the
+        bottleneck detector as a scaling signal alongside inbox depth.
         """
-        channel = envelope.channel
-        instance = self.te_instance(channel.dst_te, channel.dst_instance)
-        if instance is None or not self.nodes[instance.node_id].alive:
-            return False
-        instance.inbox.append(envelope)
-        return True
+        if self.transport is None:
+            return []
+        return self.transport.blocked_channels()
 
     def step(self) -> bool:
         """Process one envelope on one TE instance; False when idle.
 
-        A node with ``speed < 1`` is throttled deterministically: each
-        scheduling visit earns it ``speed`` credit and an item is only
-        served once a full credit accrues, inflating its per-item
-        service time by ``1/speed``. When every pending item sits on a
-        throttled node the step still counts (a *stall tick*): logical
-        time passes and hooks run, which is what lets the failure
-        detector observe a stalled node.
+        Instance selection is the scheduler's call; straggler-credit
+        throttling (nodes with ``speed < 1``) lives there too. When
+        every pending item sits on a throttled node the step still
+        counts (a *stall tick*): logical time passes and hooks run,
+        which is what lets the failure detector observe a stalled node.
         """
         self._require_deployed()
+        nodes = self.topology.nodes
         instances = [
-            inst for inst in self.all_te_instances()
-            if self.nodes[inst.node_id].alive
+            inst for inst in self.topology.all_te_instances()
+            if nodes[inst.node_id].alive
         ]
         if not instances:
             return False
-        n = len(instances)
-        throttled = False
-        for offset in range(n):
-            instance = instances[(self._rotor + offset) % n]
-            if not instance.inbox:
-                continue
-            node = self.nodes[instance.node_id]
-            if node.speed < 1.0:
-                node.credit += max(node.speed, 0.0)
-                if node.credit < 1.0:
-                    throttled = True
-                    continue
-                node.credit -= 1.0
-            self._rotor = (self._rotor + offset + 1) % n
-            envelope = instance.inbox.popleft()
-            try:
-                self._process(instance, envelope)
-            except RuntimeExecutionError as exc:
-                if not self._crash_handlers:
-                    raise
-                # Supervised mode: a task crash kills its host node (the
-                # envelope survives upstream and is replayed during
-                # recovery) and the handlers are told, instead of the
-                # whole pipeline aborting.
-                if self.nodes[instance.node_id].alive:
-                    self.fail_node(instance.node_id)
-                for handler in list(self._crash_handlers):
-                    handler(self, instance, envelope, exc)
-            self._tick()
-            return True
-        if throttled:
-            self._tick()
-            return True
-        return False
+        instance, throttled = self.scheduler.select(instances, nodes)
+        if instance is None:
+            if throttled:
+                self._tick()
+                return True
+            return False
+        envelope = instance.inbox.popleft()
+        try:
+            self._process(instance, envelope)
+        except RuntimeExecutionError as exc:
+            if not self._crash_handlers:
+                raise
+            # Supervised mode: a task crash kills its host node (the
+            # envelope survives upstream and is replayed during
+            # recovery) and the handlers are told, instead of the
+            # whole pipeline aborting.
+            if nodes[instance.node_id].alive:
+                self.fail_node(instance.node_id)
+            for handler in list(self._crash_handlers):
+                handler(self, instance, envelope, exc)
+        self._tick()
+        return True
 
     def _tick(self) -> None:
         """Advance logical time by one step and run the step hooks."""
@@ -510,102 +462,34 @@ class Runtime:
         return outputs
 
     # ------------------------------------------------------------------
-    # Dispatching (§4.2 semantics)
+    # Dispatching (delegated to the dispatch layer, §4.2 semantics)
     # ------------------------------------------------------------------
 
     def _dispatch(self, instance: TEInstance, outputs: list[Any],
                   cause: Envelope) -> None:
-        edges = self.sdg.successors(instance.name)
-        if not edges:
-            # The result consumer is the most-downstream party: it too
-            # discards duplicates regenerated by deterministic replay.
-            from repro.runtime.instances import stream_key
-
-            if cause.request_id is not None:
-                seen_key = (instance.name, "req", cause.request_id,
-                            instance.index)
-            else:
-                seen_key = (instance.name, stream_key(cause.channel),
-                            cause.ts)
-            if seen_key in self._terminal_seen:
-                return
-            self._terminal_seen.add(seen_key)
-            bucket = self.results.setdefault(instance.name, [])
-            bucket.extend(outputs)
+        if not self.dispatcher.successors(instance.name):
+            self._collect_result(instance, outputs, cause)
             return
-        for edge_index, edge in self._indexed_successors(instance.name):
-            if edge.dispatch is Dispatch.ALL_TO_ONE:
-                self._dispatch_gather(instance, edge_index, edge, outputs,
-                                      cause)
-            elif edge.dispatch is Dispatch.ONE_TO_ALL:
-                self._dispatch_broadcast(instance, edge_index, edge, outputs)
-            elif edge.dispatch is Dispatch.KEY_PARTITIONED:
-                for item in outputs:
-                    dst = self._keyed_index(self.sdg.task(edge.dst),
-                                            edge.key_fn(item))
-                    self._send(instance, edge_index, edge.dst, dst, item,
-                               cause.request_id, cause.expected_responses)
-            else:  # ONE_TO_ANY round-robin
-                for item in outputs:
-                    slots = self.te_slot_count(edge.dst)
-                    # The destination is derived from the producer's own
-                    # per-edge send counter — producer-local state that
-                    # is checkpointed and restored — so deterministic
-                    # re-execution after recovery reproduces the exact
-                    # original routing and duplicates are recognised.
-                    sent = instance.out_seq.get(edge_index, 0)
-                    self._send(instance, edge_index, edge.dst,
-                               sent % slots, item, cause.request_id,
-                               cause.expected_responses)
+        self.dispatcher.dispatch(instance, outputs, cause)
 
-    def _dispatch_gather(self, instance: TEInstance, edge_index: int,
-                         edge, outputs: list[Any], cause: Envelope) -> None:
-        if len(outputs) > 1:
-            raise RuntimeExecutionError(
-                f"TE {instance.name!r} produced {len(outputs)} outputs for "
-                f"one request on gather edge {edge.src}->{edge.dst}; "
-                f"global-access TEs must emit at most one item per input"
-            )
-        if cause.request_id is None:
-            # Not part of a global-access round trip: forward directly.
-            for item in outputs:
-                self._send(instance, edge_index, edge.dst, 0, item,
-                           None, None)
+    def _collect_result(self, instance: TEInstance, outputs: list[Any],
+                        cause: Envelope) -> None:
+        """Terminal TE: collect outputs, discarding replay duplicates.
+
+        The result consumer is the most-downstream party: it too
+        discards duplicates regenerated by deterministic replay.
+        """
+        if cause.request_id is not None:
+            seen_key = (instance.name, "req", cause.request_id,
+                        instance.index)
+        else:
+            seen_key = (instance.name, stream_key(cause.channel),
+                        cause.ts)
+        if seen_key in self._terminal_seen:
             return
-        item = outputs[0] if outputs else NO_RESPONSE
-        self._send(instance, edge_index, edge.dst, 0, item,
-                   cause.request_id, cause.expected_responses)
-
-    def _dispatch_broadcast(self, instance: TEInstance, edge_index: int,
-                            edge, outputs: list[Any]) -> None:
-        slots = self.te_slot_count(edge.dst)
-        for item in outputs:
-            request_id = next(self._request_ids)
-            expected = len(self.te_instances(edge.dst))
-            for dst in range(slots):
-                self._send(instance, edge_index, edge.dst, dst, item,
-                           request_id, expected)
-
-    def _indexed_successors(self, te: str):
-        for index, edge in enumerate(self.sdg.dataflows):
-            if edge.src == te:
-                yield index, edge
-
-    def _send(self, src: TEInstance, edge_index: int, dst_te: str,
-              dst_index: int, payload: Any, request_id: int | None,
-              expected: int | None) -> None:
-        if self.config.copy_payloads and payload is not NO_RESPONSE:
-            import copy as _copy
-
-            payload = _copy.deepcopy(payload)
-        channel = ChannelId(edge_index, src.name, src.index,
-                            dst_te, dst_index)
-        ts = src.next_seq(channel)
-        envelope = Envelope(payload=payload, ts=ts, channel=channel,
-                            request_id=request_id,
-                            expected_responses=expected)
-        src.record_output(envelope)
-        self._deliver(envelope)
+        self._terminal_seen.add(seen_key)
+        bucket = self.results.setdefault(instance.name, [])
+        bucket.extend(outputs)
 
     # ------------------------------------------------------------------
     # Failure injection and replay plumbing (used by repro.recovery)
@@ -613,14 +497,7 @@ class Runtime:
 
     def fail_node(self, node_id: int) -> None:
         """Kill a node: inboxes, SE contents and output buffers are lost."""
-        node = self.nodes[node_id]
-        node.fail()
-        for key in list(node.te_instances):
-            te_name, index = key
-            self._te_instances[te_name][index] = None
-        for key in list(node.se_instances):
-            se_name, index = key
-            self._se_instances[se_name][index] = None
+        self.topology.fail_node(node_id)
 
     def install_replacement(
         self,
@@ -632,25 +509,8 @@ class Runtime:
         Slot lists grow on demand so that m-to-n recovery can restore a
         single failed instance as several new partitioned instances.
         """
-        node = self._fresh_node()
-        for se_inst in se_replacements:
-            slots = self._se_instances[se_inst.name]
-            while len(slots) <= se_inst.index:
-                slots.append(None)
-            slots[se_inst.index] = se_inst
-            node.host_se(se_inst)
-        for te_inst in te_replacements:
-            spec = te_inst.spec
-            if spec.state is not None:
-                te_inst.se_instance = self._se_instances[spec.state][
-                    te_inst.index
-                ]
-            slots = self._te_instances[te_inst.name]
-            while len(slots) <= te_inst.index:
-                slots.append(None)
-            slots[te_inst.index] = te_inst
-            node.host_te(te_inst)
-        return node
+        return self.topology.install_replacement(te_replacements,
+                                                 se_replacements)
 
     def set_partitioner(self, se_name: str,
                         partitioner: HashPartitioner) -> None:
@@ -659,12 +519,11 @@ class Runtime:
         Used by m-to-n recovery when a failed SE instance is restored as
         ``n`` partitions, changing the partition count.
         """
-        self._partitioners[se_name] = partitioner
-        self._se_epochs[se_name] = self.se_epoch(se_name) + 1
+        self.topology.set_partitioner(se_name, partitioner)
 
     def se_epoch(self, se_name: str) -> int:
         """The SE's current partitioning epoch (0 until repartitioned)."""
-        return self._se_epochs.get(se_name, 0)
+        return self.topology.se_epoch(se_name)
 
     def replay_into(self, dst_te: str, dst_index: int) -> int:
         """Re-deliver every buffered envelope targeting one instance.
@@ -677,7 +536,7 @@ class Runtime:
         for channel, buffered in self._input_buffers.items():
             if channel.dst_te == dst_te and channel.dst_instance == dst_index:
                 for envelope in buffered:
-                    if self._deliver(envelope):
+                    if self.transport.deliver(envelope):
                         count += 1
         for producer in self.all_te_instances():
             if not self.nodes[producer.node_id].alive:
@@ -688,7 +547,7 @@ class Runtime:
                     and channel.dst_instance == dst_index
                 ):
                     for envelope in buffered:
-                        if self._deliver(envelope):
+                        if self.transport.deliver(envelope):
                             count += 1
         return count
 
@@ -746,7 +605,7 @@ class Runtime:
             rerouted = envelope.with_channel(
                 envelope.channel.reroute(index), envelope.ts
             )
-            if self._deliver(rerouted):
+            if self.transport.deliver(rerouted):
                 count += 1
         return count
 
@@ -755,7 +614,7 @@ class Runtime:
         count = 0
         for buffered in instance.output_buffers.values():
             for envelope in buffered:
-                if self._deliver(envelope):
+                if self.transport.deliver(envelope):
                     count += 1
         return count
 
@@ -790,13 +649,7 @@ class Runtime:
         return list(self._scale_events)
 
     def _maybe_scale(self) -> None:
-        from repro.runtime.scaling import BottleneckDetector
-
-        detector = BottleneckDetector(
-            threshold=self.config.scale_threshold,
-            max_instances=self.config.max_instances,
-        )
-        for te_name in detector.bottlenecks(self):
+        for te_name in self._detector.bottlenecks(self):
             try:
                 self.scale_up(te_name)
             except RuntimeExecutionError:
@@ -818,84 +671,22 @@ class Runtime:
         if current >= self.config.max_instances:
             return False
         if spec.state is None:
-            instance = TEInstance(spec, current)
-            self._te_instances[te_name].append(instance)
-            self._fresh_node().host_te(instance)
+            self.topology.add_stateless_instance(te_name)
         else:
             se_spec = self.sdg.state(spec.state)
             if se_spec.kind is StateKind.PARTIAL:
-                self._add_partial_instance(spec.state)
+                self.topology.add_partial_instance(spec.state)
             else:
-                self._repartition(spec.state, current + 1)
+                # Queued envelopes for the accessing TEs come back from
+                # the topology and are re-routed under the new
+                # partitioner so keyed items still meet their partition.
+                pending = self.topology.repartition(spec.state, current + 1)
+                for envelope in pending:
+                    self._resend_after_reroute(envelope)
         self._scale_events.append(
             (self.total_steps, te_name, self.te_slot_count(te_name))
         )
         return True
-
-    def _add_partial_instance(self, se_name: str) -> None:
-        """Create one more partial replica and bind new TE instances."""
-        spec = self.sdg.state(se_name)
-        index = len(self._se_instances[se_name])
-        se_inst = SEInstance(spec, index)
-        self._se_instances[se_name].append(se_inst)
-        node = self._fresh_node()
-        node.host_se(se_inst)
-        for te in self.sdg.tasks_accessing(se_name):
-            te_inst = TEInstance(te, index, se_instance=se_inst)
-            self._te_instances[te.name].append(te_inst)
-            node.host_te(te_inst)
-
-    def _repartition(self, se_name: str, n_new: int) -> None:
-        """Re-split a partitioned SE over ``n_new`` instances.
-
-        Queued envelopes for the accessing TEs are re-routed under the
-        new partitioner so keyed items still meet their partition.
-        """
-        spec = self.sdg.state(se_name)
-        old_instances = self.se_instances(se_name)
-        if len(old_instances) != len(self._se_instances[se_name]):
-            raise RuntimeExecutionError(
-                f"cannot repartition SE {se_name!r} while an instance is "
-                f"failed; recover first"
-            )
-        if any(inst.element.checkpoint_active for inst in old_instances):
-            raise RuntimeExecutionError(
-                f"cannot repartition SE {se_name!r} while a checkpoint "
-                f"is in progress; complete or abort it first"
-            )
-        merged: StateElement = type(old_instances[0].element).merge_partitions(
-            [inst.element for inst in old_instances]
-        )
-        # Rescale the *existing* strategy; a RangePartitioner refuses
-        # (its boundaries are semantic) and the scale-up fails loudly.
-        partitioner = self._partitioners[se_name].rescaled(n_new)
-        self._partitioners[se_name] = partitioner
-        self._se_epochs[se_name] = self.se_epoch(se_name) + 1
-
-        pending: list[Envelope] = []
-        accessing = self.sdg.tasks_accessing(se_name)
-        for te in accessing:
-            for te_inst in self.te_instances(te.name):
-                while te_inst.inbox:
-                    pending.append(te_inst.inbox.popleft())
-
-        for index in range(n_new):
-            part = merged.extract_partition(partitioner, index)
-            if index < len(self._se_instances[se_name]):
-                se_inst = self._se_instances[se_name][index]
-                se_inst.element = part
-            else:
-                se_inst = SEInstance(spec, index, element=part)
-                self._se_instances[se_name].append(se_inst)
-                node = self._fresh_node()
-                node.host_se(se_inst)
-                for te in accessing:
-                    te_inst = TEInstance(te, index, se_instance=se_inst)
-                    self._te_instances[te.name].append(te_inst)
-                    node.host_te(te_inst)
-
-        for envelope in pending:
-            self._resend_after_reroute(envelope)
 
     def _resend_after_reroute(self, envelope: Envelope) -> None:
         """Re-address a queued envelope after a repartition.
@@ -935,12 +726,13 @@ class Runtime:
             index = min(channel.dst_instance,
                         self.te_slot_count(channel.dst_te) - 1)
         if producer is not None:
-            self._send(producer, channel.edge_index, channel.dst_te, index,
-                       envelope.payload, envelope.request_id,
-                       envelope.expected_responses)
+            self.transport.send(producer, channel.edge_index,
+                                channel.dst_te, index, envelope.payload,
+                                envelope.request_id,
+                                envelope.expected_responses)
         else:
             # Producer lost to a failure: deliver with the old stamp so
             # downstream dedup against a future replay still works.
-            self._deliver(
+            self.transport.deliver(
                 envelope.with_channel(channel.reroute(index), envelope.ts)
             )

@@ -22,13 +22,13 @@ class PhysicalNode:
         self.se_instances: dict[tuple[str, int], SEInstance] = {}
         self.items_processed = 0
         #: Relative processing speed; < 1.0 models a straggler node. The
-        #: engine charges slow nodes fractional scheduling credit per
+        #: scheduling layer charges slow nodes fractional credit per
         #: visit, so a node at speed ``s`` serves items at rate ``s``
         #: (deterministically); ``speed <= 0`` pauses the node entirely,
         #: which the failure detector reports as a stall.
         self.speed = 1.0
-        #: Accumulated scheduling credit of a throttled node (engine
-        #: internal; see :meth:`Runtime.step`).
+        #: Accumulated scheduling credit of a throttled node (scheduler
+        #: internal; see :mod:`repro.runtime.scheduler`).
         self.credit = 0.0
 
     def host_te(self, instance: TEInstance) -> None:

@@ -1,0 +1,163 @@
+"""The transport layer: channels, delivery, and backpressure.
+
+Envelopes travel point-to-point channels between TE instances (§4.2).
+The :class:`Transport` owns those channels: it stamps nothing and
+routes nothing — the dispatcher decides *where* an item goes — but it
+performs the actual hand-off into the destination inbox, tracks
+per-channel delivery statistics, applies payload isolation
+(``copy_payloads``), and reports **backpressure** when a bounded
+channel's destination inbox grows past ``channel_capacity``.
+
+Backpressure here is a *signal*, not flow control: the in-process
+engine never blocks a producer (dropping or stalling items would break
+the replay-based recovery contract, which assumes reliable channels).
+Instead, :meth:`Transport.blocked_channels` names the congested
+channels and the bottleneck detector consumes that as a second scaling
+signal alongside raw inbox depth — the same reaction the paper's
+runtime takes when a TE limits throughput (§3.3).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.envelope import NO_RESPONSE, ChannelId, Envelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.deployment import Topology
+    from repro.runtime.instances import TEInstance
+
+
+@dataclass
+class Channel:
+    """One materialised point-to-point stream, with delivery stats."""
+
+    channel_id: ChannelId
+    #: Envelopes appended to the destination inbox.
+    delivered: int = 0
+    #: Envelopes refused because the destination instance was dead or
+    #: missing (they survive in the producer-side replay buffer).
+    refused: int = 0
+
+
+class Transport:
+    """Delivers envelopes into destination inboxes.
+
+    ``capacity`` bounds every channel's destination inbox for
+    backpressure *reporting* (None = unbounded, the default);
+    ``copy_payloads`` deep-copies payloads at send/inject time for
+    wire-faithful isolation (§4.1 location independence).
+    """
+
+    def __init__(self, topology: "Topology", *,
+                 capacity: int | None = None,
+                 copy_payloads: bool = False) -> None:
+        self._topology = topology
+        self.capacity = capacity
+        self.copy_payloads = copy_payloads
+        self._channels: dict[ChannelId, Channel] = {}
+
+    # ------------------------------------------------------------------
+    # Payload isolation
+    # ------------------------------------------------------------------
+
+    def prepare_payload(self, payload: Any) -> Any:
+        """Apply the configured isolation policy to an outgoing payload."""
+        if self.copy_payloads and payload is not NO_RESPONSE:
+            return copy.deepcopy(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def channel(self, channel_id: ChannelId) -> Channel:
+        """The :class:`Channel` for ``channel_id`` (created on first use)."""
+        channel = self._channels.get(channel_id)
+        if channel is None:
+            channel = self._channels[channel_id] = Channel(channel_id)
+        return channel
+
+    def channels(self) -> list[Channel]:
+        """Every channel an envelope has ever travelled."""
+        return list(self._channels.values())
+
+    def deliver(self, envelope: Envelope) -> bool:
+        """Append to the destination inbox; refuse if the node is dead.
+
+        Refused envelopes are not lost: they stay in the producer-side
+        output buffer and are replayed during recovery.
+        """
+        channel = self.channel(envelope.channel)
+        instance = self._topology.te_instance(
+            envelope.channel.dst_te, envelope.channel.dst_instance
+        )
+        if (
+            instance is None
+            or not self._topology.nodes[instance.node_id].alive
+        ):
+            channel.refused += 1
+            return False
+        instance.inbox.append(envelope)
+        channel.delivered += 1
+        return True
+
+    def send(self, src: "TEInstance", edge_index: int, dst_te: str,
+             dst_index: int, payload: Any, request_id: int | None,
+             expected: int | None) -> bool:
+        """Stamp, buffer and deliver one item from ``src``.
+
+        The producer-side sequence number and output buffer live on the
+        source instance (they are checkpointed with it); the transport
+        applies payload isolation and performs the hand-off.
+        """
+        payload = self.prepare_payload(payload)
+        channel = ChannelId(edge_index, src.name, src.index,
+                            dst_te, dst_index)
+        ts = src.next_seq(channel)
+        envelope = Envelope(payload=payload, ts=ts, channel=channel,
+                            request_id=request_id,
+                            expected_responses=expected)
+        src.record_output(envelope)
+        return self.deliver(envelope)
+
+    # ------------------------------------------------------------------
+    # Backpressure
+    # ------------------------------------------------------------------
+
+    def is_saturated(self, instance: "TEInstance") -> bool:
+        """Whether an instance's inbox exceeds the channel capacity."""
+        return (
+            self.capacity is not None
+            and len(instance.inbox) > self.capacity
+        )
+
+    def blocked_channels(self) -> list[ChannelId]:
+        """Channels whose destination inbox currently exceeds capacity.
+
+        Computed against live inbox depths, so a channel unblocks as
+        soon as its destination drains. Deterministically ordered by
+        destination then source.
+        """
+        if self.capacity is None:
+            return []
+        blocked = []
+        for channel_id in self._channels:
+            instance = self._topology.te_instance(
+                channel_id.dst_te, channel_id.dst_instance
+            )
+            if (
+                instance is not None
+                and self._topology.nodes[instance.node_id].alive
+                and self.is_saturated(instance)
+            ):
+                blocked.append(channel_id)
+        blocked.sort(key=lambda c: (c.dst_te, c.dst_instance,
+                                    c.edge_index, c.src_te, c.src_instance))
+        return blocked
+
+    def blocked_destinations(self) -> set[str]:
+        """TE names on the receiving end of at least one blocked channel."""
+        return {channel.dst_te for channel in self.blocked_channels()}

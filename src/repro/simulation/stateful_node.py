@@ -21,7 +21,7 @@ The model is deterministic: fixed tick, fluid arrivals, FIFO service.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.simulation.metrics import Candlestick, LatencyRecorder

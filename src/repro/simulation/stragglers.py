@@ -20,7 +20,7 @@ t=30 s (addition without relief) → ~11 k at t=50 s (straggler relieved).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
 

@@ -17,14 +17,10 @@ from typing import Any, Callable
 
 from repro.annotations import StateField
 from repro.core.dispatch import Dispatch
-from repro.core.elements import AccessMode, StateKind
+from repro.core.elements import AccessMode
 from repro.core.graph import SDG
 from repro.errors import TranslationError
-from repro.translate.codegen import (
-    _HELPER_PREFIX,
-    compile_block,
-    compile_helper,
-)
+from repro.translate.codegen import compile_block, compile_helper
 from repro.translate.liveness import live_ins
 from repro.translate.restrictions import check_restrictions
 from repro.translate.splitter import Block, split_method

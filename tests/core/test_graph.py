@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.core import SDG, AccessMode, Dispatch
 from repro.errors import ValidationError
 from repro.state import KeyValueMap
 

@@ -1,7 +1,5 @@
 """Recovery under compound failure scenarios."""
 
-import pytest
-
 from repro.recovery import (
     BackupStore,
     CheckpointManager,

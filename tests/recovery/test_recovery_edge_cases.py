@@ -1,7 +1,5 @@
 """Recovery edge cases: multi-SE nodes and failures mid-gather."""
 
-import pytest
-
 from repro.recovery import BackupStore, CheckpointManager, RecoveryManager
 from repro.runtime import Runtime, RuntimeConfig
 

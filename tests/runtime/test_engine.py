@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.core import SDG
 from repro.errors import RuntimeExecutionError
 from repro.runtime import Runtime, RuntimeConfig
-from repro.state import KeyValueMap
 
 from tests.helpers import build_cf_sdg, build_iterative_sdg, build_kv_sdg
 
@@ -139,7 +138,6 @@ class TestCollaborativeFiltering:
                  for inst in runtime.se_instances("coOcc")]
         # Updates were load-balanced across replicas, so each replica
         # holds only part of the co-occurrence counts.
-        total = reference_cf(self.RATINGS, 0)
         assert all(size > 0 for size in sizes)
 
     def test_merge_sums_across_all_partials(self):

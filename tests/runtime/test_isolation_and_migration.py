@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.core import SDG
 from repro.errors import RecoveryError
-from repro.recovery import BackupStore, CheckpointManager, RecoveryManager
+from repro.recovery import BackupStore, RecoveryManager
 from repro.runtime import Runtime, RuntimeConfig
-from repro.state import KeyValueMap
 
 from tests.helpers import build_kv_sdg
 

@@ -1,10 +1,6 @@
 """Tests for runtime parallelism: scale-up and bottleneck detection."""
 
-import pytest
-
-from repro.core import SDG, AccessMode, Dispatch, StateKind
 from repro.runtime import BottleneckDetector, Runtime, RuntimeConfig
-from repro.state import KeyValueMap
 
 from tests.helpers import build_cf_sdg, build_kv_sdg
 

@@ -1,7 +1,5 @@
 """Runtime tests for non-trivial dataflow topologies."""
 
-import pytest
-
 from repro.core import SDG, AccessMode, Dispatch, StateKind
 from repro.runtime import Runtime, RuntimeConfig
 from repro.state import KeyValueMap

@@ -1,0 +1,154 @@
+"""Unit tests for the transport layer.
+
+Channel bookkeeping, payload isolation (the hoisted ``copy`` import),
+delivery to dead destinations, and bounded-channel backpressure —
+including the end-to-end path where a blocked channel feeds the
+bottleneck detector's scale decision.
+"""
+
+import copy as stdlib_copy
+
+import pytest
+
+import repro.runtime.transport as transport_module
+from repro.errors import RuntimeExecutionError
+from repro.runtime import BottleneckDetector, Runtime, RuntimeConfig
+from repro.runtime.envelope import INPUT_EDGE, NO_RESPONSE, ChannelId
+from repro.testing import build_kv_sdg
+
+
+def deploy_kv(**config):
+    config.setdefault("se_instances", {"table": 1})
+    return Runtime(build_kv_sdg(), RuntimeConfig(**config)).deploy()
+
+
+class TestPayloadIsolation:
+    def test_copy_import_hoisted_to_module_level(self):
+        # The seed engine re-executed ``import copy`` inside the hot
+        # inject/_send paths; it must now be a module-level import.
+        assert transport_module.copy is stdlib_copy
+
+    def test_prepare_payload_copies_when_enabled(self):
+        runtime = deploy_kv(copy_payloads=True)
+        payload = {"a": [1, 2]}
+        prepared = runtime.transport.prepare_payload(payload)
+        assert prepared == payload and prepared is not payload
+
+    def test_prepare_payload_passthrough_when_disabled(self):
+        runtime = deploy_kv()
+        payload = {"a": [1, 2]}
+        assert runtime.transport.prepare_payload(payload) is payload
+
+    def test_no_response_marker_never_copied(self):
+        runtime = deploy_kv(copy_payloads=True)
+        assert runtime.transport.prepare_payload(NO_RESPONSE) is NO_RESPONSE
+
+    def test_producer_isolated_from_consumer_mutation(self):
+        runtime = deploy_kv(copy_payloads=True)
+        value = [1, 2]
+        runtime.inject("serve", ("put", "k", value))
+        value.append(3)  # client mutates after the send
+        runtime.inject("serve", ("get", "k", None))
+        runtime.run_until_idle()
+        assert runtime.results["serve"] == [("k", [1, 2])]
+
+
+class TestDelivery:
+    def test_channel_created_on_first_use_and_counts(self):
+        runtime = deploy_kv()
+        for i in range(3):
+            runtime.inject("serve", ("put", i, i))
+        channel_id = ChannelId(INPUT_EDGE, "__input__", 0, "serve", 0)
+        assert runtime.transport.channel(channel_id).delivered == 3
+
+    def test_dead_destination_refused_and_counted(self):
+        runtime = deploy_kv()
+        runtime.inject("serve", ("put", 1, 1))
+        node_id = runtime.te_instances("serve")[0].node_id
+        runtime.fail_node(node_id)
+        runtime.inject("serve", ("put", 2, 2))
+        channel_id = ChannelId(INPUT_EDGE, "__input__", 0, "serve", 0)
+        channel = runtime.transport.channel(channel_id)
+        assert channel.refused == 1
+        # The refused envelope survives in the client-side input log.
+        assert len(runtime.input_buffers_snapshot()[channel_id]) == 2
+
+
+class TestBackpressure:
+    def test_unbounded_transport_never_blocks(self):
+        runtime = deploy_kv()
+        for i in range(100):
+            runtime.inject("serve", ("put", i, i))
+        assert runtime.blocked_channels() == []
+
+    def test_bounded_channel_reports_backpressure(self):
+        runtime = deploy_kv(channel_capacity=4)
+        for i in range(10):
+            runtime.inject("serve", ("put", i, i))
+        blocked = runtime.blocked_channels()
+        assert blocked, "inbox of 10 over capacity 4 must block"
+        assert all(channel.dst_te == "serve" for channel in blocked)
+
+    def test_backpressure_clears_when_destination_drains(self):
+        runtime = deploy_kv(channel_capacity=4)
+        for i in range(10):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        assert runtime.blocked_channels() == []
+
+    def test_blocked_channels_not_reported_before_deploy(self):
+        runtime = Runtime(build_kv_sdg(),
+                          RuntimeConfig(channel_capacity=4))
+        assert runtime.blocked_channels() == []
+
+    def test_detector_consumes_backpressure_signal(self):
+        # Mean backlog (10) sits far below the depth threshold, so only
+        # the transport's backpressure report can flag the TE.
+        runtime = deploy_kv(channel_capacity=4, scale_threshold=10_000)
+        for i in range(10):
+            runtime.inject("serve", ("put", i, i))
+        detector = BottleneckDetector(threshold=10_000, max_instances=4)
+        assert detector.bottlenecks(runtime) == ["serve"]
+
+    def test_no_signal_without_capacity_bound(self):
+        runtime = deploy_kv(scale_threshold=10_000)
+        for i in range(10):
+            runtime.inject("serve", ("put", i, i))
+        detector = BottleneckDetector(threshold=10_000, max_instances=4)
+        assert detector.bottlenecks(runtime) == []
+
+    def test_backpressure_drives_auto_scale_decision(self):
+        # End-to-end: a bounded channel is the *only* scaling signal
+        # (the depth threshold is unreachable), and the runtime still
+        # reacts by growing the TE and repartitioning its SE.
+        runtime = deploy_kv(
+            auto_scale=True,
+            scale_threshold=10_000,
+            channel_capacity=8,
+            scale_check_every=25,
+            max_instances=4,
+        )
+        for i in range(200):
+            runtime.inject("serve", ("put", i, i))
+        runtime.run_until_idle()
+        assert len(runtime.te_instances("serve")) > 1
+        assert runtime.scale_events
+        merged = {}
+        for inst in runtime.se_instances("table"):
+            merged.update(dict(inst.element.items()))
+        assert merged == {i: i for i in range(200)}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [0, -4, 2.5, "8", True])
+    def test_bad_capacity_rejected_at_deploy(self, bad):
+        runtime = Runtime(build_kv_sdg(),
+                          RuntimeConfig(channel_capacity=bad))
+        with pytest.raises(RuntimeExecutionError, match="channel_capacity"):
+            runtime.deploy()
+
+    def test_none_capacity_is_valid(self):
+        assert deploy_kv(channel_capacity=None).transport.capacity is None
+
+    def test_integer_capacity_is_valid(self):
+        assert deploy_kv(channel_capacity=16).transport.capacity == 16

@@ -8,7 +8,6 @@ from repro.simulation import (
     LifetimeConfig,
     simulate_lifetime,
 )
-from repro.simulation.recovery_model import RecoveryParams
 
 
 class TestEventLoop:

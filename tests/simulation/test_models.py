@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simulation import (
-    RecoveryParams,
     StragglerScenario,
     deployment_time,
     microbatch_throughput,

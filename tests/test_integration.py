@@ -8,8 +8,6 @@ checked against an uninterrupted sequential execution of the same
 program.
 """
 
-import pytest
-
 from repro.apps import CollaborativeFiltering, KeyValueStore
 from repro.recovery import (
     BackupStore,

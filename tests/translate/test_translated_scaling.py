@@ -1,7 +1,5 @@
 """Scale-up applied to *translated* programs (annotations + §3.3)."""
 
-import pytest
-
 from repro.apps import CollaborativeFiltering, KeyValueStore
 
 

@@ -13,7 +13,7 @@ from repro import (
 )
 from repro.apps import CollaborativeFiltering, KeyValueStore
 from repro.core import AccessMode, Dispatch, StateKind, allocate
-from repro.state import KeyValueMap, Matrix, Vector
+from repro.state import KeyValueMap
 
 
 class TestCFStructure:
