@@ -6,11 +6,13 @@ implementing dynamic partitioning and dirty state support."
 
 This example implements a Space-Saving heavy-hitters sketch as a custom
 SE. By routing every mutation through the base-class ``_get``/``_set``/
-``_delete`` helpers, the sketch inherits the whole machinery for free:
-the dirty-state overlay (so checkpoints never block processing),
-chunked serialisation (so it can be backed up m-to-n), and partitioning
-support. A small annotated program then tracks trending tags over
-replicated sketches.
+``_delete`` helpers — which sit on the default
+:class:`~repro.state.backend.DictBackend` — the sketch inherits the
+whole machinery for free: the dirty-state overlay (so checkpoints never
+block processing), chunked serialisation (so it can be backed up
+m-to-n) *including incremental delta checkpoints* (the backend journals
+every mutation), and partitioning support. A small annotated program
+then tracks trending tags over replicated sketches.
 
 Run with:
 
@@ -33,31 +35,12 @@ class HeavyHitters(StateElement):
     BYTES_PER_ENTRY = 48
 
     def __init__(self, capacity: int = 8) -> None:
-        super().__init__()
+        super().__init__()  # default DictBackend stores the counters
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._counts: dict = {}
 
-    # -- storage hooks (the whole SE protocol) -------------------------
-
-    def _store_get(self, key):
-        return self._counts[key]
-
-    def _store_set(self, key, value):
-        self._counts[key] = value
-
-    def _store_delete(self, key):
-        del self._counts[key]
-
-    def _store_contains(self, key):
-        return key in self._counts
-
-    def _store_items(self):
-        return iter(self._counts.items())
-
-    def _store_clear(self):
-        self._counts.clear()
+    # The only *required* override: how to make an empty twin.
 
     def spawn_empty(self) -> "HeavyHitters":
         return HeavyHitters(capacity=self.capacity)

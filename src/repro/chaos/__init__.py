@@ -12,7 +12,9 @@ full detect-and-repair loop.
 from repro.chaos.injector import FaultInjector, InjectionRecord
 from repro.chaos.plan import (
     CorruptChunk,
+    CorruptDeltaChunk,
     CrashTask,
+    DropDeltaChunk,
     DropEnvelope,
     DuplicateEnvelope,
     Fault,
@@ -26,7 +28,9 @@ from repro.chaos.plan import (
 
 __all__ = [
     "CorruptChunk",
+    "CorruptDeltaChunk",
     "CrashTask",
+    "DropDeltaChunk",
     "DropEnvelope",
     "DuplicateEnvelope",
     "Fault",

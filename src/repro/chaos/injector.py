@@ -19,7 +19,9 @@ from typing import TYPE_CHECKING
 
 from repro.chaos.plan import (
     CorruptChunk,
+    CorruptDeltaChunk,
     CrashTask,
+    DropDeltaChunk,
     DropEnvelope,
     DuplicateEnvelope,
     FaultPlan,
@@ -57,11 +59,13 @@ class FaultInjector:
 
     def __init__(self, runtime: "Runtime", plan: FaultPlan,
                  store: "BackupStore | None" = None) -> None:
-        needs_store = (CorruptChunk, TargetOffline)
+        needs_store = (CorruptChunk, CorruptDeltaChunk, DropDeltaChunk,
+                       TargetOffline)
         if store is None and any(isinstance(f, needs_store) for f in plan):
             raise ChaosError(
                 "plan contains backup-store faults (CorruptChunk / "
-                "TargetOffline) but no store was given to the injector"
+                "CorruptDeltaChunk / DropDeltaChunk / TargetOffline) but "
+                "no store was given to the injector"
             )
         self.runtime = runtime
         self.plan = plan
@@ -130,6 +134,19 @@ class FaultInjector:
                 self._log(fault, "skipped", "no stored chunk to corrupt")
             else:
                 self._log(fault, "fired", f"corrupted chunk {key}")
+        elif isinstance(fault, CorruptDeltaChunk):
+            key = self.store.corrupt_chunk(fault.node_id, kind="delta")
+            if key is None:
+                self._log(fault, "skipped",
+                          "no stored delta chunk to corrupt")
+            else:
+                self._log(fault, "fired", f"corrupted delta chunk {key}")
+        elif isinstance(fault, DropDeltaChunk):
+            key = self.store.drop_chunk(fault.node_id, kind="delta")
+            if key is None:
+                self._log(fault, "skipped", "no stored delta chunk to drop")
+            else:
+                self._log(fault, "fired", f"dropped delta chunk {key}")
         elif isinstance(fault, TargetOffline):
             self.store.set_target_offline(fault.target, fault.offline)
             state = "offline" if fault.offline else "online"

@@ -88,6 +88,31 @@ class CorruptChunk:
 
 
 @dataclass(frozen=True)
+class CorruptDeltaChunk:
+    """Flip bytes in one backed-up *delta* chunk.
+
+    Exercises the supervisor's base-only fallback: the base of the
+    chain stays intact, only an incremental link is tampered with.
+    Skipped (logged) when no delta chunk is stored at fire time.
+    """
+
+    at_step: int
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class DropDeltaChunk:
+    """Erase one backed-up *delta* chunk (a lost backup file).
+
+    The chunk-count integrity check reports the gap on restore; the
+    supervisor then falls back to base-only recovery.
+    """
+
+    at_step: int
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
 class TargetOffline:
     """Take a backup-store target offline (or bring it back)."""
 
@@ -109,7 +134,8 @@ class ScaleUp:
 
 
 Fault = (KillNode | CrashTask | SlowNode | DropEnvelope
-         | DuplicateEnvelope | CorruptChunk | TargetOffline | ScaleUp)
+         | DuplicateEnvelope | CorruptChunk | CorruptDeltaChunk
+         | DropDeltaChunk | TargetOffline | ScaleUp)
 
 
 @dataclass

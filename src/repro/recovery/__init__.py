@@ -13,7 +13,11 @@ The mechanism combines **asynchronous local checkpoints** with
   be restored to *n* new nodes in parallel (Fig. 4);
 * after restoring the last checkpoint, upstream output buffers are
   replayed and downstream nodes discard duplicates by timestamp — no
-  global rollback, no output-commit problem.
+  global rollback, no output-commit problem;
+* under an incremental :class:`CheckpointPolicy`, most cycles persist
+  only a delta (the keys mutated since the previous cycle) and the
+  restore path folds the full base plus its ordered deltas, falling
+  back to base-only recovery when a delta is corrupt or missing.
 """
 
 from repro.recovery.backup import (
@@ -27,6 +31,7 @@ from repro.recovery.checkpoint import (
     PendingCheckpoint,
     TEMeta,
 )
+from repro.recovery.policy import CheckpointPolicy
 from repro.recovery.manager import RecoveryManager
 from repro.recovery.scheduler import CheckpointScheduler
 from repro.recovery.supervisor import RecoveryEvent, RecoverySupervisor
@@ -34,6 +39,7 @@ from repro.recovery.supervisor import RecoveryEvent, RecoverySupervisor
 __all__ = [
     "BackupStore",
     "CheckpointManager",
+    "CheckpointPolicy",
     "CheckpointScheduler",
     "DiskBackupStore",
     "NodeCheckpoint",

@@ -6,17 +6,25 @@ NIC becomes a bottleneck during backup or restore. Two implementations
 are provided — an in-memory store for tests and fast experiments, and a
 disk-backed store that actually serialises chunks to files.
 
-Backup integrity is first-class: at save time the store records, in the
-checkpoint metadata, the expected chunk count per SE instance and a
+The store keeps, per runtime node, the current **base + delta chain**:
+one full checkpoint plus the incremental checkpoints stacked on top of
+it (ordered by version). Saving a new full checkpoint supersedes and
+evicts the whole previous chain; saving a delta appends to the chain
+and is refused (``RecoveryError``) unless its ``base_version`` matches
+the chain head — a broken lineage must never be stored.
+
+Backup integrity is first-class: at save time the store records, in each
+checkpoint's metadata, the expected chunk count per SE instance and a
 CRC-32 checksum per chunk. :meth:`BackupStore.chunks_for` verifies both
 on the read path, so a lost chunk (e.g. a backup target offline) or a
-corrupted chunk surfaces as a typed
+corrupted chunk — base or delta — surfaces as a typed
 :class:`~repro.errors.BackupIntegrityError` instead of a silently
 truncated restore.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import zlib
@@ -37,18 +45,19 @@ def chunk_checksum(chunk: StateChunk) -> int:
 class BackupStore:
     """In-memory chunked checkpoint storage across ``m`` backup targets.
 
-    Only the latest checkpoint per (runtime) node is retained, matching
-    the paper's protocol where older checkpoints are superseded.
+    Per runtime node, the latest base + delta chain is retained; a new
+    full checkpoint supersedes the previous chain, matching the paper's
+    protocol where older checkpoints are discarded once superseded.
     """
 
     def __init__(self, m_targets: int = 2) -> None:
         if m_targets < 1:
             raise RecoveryError("backup store needs at least one target")
         self.m_targets = m_targets
-        #: target index -> {(node_id, se_key, chunk_index): chunk}
+        #: target index -> {(node_id, version, se_key, chunk_index): chunk}
         self._targets: list[dict] = [{} for _ in range(m_targets)]
-        #: node_id -> checkpoint metadata (se chunk counts, TE meta)
-        self._meta: dict[int, "NodeCheckpoint"] = {}
+        #: node_id -> {version: checkpoint metadata}
+        self._meta: dict[int, dict[int, "NodeCheckpoint"]] = {}
         self._offline: set[int] = set()
         self._rr = 0
 
@@ -57,9 +66,11 @@ class BackupStore:
     def save(self, checkpoint: "NodeCheckpoint") -> None:
         """Persist a node checkpoint, spreading chunks over targets (B3).
 
-        Records the expected chunk count and a CRC-32 checksum per chunk
-        into the checkpoint metadata so the read path can verify
-        completeness and integrity.
+        A full checkpoint evicts the node's previous chain; a delta
+        appends to it, and is refused when its ``base_version`` does not
+        match the current chain head. Records the expected chunk count
+        and a CRC-32 checksum per chunk into the checkpoint metadata so
+        the read path can verify completeness and integrity.
         """
         online = [i for i in range(self.m_targets)
                   if i not in self._offline]
@@ -68,7 +79,20 @@ class BackupStore:
                 "cannot save checkpoint: every backup target is offline"
             )
         node_id = checkpoint.node_id
-        self._evict(node_id)
+        kind = getattr(checkpoint, "kind", "full")
+        if kind == "full":
+            self._evict(node_id)
+        else:
+            head = self.latest(node_id)
+            if head is None or head.version != checkpoint.base_version:
+                head_version = None if head is None else head.version
+                raise RecoveryError(
+                    f"delta checkpoint v{checkpoint.version} of node "
+                    f"{node_id} declares base v{checkpoint.base_version} "
+                    f"but the stored chain head is "
+                    f"{head_version!r}; refusing to store a broken "
+                    f"lineage"
+                )
         checkpoint.chunk_counts = {
             se_key: len(chunks)
             for se_key, chunks in checkpoint.se_chunks.items()
@@ -82,8 +106,10 @@ class BackupStore:
             for chunk in chunks:
                 target = self._targets[online[self._rr % len(online)]]
                 self._rr += 1
-                target[(node_id, se_key, chunk.index)] = chunk
-        self._meta[node_id] = checkpoint
+                target[
+                    (node_id, checkpoint.version, se_key, chunk.index)
+                ] = chunk
+        self._meta.setdefault(node_id, {})[checkpoint.version] = checkpoint
 
     def _evict(self, node_id: int) -> None:
         for target in self._targets:
@@ -113,26 +139,53 @@ class BackupStore:
     def offline_targets(self) -> list[int]:
         return sorted(self._offline)
 
-    def corrupt_chunk(self, node_id: int | None = None) -> tuple | None:
-        """Tamper with one stored chunk, leaving its checksum stale.
-
-        Chaos/testing hook: deterministically picks the first stored
-        chunk (optionally restricted to ``node_id``), replaces its
-        payload with a perturbed copy and returns the storage key —
-        or ``None`` if nothing matched. The recorded checksum is *not*
-        updated, so the read path detects the corruption.
-        """
-        candidates = sorted(
+    def _chunk_candidates(self, node_id: int | None,
+                          kind: str | None) -> list[tuple[tuple, int]]:
+        """Stored chunk keys matching the chaos filters, sorted."""
+        return sorted(
             (key, i)
             for i, target in enumerate(self._targets)
             for key in target
-            if node_id is None or key[0] == node_id
+            if (node_id is None or key[0] == node_id)
+            and (kind is None or self._kind_of(key[0], key[1]) == kind)
         )
+
+    def _kind_of(self, node_id: int, version: int) -> str:
+        meta = self._meta.get(node_id, {}).get(version)
+        return getattr(meta, "kind", "full") if meta is not None else "full"
+
+    def corrupt_chunk(self, node_id: int | None = None,
+                      kind: str | None = None) -> tuple | None:
+        """Tamper with one stored chunk, leaving its checksum stale.
+
+        Chaos/testing hook: deterministically picks the first stored
+        chunk (optionally restricted to ``node_id`` and/or checkpoint
+        ``kind`` — ``"full"`` or ``"delta"``), replaces its payload with
+        a perturbed copy and returns the storage key — or ``None`` if
+        nothing matched. The recorded checksum is *not* updated, so the
+        read path detects the corruption.
+        """
+        candidates = self._chunk_candidates(node_id, kind)
         if not candidates:
             return None
         key, target_index = candidates[0]
         chunk = self._targets[target_index][key]
         self._targets[target_index][key] = self._tampered(chunk)
+        return key
+
+    def drop_chunk(self, node_id: int | None = None,
+                   kind: str | None = None) -> tuple | None:
+        """Erase one stored chunk outright (a lost backup file).
+
+        Chaos/testing hook, same selection rules as
+        :meth:`corrupt_chunk`; the chunk-count check on the read path
+        then reports the gap as a :class:`BackupIntegrityError`.
+        """
+        candidates = self._chunk_candidates(node_id, kind)
+        if not candidates:
+            return None
+        key, target_index = candidates[0]
+        del self._targets[target_index][key]
         return key
 
     @staticmethod
@@ -145,42 +198,65 @@ class BackupStore:
             items = chunk.items
         meta = dict(chunk.meta)
         meta["__corrupted__"] = True
-        return StateChunk(index=chunk.index, total=chunk.total,
-                          items=items, meta=meta)
+        # dataclasses.replace preserves the concrete chunk type, so a
+        # tampered DeltaChunk keeps its lineage fields.
+        return dataclasses.replace(chunk, items=items, meta=meta)
 
     # -- read path ---------------------------------------------------------
 
     def has_checkpoint(self, node_id: int) -> bool:
-        return node_id in self._meta
+        return bool(self._meta.get(node_id))
 
     def latest(self, node_id: int) -> "NodeCheckpoint | None":
-        """Reassemble the latest checkpoint of ``node_id`` (R1)."""
-        meta = self._meta.get(node_id)
-        if meta is None:
+        """The chain head: the most recent checkpoint of ``node_id``."""
+        versions = self._meta.get(node_id)
+        if not versions:
             return None
-        return meta
+        return versions[max(versions)]
+
+    def base(self, node_id: int) -> "NodeCheckpoint | None":
+        """The full base checkpoint anchoring ``node_id``'s chain."""
+        versions = self._meta.get(node_id)
+        if not versions:
+            return None
+        for version in sorted(versions):
+            if getattr(versions[version], "kind", "full") == "full":
+                return versions[version]
+        return None
+
+    def chain(self, node_id: int) -> "list[NodeCheckpoint]":
+        """The stored base + delta chain, ordered by version."""
+        versions = self._meta.get(node_id, {})
+        return [versions[v] for v in sorted(versions)]
 
     def chunks_for(self, node_id: int, se_key: tuple[str, int],
-                   verify: bool = True):
+                   verify: bool = True, version: int | None = None):
         """Stream all chunks of one SE instance, across online targets.
 
-        With ``verify`` (the default), the result is checked against the
-        chunk counts and CRC-32 checksums recorded at save time; a gap
-        or a mismatch raises :class:`BackupIntegrityError`. Checkpoints
-        saved without recorded counts (hand-built fixtures) skip
-        verification.
+        ``version`` selects one checkpoint of the chain (default: the
+        chain head). With ``verify`` (the default), the result is
+        checked against the chunk counts and CRC-32 checksums recorded
+        at save time; a gap or a mismatch raises
+        :class:`BackupIntegrityError`. Checkpoints saved without
+        recorded counts (hand-built fixtures) skip verification.
         """
+        if version is None:
+            head = self.latest(node_id)
+            version = head.version if head is not None else None
         found = []
         for i, target in enumerate(self._targets):
             if i in self._offline:
                 continue
-            for (nid, key, _index), chunk in target.items():
-                if nid == node_id and key == se_key:
+            for (nid, ver, key, _index), chunk in target.items():
+                if nid == node_id and key == se_key and (
+                    version is None or ver == version
+                ):
                     found.append(chunk)
         found.sort(key=lambda c: c.index)
         if not verify:
             return found
-        meta = self._meta.get(node_id)
+        meta = self._meta.get(node_id, {}).get(version) \
+            if version is not None else None
         if meta is None:
             return found
         expected = getattr(meta, "chunk_counts", {}).get(se_key)
@@ -190,18 +266,18 @@ class BackupStore:
         if indices != list(range(expected)):
             missing = sorted(set(range(expected)) - set(indices))
             raise BackupIntegrityError(
-                f"checkpoint of node {node_id}, SE {se_key}: expected "
-                f"{expected} chunks but chunk(s) {missing} are missing "
-                f"(backup target offline or data lost)"
+                f"checkpoint v{version} of node {node_id}, SE {se_key}: "
+                f"expected {expected} chunks but chunk(s) {missing} are "
+                f"missing (backup target offline or data lost)"
             )
         checksums = getattr(meta, "chunk_checksums", {})
         for chunk in found:
             recorded = checksums.get((se_key, chunk.index))
             if recorded is not None and chunk_checksum(chunk) != recorded:
                 raise BackupIntegrityError(
-                    f"checkpoint of node {node_id}, SE {se_key}: chunk "
-                    f"{chunk.index} failed its CRC-32 check (stored "
-                    f"data corrupted)"
+                    f"checkpoint v{version} of node {node_id}, SE "
+                    f"{se_key}: chunk {chunk.index} failed its CRC-32 "
+                    f"check (stored data corrupted)"
                 )
         return found
 
@@ -230,6 +306,14 @@ class DiskBackupStore(BackupStore):
         for directory in self._dirs:
             os.makedirs(directory, exist_ok=True)
 
+    @staticmethod
+    def _chunk_filename(key: tuple) -> str:
+        node_id, version, se_key, index = key
+        return (
+            f"node{node_id}_v{version}_{se_key[0]}_{se_key[1]}"
+            f"_chunk{index}.pkl"
+        )
+
     def save(self, checkpoint: "NodeCheckpoint") -> None:
         super().save(checkpoint)
         node_id = checkpoint.node_id
@@ -240,29 +324,42 @@ class DiskBackupStore(BackupStore):
             for name in os.listdir(directory):
                 if name.startswith(f"node{node_id}_"):
                     os.unlink(os.path.join(directory, name))
-            for (nid, se_key, index), chunk in target.items():
-                if nid != node_id:
+            for key, chunk in target.items():
+                if key[0] != node_id:
                     continue
-                filename = (
-                    f"node{nid}_{se_key[0]}_{se_key[1]}_chunk{index}.pkl"
-                )
-                with open(os.path.join(directory, filename), "wb") as fh:
+                path = os.path.join(directory, self._chunk_filename(key))
+                with open(path, "wb") as fh:
                     pickle.dump(chunk, fh)
-            meta_path = os.path.join(directory, f"node{node_id}_meta.pkl")
-            with open(meta_path, "wb") as fh:
-                pickle.dump(checkpoint, fh)
+            for version, meta in self._meta.get(node_id, {}).items():
+                meta_path = os.path.join(
+                    directory, f"node{node_id}_v{version}_meta.pkl"
+                )
+                with open(meta_path, "wb") as fh:
+                    pickle.dump(meta, fh)
 
-    def corrupt_chunk(self, node_id: int | None = None) -> tuple | None:
-        key = super().corrupt_chunk(node_id)
+    def corrupt_chunk(self, node_id: int | None = None,
+                      kind: str | None = None) -> tuple | None:
+        key = super().corrupt_chunk(node_id, kind)
         if key is None:
             return None
-        nid, se_key, index = key
-        filename = f"node{nid}_{se_key[0]}_{se_key[1]}_chunk{index}.pkl"
+        filename = self._chunk_filename(key)
         for i, target in enumerate(self._targets):
             if key in target:
                 with open(os.path.join(self._dirs[i], filename),
                           "wb") as fh:
                     pickle.dump(target[key], fh)
+        return key
+
+    def drop_chunk(self, node_id: int | None = None,
+                   kind: str | None = None) -> tuple | None:
+        key = super().drop_chunk(node_id, kind)
+        if key is None:
+            return None
+        filename = self._chunk_filename(key)
+        for directory in self._dirs:
+            path = os.path.join(directory, filename)
+            if os.path.exists(path):
+                os.unlink(path)
         return key
 
     def reload_from_disk(self) -> None:
@@ -285,16 +382,16 @@ class DiskBackupStore(BackupStore):
                         payload = pickle.load(fh)
                 except Exception:
                     continue  # unreadable file == lost chunk
-                if name.endswith("_meta.pkl"):
-                    node_id = int(name.split("_")[0][len("node"):])
-                    self._meta[node_id] = payload
+                stem = name[:-len(".pkl")]
+                node_part, version_part, rest = stem.split("_", 2)
+                node_id = int(node_part[len("node"):])
+                version = int(version_part[len("v"):])
+                if rest == "meta":
+                    self._meta.setdefault(node_id, {})[version] = payload
                 else:
-                    stem = name[:-len(".pkl")]
-                    node_part, rest = stem.split("_", 1)
                     # se names may contain underscores; peel from the right.
                     se_name, se_index, chunk_part = rest.rsplit("_", 2)
-                    node_id = int(node_part[len("node"):])
                     index = int(chunk_part[len("chunk"):])
                     self._targets[i][
-                        (node_id, (se_name, int(se_index)), index)
+                        (node_id, version, (se_name, int(se_index)), index)
                     ] = payload

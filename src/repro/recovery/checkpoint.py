@@ -17,6 +17,18 @@ The split into :meth:`CheckpointManager.begin` and
 :meth:`CheckpointManager.complete` lets callers interleave processing
 between the two calls, which is exactly what the asynchronous mechanism
 buys — and what the tests and the sync-vs-async benchmarks exercise.
+
+Under an incremental :class:`~repro.recovery.policy.CheckpointPolicy`,
+step 3 has a **delta mode**: instead of re-chunking the full state, the
+manager serialises only the keys mutated since the previous cycle (the
+backend's mutation journal) as
+:class:`~repro.state.base.DeltaChunk` chains with ``(version,
+base_version)`` lineage. A delta is only emitted when it is provably
+sound — contiguous predecessor in the store, unchanged SE set and
+partitioning epochs, every SE journal-backed — otherwise the cycle
+silently re-anchors with a full base. Upstream output buffers are
+trimmed only on *full* cycles, so the supervisor's base-only fallback
+can always re-replay the span covered by discarded deltas.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
+from repro.recovery.policy import CheckpointPolicy
 from repro.runtime.envelope import INPUT_EDGE, ChannelId, Envelope
 from repro.runtime.instances import GatherState, StreamKey
 from repro.state.base import StateChunk
@@ -54,6 +67,11 @@ class NodeCheckpoint:
 
     node_id: int
     version: int
+    #: "full" (a self-contained base) or "delta" (changed keys +
+    #: tombstones on top of ``base_version``).
+    kind: str = "full"
+    #: For deltas, the version this delta applies on top of.
+    base_version: int | None = None
     se_chunks: dict[tuple[str, int], list[StateChunk]] = field(
         default_factory=dict
     )
@@ -73,8 +91,9 @@ class NodeCheckpoint:
     )
 
     def state_entries(self) -> int:
+        """Logical entries moved by this checkpoint (incl. tombstones)."""
         return sum(
-            len(chunk.items)
+            chunk.entry_count()
             for chunks in self.se_chunks.values()
             for chunk in chunks
         )
@@ -96,7 +115,8 @@ class CheckpointManager:
 
     def __init__(self, runtime: "Runtime", store: "BackupStore",
                  n_chunks: int | None = None,
-                 trim_input_log: bool = True) -> None:
+                 trim_input_log: bool = True,
+                 policy: CheckpointPolicy | None = None) -> None:
         self.runtime = runtime
         self.store = store
         #: chunks per SE snapshot; defaults to the store's target count.
@@ -107,8 +127,16 @@ class CheckpointManager:
         #: its state from scratch even when every checkpoint of it is
         #: corrupt or stale — the RecoverySupervisor's last-resort path.
         self.trim_input_log = trim_input_log
+        #: Full/delta cadence: an explicit argument wins, then the
+        #: runtime config's ``checkpoint_policy``, then the default
+        #: (full every cycle — the seed behaviour).
+        if policy is None:
+            policy = getattr(runtime.config, "checkpoint_policy", None)
+        self.policy = policy if policy is not None else CheckpointPolicy()
         self._versions: dict[int, int] = {}
         self._pending: dict[int, PendingCheckpoint] = {}
+        #: Completed checkpoint cycles per node (drives the cadence).
+        self._cycles: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -151,6 +179,9 @@ class CheckpointManager:
     def complete(self, pending: PendingCheckpoint) -> NodeCheckpoint | None:
         """Steps 3-5: chunk, persist, consolidate, trim upstream.
 
+        Under an incremental policy, eligible cycles serialise only the
+        mutation journal (delta mode); the cost of such a cycle is
+        O(|mutations since the previous cycle|), not O(|state|).
         Returns ``None`` (and discards the checkpoint) if the node died
         while the checkpoint was in progress.
         """
@@ -158,24 +189,68 @@ class CheckpointManager:
         node = self.runtime.nodes[pending.node_id]
         if not node.alive:
             return None
+        delta = self._delta_eligible(pending, node)
         se_chunks: dict[tuple[str, int], list[StateChunk]] = {}
         for se_key in pending.se_keys:
             se_inst = node.se_instances.get(se_key)
             if se_inst is None:
                 continue
-            se_chunks[se_key] = se_inst.element.to_chunks(self.n_chunks)
+            if delta:
+                se_chunks[se_key] = se_inst.element.to_delta_chunks(
+                    self.n_chunks, version=pending.version,
+                    base_version=pending.version - 1,
+                )
+            else:
+                se_chunks[se_key] = se_inst.element.to_chunks(self.n_chunks)
         checkpoint = NodeCheckpoint(
             node_id=pending.node_id, version=pending.version,
+            kind="delta" if delta else "full",
+            base_version=pending.version - 1 if delta else None,
             se_chunks=se_chunks, te_meta=pending.te_meta,
             se_epochs=dict(pending.se_epochs),
         )
         self.store.save(checkpoint)
+        # Reset the journals *before* consolidating: the persisted
+        # checkpoint covers every pre-begin mutation, while the overlay
+        # entries folded back below re-journal themselves and therefore
+        # land in the *next* cycle's delta.
         for se_key in pending.se_keys:
             se_inst = node.se_instances.get(se_key)
             if se_inst is not None:
+                se_inst.element.mark_clean()
                 se_inst.element.consolidate()
-        self._trim_upstream(checkpoint)
+        self._cycles[pending.node_id] = \
+            self._cycles.get(pending.node_id, 0) + 1
+        if checkpoint.kind == "full":
+            # Deltas must not trim upstream buffers: if the delta part
+            # of the chain is later lost or corrupted, base-only
+            # recovery replays the gap from these buffers.
+            self._trim_upstream(checkpoint)
         return checkpoint
+
+    def _delta_eligible(self, pending: PendingCheckpoint, node) -> bool:
+        """Whether this cycle may be incremental (else a full base).
+
+        Requires, beyond the policy cadence: a contiguous predecessor
+        still in the store, an unchanged SE instance set, unchanged
+        partitioning epochs, and every SE journal-backed. Any mismatch
+        re-anchors with a full checkpoint — a delta whose lineage or
+        coverage is doubtful is never emitted.
+        """
+        if self.policy.wants_full(self._cycles.get(pending.node_id, 0)):
+            return False
+        previous = self.store.latest(pending.node_id)
+        if previous is None or previous.version != pending.version - 1:
+            return False
+        if set(previous.se_chunks) != set(pending.se_keys):
+            return False
+        if previous.se_epochs != pending.se_epochs:
+            return False
+        for se_key in pending.se_keys:
+            se_inst = node.se_instances.get(se_key)
+            if se_inst is None or not se_inst.element.delta_capable:
+                return False
+        return True
 
     def abort(self, pending: PendingCheckpoint) -> None:
         """Abandon an in-progress checkpoint, consolidating dirty state."""

@@ -24,7 +24,11 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.core.elements import StateKind
-from repro.errors import RecoveryError, StaleCheckpointError
+from repro.errors import (
+    BackupIntegrityError,
+    RecoveryError,
+    StaleCheckpointError,
+)
 from repro.recovery.checkpoint import NodeCheckpoint, TEMeta
 from repro.runtime.instances import SEInstance, TEInstance
 from repro.runtime.node import PhysicalNode
@@ -46,19 +50,32 @@ class RecoveryManager:
     # ------------------------------------------------------------------
 
     def recover_node(self, node_id: int, n_new: int = 1,
-                     use_checkpoint: bool = True) -> list[PhysicalNode]:
+                     use_checkpoint: bool = True,
+                     use_deltas: bool = True) -> list[PhysicalNode]:
         """Replace a failed node; returns the new node(s).
 
+        With an incremental checkpoint chain in the store, the restore
+        folds the full base plus its ordered deltas. ``use_deltas=False``
+        is the supervisor's **base-only** fallback when the delta part
+        of the chain is corrupt or missing: only the full base is
+        restored, and the span the deltas covered is recovered by
+        replaying the upstream buffers (which are only trimmed on full
+        checkpoints, precisely so this path stays sound).
+
         Without a stored checkpoint — or with ``use_checkpoint=False``,
-        the supervisor's fallback when the stored checkpoint is corrupt
-        or captured under a stale partitioning epoch — instances restart
-        empty and the entire input history is replayed (pure log-based
-        recovery).
+        the fallback when the stored checkpoint is corrupt or captured
+        under a stale partitioning epoch — instances restart empty and
+        the entire input history is replayed (pure log-based recovery).
         """
         failed = self.runtime.nodes[node_id]
         if failed.alive:
             raise RecoveryError(f"node {node_id} has not failed")
-        checkpoint = self.store.latest(node_id) if use_checkpoint else None
+        checkpoint = None
+        if use_checkpoint:
+            checkpoint = (
+                self.store.latest(node_id) if use_deltas
+                else self.store.base(node_id)
+            )
         if checkpoint is not None:
             self._check_epochs(checkpoint)
         if n_new < 1:
@@ -118,16 +135,51 @@ class RecoveryManager:
                          checkpoint: NodeCheckpoint | None) -> StateElement:
         """Reassemble one SE instance from its backed-up chunks (R1/R2).
 
-        Chunks are fetched through the backup store's verified read
-        path, so a missing or corrupted chunk raises
+        When ``checkpoint`` is the head of an incremental chain, the
+        full base is restored first and every delta up to
+        ``checkpoint.version`` is folded on top, in version order, after
+        the lineage is verified to be contiguous. Chunks are fetched
+        through the backup store's verified read path, so a missing or
+        corrupted chunk — base or delta — raises
         :class:`~repro.errors.BackupIntegrityError` before any state is
         installed — never a silently partial restore.
         """
         template = spec.factory()
         if checkpoint is None:
             return template
-        chunks = self.store.chunks_for(checkpoint.node_id, se_key)
-        return type(template).from_chunks(template, chunks)
+        node_id = checkpoint.node_id
+        chain = [
+            entry for entry in self.store.chain(node_id)
+            if entry.version <= checkpoint.version
+        ]
+        base_index = None
+        for i, entry in enumerate(chain):
+            if getattr(entry, "kind", "full") == "full":
+                base_index = i
+        if base_index is None:
+            raise BackupIntegrityError(
+                f"checkpoint chain of node {node_id} has no full base at "
+                f"or before v{checkpoint.version}; cannot restore"
+            )
+        chain = chain[base_index:]
+        for prev, entry in zip(chain, chain[1:]):
+            if entry.kind != "delta" or entry.base_version != prev.version:
+                raise BackupIntegrityError(
+                    f"checkpoint chain of node {node_id} is not "
+                    f"contiguous: v{entry.version} ({entry.kind}) does "
+                    f"not apply on top of v{prev.version}"
+                )
+        chunks = self.store.chunks_for(node_id, se_key,
+                                       version=chain[0].version)
+        element = type(template).from_chunks(template, chunks)
+        for entry in chain[1:]:
+            for chunk in self.store.chunks_for(node_id, se_key,
+                                               version=entry.version):
+                element.load_delta_chunk(chunk)
+        # The restored instance starts a fresh journal: its first
+        # checkpoint on the replacement node is a new full base.
+        element.mark_clean()
+        return element
 
     @staticmethod
     def _apply_meta(instance: TEInstance, meta: TEMeta | None) -> None:

@@ -12,12 +12,18 @@ Policies, in the order they apply to each failed node:
 1. **Strategy ladder.** Start with m-to-n recovery when configured
    (``n_new > 1``); if the n-way restore is *refused* (SE not
    partitioned, node hosted more than one SE, other instances alive),
-   fall back to plain 1-to-1 recovery. If the stored checkpoint itself
-   is unusable — corrupt or incomplete chunks
-   (:class:`~repro.errors.BackupIntegrityError`) or a stale
-   partitioning epoch (:class:`~repro.errors.StaleCheckpointError`) —
-   fall back to **pure log-replay recovery** (restore empty, replay the
-   retained input history). Deploy the
+   fall back to plain 1-to-1 recovery. If the stored checkpoint is
+   unusable — corrupt or incomplete chunks
+   (:class:`~repro.errors.BackupIntegrityError`) — and the node's
+   chain carries incremental deltas, fall back to **base-only
+   recovery** first: restore just the full base and re-replay the span
+   the deltas covered from the upstream buffers (which are only trimmed
+   on full checkpoints, so the span is still there). If the base itself
+   is also unusable, or the chain had no deltas to discard, or the
+   checkpoint was captured under a stale partitioning epoch
+   (:class:`~repro.errors.StaleCheckpointError`), fall back to **pure
+   log-replay recovery** (restore empty, replay the retained input
+   history). Deploy the
    :class:`~repro.recovery.checkpoint.CheckpointManager` with
    ``trim_input_log=False`` to keep that last-resort path sound.
 2. **Bounded retry with backoff.** Any other recovery failure is
@@ -70,7 +76,7 @@ class _PendingRecovery:
     """One failed node the supervisor is responsible for."""
 
     node_id: int
-    strategy: str  # "m-to-n" | "one-to-one" | "log-replay"
+    strategy: str  # "m-to-n" | "one-to-one" | "base-only" | "log-replay"
     attempts: int = 0
     due_step: int = 0
     last_error: str = ""
@@ -191,10 +197,11 @@ class RecoverySupervisor:
                 if task.strategy == "log-replay":
                     self._fail(task, exc)
                     return
+                fallback = self._integrity_fallback(task, exc)
                 self._log("fallback", task.node_id,
                           attempt=task.attempts,
-                          detail=f"{task.strategy} -> log-replay: {exc}")
-                task.strategy = "log-replay"
+                          detail=f"{task.strategy} -> {fallback}: {exc}")
+                task.strategy = fallback
             except RecoveryError as exc:
                 if task.strategy == "m-to-n":
                     self._log(
@@ -214,12 +221,35 @@ class RecoverySupervisor:
                 )
                 return
 
+    def _integrity_fallback(self, task: _PendingRecovery,
+                            exc: Exception) -> str:
+        """Pick the next rung after an unusable-checkpoint error.
+
+        A corrupt or missing chunk (``BackupIntegrityError``) on a
+        chain that actually has deltas is first retried **base-only**:
+        the full base plus upstream replay reconstructs the exact same
+        state without touching the suspect deltas. A stale partitioning
+        epoch taints base and head alike, and a delta-free chain has
+        nothing left to discard — both go straight to log-replay, as
+        does a base-only attempt that fails again.
+        """
+        if (
+            isinstance(exc, BackupIntegrityError)
+            and task.strategy not in ("base-only",)
+            and len(self.manager.store.chain(task.node_id)) > 1
+        ):
+            return "base-only"
+        return "log-replay"
+
     def _execute(self, task: _PendingRecovery):
         if task.strategy == "m-to-n":
             return self.manager.recover_node(task.node_id,
                                              n_new=self.n_new)
         if task.strategy == "one-to-one":
             return self.manager.recover_node(task.node_id)
+        if task.strategy == "base-only":
+            return self.manager.recover_node(task.node_id,
+                                             use_deltas=False)
         return self.manager.recover_node(task.node_id,
                                          use_checkpoint=False)
 

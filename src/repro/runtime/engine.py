@@ -92,6 +92,13 @@ class RuntimeConfig:
     #: :meth:`Runtime.blocked_channels` and feed the bottleneck
     #: detector as a second scaling signal.
     channel_capacity: int | None = None
+    #: Full/delta checkpoint cadence: a
+    #: :class:`repro.recovery.policy.CheckpointPolicy` (or anything
+    #: with an int ``full_every >= 0``) picked up by every
+    #: CheckpointManager built against this runtime. ``None`` keeps the
+    #: default (a full checkpoint every cycle). Typed loosely because
+    #: ``repro.recovery`` imports runtime modules, not the reverse.
+    checkpoint_policy: Any = None
 
     def validate(self, sdg: "SDG") -> None:
         """Reject malformed deployment knobs before they misbehave.
@@ -119,6 +126,16 @@ class RuntimeConfig:
                 )
         # Raises on unknown policy names / non-scheduler objects.
         resolve_scheduler(self.scheduler)
+        policy = self.checkpoint_policy
+        if policy is not None:
+            cadence = getattr(policy, "full_every", None)
+            if not isinstance(cadence, int) or isinstance(cadence, bool) \
+                    or cadence < 0:
+                raise RuntimeExecutionError(
+                    f"RuntimeConfig.checkpoint_policy must expose an "
+                    f"integer full_every >= 0 (e.g. a CheckpointPolicy), "
+                    f"got {policy!r}"
+                )
         known_ses = set(sdg.states)
         unknown_ses = sorted(set(self.se_instances) - known_ses)
         if unknown_ses:

@@ -26,7 +26,12 @@ from repro.simulation.lifetime import (
     LifetimeResult,
     simulate_lifetime,
 )
-from repro.simulation.metrics import LatencyRecorder, candlestick
+from repro.simulation.metrics import (
+    CheckpointCycle,
+    CheckpointTraffic,
+    LatencyRecorder,
+    candlestick,
+)
 from repro.simulation.recovery_model import (
     RecoveryParams,
     deployment_time,
@@ -45,7 +50,9 @@ from repro.simulation.stragglers import (
 )
 
 __all__ = [
+    "CheckpointCycle",
     "CheckpointPolicy",
+    "CheckpointTraffic",
     "Event",
     "EventLoop",
     "LatencyRecorder",

@@ -49,6 +49,69 @@ def candlestick(samples: list[float]) -> Candlestick:
                          for p in (5, 25, 50, 75, 95)))
 
 
+@dataclass(frozen=True)
+class CheckpointCycle:
+    """One checkpoint cycle as seen by the traffic recorder."""
+
+    kind: str        # "full" | "delta"
+    entries: float   # logical entries persisted (incl. tombstones)
+    bytes: float     # bytes written to the backup store
+
+
+class CheckpointTraffic:
+    """Accumulates per-cycle checkpoint backup traffic.
+
+    The quantity an incremental policy optimises: under full-every-time
+    each cycle writes O(|state|); under base+delta most cycles write
+    O(|mutations|). :meth:`savings_vs_full` summarises the reduction.
+    """
+
+    def __init__(self) -> None:
+        self.cycles: list[CheckpointCycle] = []
+
+    def record(self, kind: str, entries: float, bytes_: float) -> None:
+        if kind not in ("full", "delta"):
+            raise ValueError(f"unknown checkpoint kind {kind!r}")
+        self.cycles.append(CheckpointCycle(kind=kind, entries=entries,
+                                           bytes=bytes_))
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def full_cycles(self) -> int:
+        return sum(1 for c in self.cycles if c.kind == "full")
+
+    def delta_cycles(self) -> int:
+        return sum(1 for c in self.cycles if c.kind == "delta")
+
+    def total_bytes(self) -> float:
+        return sum(c.bytes for c in self.cycles)
+
+    def total_entries(self) -> float:
+        return sum(c.entries for c in self.cycles)
+
+    def delta_chain_bytes(self) -> float:
+        """Bytes of the delta tail since the last full base.
+
+        This is what a restore must fold on top of the base — feed it
+        to :func:`repro.simulation.recovery_model.recovery_time` as
+        ``delta_bytes``.
+        """
+        tail = 0.0
+        for cycle in reversed(self.cycles):
+            if cycle.kind == "full":
+                break
+            tail += cycle.bytes
+        return tail
+
+    def savings_vs_full(self, full_bytes: float) -> float:
+        """Fraction of backup traffic avoided vs full-every-cycle."""
+        if not self.cycles or full_bytes <= 0:
+            return 0.0
+        baseline = full_bytes * len(self.cycles)
+        return 1.0 - self.total_bytes() / baseline
+
+
 class LatencyRecorder:
     """Accumulates latency samples and summarises them."""
 

@@ -43,6 +43,7 @@ def recovery_time(
     m_backups: int,
     n_recovering: int,
     params: RecoveryParams = RecoveryParams(),
+    delta_bytes: float = 0.0,
 ) -> float:
     """Seconds to restore ``state_bytes`` with an m-to-n strategy.
 
@@ -52,14 +53,21 @@ def recovery_time(
     before they can be rebuilt into indexes — so their times add. This
     reproduces the published ordering 2-to-2 < 1-to-2 < 2-to-1 < 1-to-1
     with reconstruction the dominant term at large state.
+
+    ``delta_bytes`` is the total size of the incremental chain folded
+    on top of the full base: delta chunks are read, transferred and
+    re-applied just like base chunks, so they add to all three
+    state-proportional phases — the restore-side price of cheap
+    incremental backups.
     """
-    if state_bytes < 0:
-        raise SimulationError("state size cannot be negative")
+    if state_bytes < 0 or delta_bytes < 0:
+        raise SimulationError("state and delta sizes cannot be negative")
     if m_backups < 1 or n_recovering < 1:
         raise SimulationError("m and n must both be >= 1")
-    read_time = state_bytes / (m_backups * params.disk_read_bw)
-    transfer_time = state_bytes / (n_recovering * params.network_bw)
-    reconstruct_time = state_bytes / (
+    restored_bytes = state_bytes + delta_bytes
+    read_time = restored_bytes / (m_backups * params.disk_read_bw)
+    transfer_time = restored_bytes / (n_recovering * params.network_bw)
+    reconstruct_time = restored_bytes / (
         n_recovering * params.reconstruct_rate
     )
     replay_time = params.replay_items / (

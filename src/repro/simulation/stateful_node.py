@@ -21,10 +21,14 @@ The model is deterministic: fixed tick, fluid arrivals, FIFO service.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.simulation.metrics import Candlestick, LatencyRecorder
+from repro.simulation.metrics import (
+    Candlestick,
+    CheckpointTraffic,
+    LatencyRecorder,
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,12 @@ class CheckpointPolicy:
     #: (~500 k entries/s at 64 B) is calibrated to the paper's Fig. 13
     #: latency overheads.
     consolidation_rate: float = 32e6
+    #: Full-base cadence, mirroring
+    #: :class:`repro.recovery.policy.CheckpointPolicy`: ``1`` persists
+    #: the full state every cycle; ``K > 1`` persists a full base every
+    #: K cycles and only the mutations since the previous cycle in
+    #: between; ``0`` takes one base and deltas forever.
+    full_every: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("none", "sync", "async"):
@@ -52,6 +62,19 @@ class CheckpointPolicy:
             )
         if self.interval_s <= 0:
             raise SimulationError("checkpoint interval must be positive")
+        if not isinstance(self.full_every, int) \
+                or isinstance(self.full_every, bool) or self.full_every < 0:
+            raise SimulationError(
+                f"full_every must be an int >= 0, got {self.full_every!r}"
+            )
+
+    def wants_full(self, cycle: int) -> bool:
+        """Whether checkpoint cycle ``cycle`` (0-based) persists fully."""
+        if cycle == 0 or self.full_every == 1:
+            return True
+        if self.full_every == 0:
+            return False
+        return cycle % self.full_every == 0
 
     @staticmethod
     def none() -> "CheckpointPolicy":
@@ -82,6 +105,8 @@ class SimResult:
     latency: LatencyRecorder
     served: float
     duration_s: float
+    #: Backup traffic per checkpoint cycle (kind, entries, bytes).
+    traffic: CheckpointTraffic = field(default_factory=CheckpointTraffic)
 
     def candlestick(self) -> Candlestick:
         return self.latency.candlestick()
@@ -102,12 +127,15 @@ def simulate_node(
         raise SimulationError("rates and durations must be positive")
     queue: deque[tuple[float, float]] = deque()  # (arrival time, count)
     latency = LatencyRecorder()
+    traffic = CheckpointTraffic()
     served_total = 0.0
 
     next_checkpoint = policy.interval_s
     pause_until = 0.0          # hard stop (sync persist / async lock)
     persist_until = 0.0        # async persist window (reduced rate)
     served_during_persist = 0.0
+    served_since_ckpt = 0.0    # drives the delta-cycle persist size
+    ckpt_cycle = 0
 
     steps = int(round(duration_s / tick_s))
     rate = params.effective_rate()
@@ -121,7 +149,24 @@ def simulate_node(
             and now >= pause_until
             and not (policy.mode == "async" and persist_until > now)
         ):
-            persist_duration = params.state_bytes / policy.disk_bw
+            # Incremental cycles persist only the mutations since the
+            # previous cycle — O(|delta|), capped by the state size —
+            # while full cycles re-persist the whole state.
+            if policy.wants_full(ckpt_cycle):
+                persist_bytes = params.state_bytes
+                kind = "full"
+            else:
+                persist_bytes = min(
+                    params.state_bytes,
+                    served_since_ckpt * params.write_fraction
+                    * params.bytes_per_update,
+                )
+                kind = "delta"
+            traffic.record(kind, persist_bytes / params.bytes_per_update,
+                           persist_bytes)
+            ckpt_cycle += 1
+            served_since_ckpt = 0.0
+            persist_duration = persist_bytes / policy.disk_bw
             if policy.mode == "sync":
                 pause_until = now + persist_duration
                 # The next checkpoint is due an interval after this one
@@ -163,6 +208,7 @@ def simulate_node(
             take = min(count, capacity)
             latency.record(now - arrival + params.base_latency_s)
             served_total += take
+            served_since_ckpt += take
             if policy.mode == "async" and now < persist_until:
                 served_during_persist += take
             if take >= count:
@@ -183,6 +229,7 @@ def simulate_node(
         latency=latency,
         served=served_total,
         duration_s=duration_s,
+        traffic=traffic,
     )
 
 
@@ -222,4 +269,5 @@ def simulate_cluster(
         latency=latency,
         served=per_node.served * n_nodes,
         duration_s=duration_s,
+        traffic=per_node.traffic,
     )

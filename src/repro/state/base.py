@@ -12,18 +12,31 @@ key/value core provided here, which gives all of them, uniformly:
   split and re-join SE instances for partitioned state and for restoring a
   failed instance onto *n* new nodes;
 * **chunked serialisation** — ``to_chunks`` / ``load_chunk`` implement the
-  m-to-n backup pattern of Fig. 4;
+  m-to-n backup pattern of Fig. 4, and ``to_delta_chunks`` /
+  ``load_delta_chunk`` its incremental variant: only the keys mutated
+  since the last checkpoint (read from the backend's journal) are
+  emitted, as changed values plus deletion tombstones;
 * **size accounting** — a byte estimate used by the allocation logic and
   by the cluster simulator's checkpoint cost model.
+
+Since the storage-subsystem refactor the *physical* representation lives
+in a pluggable :class:`~repro.state.backend.StateBackend`; the SE class
+itself is a pure domain API. Subclasses normally pick their store by
+overriding :meth:`StateElement._make_backend` and never touch the
+``_store_*`` hooks; overriding the hooks directly remains supported for
+legacy custom SEs, at the cost of delta-checkpoint support (see
+:attr:`StateElement.delta_capable`).
 """
 
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.errors import StateError
+from repro.state.backend import DictBackend, MutationJournal, StateBackend
 from repro.state.dirty import DirtyOverlay, TOMBSTONE
 
 #: Sentinel distinguishing "no default supplied" from ``default=None``.
@@ -48,49 +61,99 @@ class StateChunk:
         """Modelled size of this chunk on disk or on the wire."""
         return len(self.items) * bytes_per_entry
 
+    def entry_count(self) -> int:
+        """Logical entries carried by this chunk (items only)."""
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class DeltaChunk(StateChunk):
+    """One fragment of an *incremental* SE checkpoint.
+
+    Carries only the keys mutated since the previous checkpoint in the
+    chain: ``items`` holds changed/new values, ``deleted`` holds
+    tombstones. ``(version, base_version)`` records the lineage — this
+    delta applies on top of checkpoint ``base_version`` and produces
+    the state of checkpoint ``version``. The restore path folds a full
+    base plus its ordered deltas; a broken or corrupt link surfaces as
+    a :class:`~repro.errors.BackupIntegrityError`, never a silently
+    truncated restore.
+    """
+
+    version: int = 0
+    base_version: int = 0
+    deleted: tuple[Hashable, ...] = ()
+
+    def size_bytes(self, bytes_per_entry: int) -> int:
+        """Tombstones travel too: a key costs an entry either way."""
+        return (len(self.items) + len(self.deleted)) * bytes_per_entry
+
+    def entry_count(self) -> int:
+        return len(self.items) + len(self.deleted)
+
 
 class StateElement(abc.ABC):
     """Abstract base class for all SE data structures.
 
-    Subclasses implement the ``_store_*`` hooks against their concrete
-    representation and expose a domain API (``get_row``, ``multiply``,
-    ``put`` ...) built on the protected ``_get``/``_set``/``_delete``
-    helpers, which transparently apply the dirty-state redirection.
+    Subclasses provide a physical store via :meth:`_make_backend` and
+    expose a domain API (``get_row``, ``multiply``, ``put`` ...) built
+    on the protected ``_get``/``_set``/``_delete`` helpers, which
+    transparently apply the dirty-state redirection.
     """
 
     #: Modelled cost of one stored entry; used for state-size accounting.
     BYTES_PER_ENTRY = 64
 
-    def __init__(self) -> None:
+    def __init__(self, backend: StateBackend | None = None) -> None:
+        self._backend = backend if backend is not None \
+            else self._make_backend()
         self._dirty: DirtyOverlay | None = None
         self._update_count = 0
 
     # ------------------------------------------------------------------
-    # Storage hooks (subclass responsibility)
+    # Physical storage
     # ------------------------------------------------------------------
 
-    @abc.abstractmethod
+    def _make_backend(self) -> StateBackend:
+        """Build this SE's physical store; subclasses override to pick
+        a different layout (dense list, grid, indexed sparse map...)."""
+        return DictBackend()
+
+    @property
+    def backend(self) -> StateBackend:
+        """The physical store behind this SE instance."""
+        return self._backend
+
+    # The ``_store_*`` hooks delegate to the backend. Legacy custom SEs
+    # may still override them wholesale; doing so bypasses the mutation
+    # journal, which :attr:`delta_capable` detects.
+
     def _store_get(self, key: Hashable) -> Any:
         """Return the value for ``key`` from the main structure.
 
-        Must raise :class:`KeyError` when absent.
+        Raises :class:`KeyError` when absent.
         """
+        return self._backend.get(key)
 
-    @abc.abstractmethod
     def _store_set(self, key: Hashable, value: Any) -> None:
         """Write ``value`` for ``key`` into the main structure."""
+        self._backend.set(key, value)
 
-    @abc.abstractmethod
     def _store_delete(self, key: Hashable) -> None:
         """Remove ``key`` from the main structure (KeyError if absent)."""
+        self._backend.delete(key)
 
-    @abc.abstractmethod
+    def _store_contains(self, key: Hashable) -> bool:
+        """Membership against the main structure only."""
+        return self._backend.contains(key)
+
     def _store_items(self) -> Iterator[tuple[Hashable, Any]]:
         """Iterate over all ``(key, value)`` pairs of the main structure."""
+        return self._backend.items()
 
-    @abc.abstractmethod
     def _store_clear(self) -> None:
         """Empty the main structure."""
+        self._backend.clear()
 
     @abc.abstractmethod
     def spawn_empty(self) -> "StateElement":
@@ -160,17 +223,6 @@ class StateElement(abc.ABC):
             return self._dirty.get(key) is not TOMBSTONE
         return self._store_contains(key)
 
-    def _store_contains(self, key: Hashable) -> bool:
-        """Membership against the main structure only.
-
-        Subclasses with a cheaper test than get-and-catch may override.
-        """
-        try:
-            self._store_get(key)
-        except KeyError:
-            return False
-        return True
-
     def _iter_items(self) -> Iterator[tuple[Hashable, Any]]:
         """Iterate the *logical* contents: main structure + overlay."""
         if self._dirty is None:
@@ -219,6 +271,11 @@ class StateElement(abc.ABC):
         so its cost is proportional to the number of updates made during
         the checkpoint, not to the state size. Returns the number of
         overlay entries applied.
+
+        Consolidation routes through the journalled ``_store_*`` hooks,
+        so every overlay entry lands in the mutation journal — i.e. it
+        belongs to the *next* checkpoint's delta, exactly as the paper's
+        protocol requires.
         """
         if self._dirty is None:
             raise StateError("no checkpoint in progress to consolidate")
@@ -240,6 +297,36 @@ class StateElement(abc.ABC):
         if self._dirty is None:
             return
         self.consolidate()
+
+    # ------------------------------------------------------------------
+    # Mutation journal (incremental checkpoint support)
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_capable(self) -> bool:
+        """Whether this SE's mutations are journalled by its backend.
+
+        True for every SE whose ``_store_set``/``_store_delete``/
+        ``_store_clear`` hooks are the backend-delegating base versions.
+        A legacy custom SE that overrides the hooks against its own
+        structure bypasses the journal; the checkpoint manager then
+        falls back to full checkpoints for nodes hosting it rather than
+        emit silently empty deltas.
+        """
+        cls = type(self)
+        return (
+            cls._store_set is StateElement._store_set
+            and cls._store_delete is StateElement._store_delete
+            and cls._store_clear is StateElement._store_clear
+        )
+
+    def journal(self) -> MutationJournal:
+        """The keys mutated since the last :meth:`mark_clean`."""
+        return self._backend.journal()
+
+    def mark_clean(self) -> None:
+        """Reset the mutation journal (a checkpoint has persisted)."""
+        self._backend.mark_clean()
 
     # ------------------------------------------------------------------
     # Partitioning and merging (§3.2)
@@ -275,14 +362,24 @@ class StateElement(abc.ABC):
         """Union disjoint partitions back into a single SE instance.
 
         Used by recovery (reconstituting a checkpoint restored as chunks)
-        and by scale-in. Partitions must be disjoint; later partitions win
-        on (unexpected) key collisions.
+        and by scale-in. Partitions must be disjoint: a key present in
+        more than one partition raises :class:`~repro.errors.StateError`
+        — overlapping partitions mean routing or extraction went wrong,
+        and silently letting a later partition win would corrupt state.
         """
         if not parts:
             raise StateError("merge_partitions requires at least one part")
         merged = parts[0].spawn_empty()
-        for part in parts:
+        seen: set[Hashable] = set()
+        for part_index, part in enumerate(parts):
             for key, value in part._store_items():
+                if key in seen:
+                    raise StateError(
+                        f"merge_partitions: key {key!r} appears in "
+                        f"multiple partitions (again in partition "
+                        f"{part_index}); partitions must be disjoint"
+                    )
+                seen.add(key)
                 merged._store_set(key, value)
         return merged
 
@@ -318,9 +415,66 @@ class StateElement(abc.ABC):
             for i, bucket in enumerate(buckets)
         ]
 
+    def to_delta_chunks(self, m: int, version: int,
+                        base_version: int) -> list[DeltaChunk]:
+        """Serialise only the mutations since the last ``mark_clean``.
+
+        The journal keys are read against the *frozen* main structure
+        (mid-checkpoint writes sit in the dirty overlay and belong to
+        the next delta), hash-bucketed with the same function as full
+        chunks, and stamped with ``(version, base_version)`` lineage.
+        The cost is O(|mutations|), independent of the state size —
+        the paper's explicit-state claim (§5) applied to backup traffic.
+        """
+        if m < 1:
+            raise StateError(f"chunk count must be >= 1, got {m}")
+        if not self.delta_capable:
+            raise StateError(
+                f"{type(self).__name__} overrides the _store_* hooks and "
+                f"bypasses the mutation journal; delta checkpoints would "
+                f"be silently empty — take a full checkpoint instead"
+            )
+        journal = self._backend.journal()
+        item_buckets: list[list[tuple[Hashable, Any]]] = \
+            [[] for _ in range(m)]
+        for key in journal.written:
+            item_buckets[stable_hash(key) % m].append(
+                (key, self._store_get(key))
+            )
+        deleted_buckets: list[list[Hashable]] = [[] for _ in range(m)]
+        for key in journal.deleted:
+            deleted_buckets[stable_hash(key) % m].append(key)
+        meta = self.chunk_meta()
+        return [
+            DeltaChunk(
+                index=i, total=m,
+                items=tuple(sorted(bucket, key=lambda kv: stable_hash(kv[0]))),
+                deleted=tuple(sorted(deleted_buckets[i], key=stable_hash)),
+                meta=dict(meta), version=version, base_version=base_version,
+            )
+            for i, bucket in enumerate(item_buckets)
+        ]
+
     def load_chunk(self, chunk: StateChunk) -> None:
         """Load one chunk's items into this (recovering) instance (R2)."""
         self.apply_chunk_meta(chunk.meta)
+        for key, value in chunk.items:
+            self._store_set(key, value)
+
+    def load_delta_chunk(self, chunk: DeltaChunk) -> None:
+        """Fold one delta chunk on top of previously restored state.
+
+        Tombstones first, then writes: a key can only appear on one
+        side of a single delta, so within a chunk the order is
+        immaterial, but deleting first keeps the fold idempotent when a
+        caller retries a chunk.
+        """
+        self.apply_chunk_meta(chunk.meta)
+        for key in chunk.deleted:
+            try:
+                self._store_delete(key)
+            except KeyError:
+                pass  # deleted key never made it into the base: fine
         for key, value in chunk.items:
             self._store_set(key, value)
 
@@ -374,6 +528,4 @@ def stable_hash(key: Hashable) -> int:
         for part in key:
             result = (result * 1099511628211 + stable_hash(part)) % (2**61 - 1)
         return result
-    import zlib
-
     return zlib.crc32(repr(key).encode("utf-8"))

@@ -7,39 +7,20 @@ with pure mutable state" — and by the streaming wordcount counts.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable
 
 from repro.state.base import StateElement
 
 
 class KeyValueMap(StateElement):
-    """A dictionary SE supporting hash or range partitioning."""
+    """A dictionary SE supporting hash or range partitioning.
+
+    Physical storage is the default
+    :class:`~repro.state.backend.DictBackend`; this class is purely the
+    domain API.
+    """
 
     BYTES_PER_ENTRY = 64
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._map: dict[Hashable, Any] = {}
-
-    # -- storage hooks -------------------------------------------------
-
-    def _store_get(self, key: Hashable) -> Any:
-        return self._map[key]
-
-    def _store_set(self, key: Hashable, value: Any) -> None:
-        self._map[key] = value
-
-    def _store_delete(self, key: Hashable) -> None:
-        del self._map[key]
-
-    def _store_contains(self, key: Hashable) -> bool:
-        return key in self._map
-
-    def _store_items(self) -> Iterator[tuple[Hashable, Any]]:
-        return iter(self._map.items())
-
-    def _store_clear(self) -> None:
-        self._map.clear()
 
     def spawn_empty(self) -> "KeyValueMap":
         return KeyValueMap()
@@ -83,4 +64,7 @@ class KeyValueMap(StateElement):
         return self.entry_count()
 
     def __repr__(self) -> str:
-        return f"KeyValueMap(len={len(self._map)}, dirty={self.dirty_size})"
+        return (
+            f"KeyValueMap(len={len(self._backend)}, "
+            f"dirty={self.dirty_size})"
+        )

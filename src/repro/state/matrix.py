@@ -13,9 +13,10 @@ the ``partition_axis`` recorded here.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable
 
 from repro.errors import StateError
+from repro.state.backend import DenseGridBackend, SparseMatrixBackend
 from repro.state.base import StateElement
 from repro.state.dirty import TOMBSTONE
 from repro.state.vector import Vector
@@ -26,51 +27,24 @@ _AXES = ("row", "col")
 class Matrix(StateElement):
     """A sparse 2-D matrix SE keyed by ``(row, col)`` integer pairs.
 
-    Unwritten cells read as 0.0. A per-row column index keeps
-    :meth:`get_row` proportional to the row's population rather than the
-    matrix size.
+    Unwritten cells read as 0.0. Physical storage is a
+    :class:`~repro.state.backend.SparseMatrixBackend`, whose per-row
+    column index keeps :meth:`get_row` proportional to the row's
+    population rather than the matrix size.
     """
 
     BYTES_PER_ENTRY = 24
 
     def __init__(self, partition_axis: str = "row") -> None:
-        super().__init__()
         if partition_axis not in _AXES:
             raise StateError(
                 f"partition_axis must be one of {_AXES}, got {partition_axis!r}"
             )
         self.partition_axis = partition_axis
-        self._cells: dict[tuple[int, int], float] = {}
-        self._row_cols: dict[int, set[int]] = {}
+        super().__init__()
 
-    # -- storage hooks -------------------------------------------------
-
-    def _store_get(self, key: Hashable) -> float:
-        return self._cells[self._check_key(key)]
-
-    def _store_set(self, key: Hashable, value: Any) -> None:
-        row, col = self._check_key(key)
-        self._cells[(row, col)] = float(value)
-        self._row_cols.setdefault(row, set()).add(col)
-
-    def _store_delete(self, key: Hashable) -> None:
-        row, col = self._check_key(key)
-        del self._cells[(row, col)]
-        cols = self._row_cols.get(row)
-        if cols is not None:
-            cols.discard(col)
-            if not cols:
-                del self._row_cols[row]
-
-    def _store_contains(self, key: Hashable) -> bool:
-        return self._check_key(key) in self._cells
-
-    def _store_items(self) -> Iterator[tuple[tuple[int, int], float]]:
-        return iter(self._cells.items())
-
-    def _store_clear(self) -> None:
-        self._cells.clear()
-        self._row_cols.clear()
+    def _make_backend(self) -> SparseMatrixBackend:
+        return SparseMatrixBackend()
 
     def spawn_empty(self) -> "Matrix":
         return Matrix(partition_axis=self.partition_axis)
@@ -78,19 +52,6 @@ class Matrix(StateElement):
     def partition_key(self, key: Hashable) -> Hashable:
         row, col = key  # type: ignore[misc]
         return row if self.partition_axis == "row" else col
-
-    @staticmethod
-    def _check_key(key: Hashable) -> tuple[int, int]:
-        if (
-            not isinstance(key, tuple)
-            or len(key) != 2
-            or not all(isinstance(k, int) and k >= 0 for k in key)
-        ):
-            raise StateError(
-                f"matrix key must be a (row, col) pair of non-negative "
-                f"ints: {key!r}"
-            )
-        return key  # type: ignore[return-value]
 
     # -- domain API ----------------------------------------------------
 
@@ -109,7 +70,8 @@ class Matrix(StateElement):
         return value
 
     def _logical_row_cols(self, row: int) -> set[int]:
-        cols = set(self._row_cols.get(row, ()))
+        backend: SparseMatrixBackend = self._backend  # type: ignore
+        cols = backend.row_cols(row)
         if self._dirty is not None:
             for key, value in self._dirty.items():
                 r, c = key  # type: ignore[misc]
@@ -173,7 +135,7 @@ class Matrix(StateElement):
 
     def __repr__(self) -> str:
         return (
-            f"Matrix(nnz={len(self._cells)}, axis={self.partition_axis!r},"
+            f"Matrix(nnz={len(self._backend)}, axis={self.partition_axis!r},"
             f" dirty={self.dirty_size})"
         )
 
@@ -182,14 +144,14 @@ class DenseMatrix(StateElement):
     """A dense, fixed-shape 2-D matrix SE.
 
     Suited to small fully-populated state (e.g. model weights); every
-    cell within the declared shape is stored explicitly.
+    cell within the declared shape is stored explicitly, in a
+    :class:`~repro.state.backend.DenseGridBackend`.
     """
 
     BYTES_PER_ENTRY = 8
 
     def __init__(self, n_rows: int, n_cols: int,
                  partition_axis: str = "row") -> None:
-        super().__init__()
         if n_rows < 0 or n_cols < 0:
             raise StateError("matrix dimensions must be non-negative")
         if partition_axis not in _AXES:
@@ -199,44 +161,10 @@ class DenseMatrix(StateElement):
         self.partition_axis = partition_axis
         self.n_rows = n_rows
         self.n_cols = n_cols
-        self._data = [[0.0] * n_cols for _ in range(n_rows)]
+        super().__init__()
 
-    # -- storage hooks -------------------------------------------------
-
-    def _check_key(self, key: Hashable) -> tuple[int, int]:
-        if not isinstance(key, tuple) or len(key) != 2:
-            raise StateError(f"dense matrix key must be (row, col): {key!r}")
-        row, col = key
-        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
-            raise StateError(
-                f"index ({row}, {col}) out of bounds for "
-                f"{self.n_rows}x{self.n_cols} matrix"
-            )
-        return row, col
-
-    def _store_get(self, key: Hashable) -> float:
-        row, col = self._check_key(key)
-        return self._data[row][col]
-
-    def _store_set(self, key: Hashable, value: Any) -> None:
-        row, col = self._check_key(key)
-        self._data[row][col] = float(value)
-
-    def _store_delete(self, key: Hashable) -> None:
-        row, col = self._check_key(key)
-        self._data[row][col] = 0.0
-
-    def _store_contains(self, key: Hashable) -> bool:
-        row, col = self._check_key(key)
-        return True
-
-    def _store_items(self) -> Iterator[tuple[tuple[int, int], float]]:
-        for row in range(self.n_rows):
-            for col in range(self.n_cols):
-                yield (row, col), self._data[row][col]
-
-    def _store_clear(self) -> None:
-        self._data = [[0.0] * self.n_cols for _ in range(self.n_rows)]
+    def _make_backend(self) -> DenseGridBackend:
+        return DenseGridBackend(self.n_rows, self.n_cols)
 
     def spawn_empty(self) -> "DenseMatrix":
         return DenseMatrix(self.n_rows, self.n_cols,

@@ -7,9 +7,9 @@ and for model weights in logistic regression.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator, Sequence
+from typing import Any, Sequence
 
-from repro.errors import StateError
+from repro.state.backend import ListBackend
 from repro.state.base import StateElement
 
 
@@ -18,63 +18,28 @@ class Vector(StateElement):
 
     Reads outside the current size return 0.0 (matching the sparse
     semantics the CF algorithm relies on); writes grow the vector.
+    Physical storage is a :class:`~repro.state.backend.ListBackend`,
+    which owns index validation and implicit zero-fill growth.
     """
 
     BYTES_PER_ENTRY = 8
 
     def __init__(self, size: int = 0, values: Sequence[float] | None = None):
-        super().__init__()
         if values is not None:
-            self._data = [float(v) for v in values]
+            backend = ListBackend([float(v) for v in values])
         else:
-            self._data = [0.0] * size
-
-    # -- storage hooks -------------------------------------------------
-
-    def _store_get(self, key: Hashable) -> float:
-        index = self._check_index(key)
-        if index >= len(self._data):
-            raise KeyError(index)
-        return self._data[index]
-
-    def _store_set(self, key: Hashable, value: Any) -> None:
-        index = self._check_index(key)
-        if index >= len(self._data):
-            self._data.extend([0.0] * (index + 1 - len(self._data)))
-        self._data[index] = float(value)
-
-    def _store_delete(self, key: Hashable) -> None:
-        index = self._check_index(key)
-        if index >= len(self._data):
-            raise KeyError(index)
-        self._data[index] = 0.0
-
-    def _store_contains(self, key: Hashable) -> bool:
-        index = self._check_index(key)
-        return index < len(self._data)
-
-    def _store_items(self) -> Iterator[tuple[int, float]]:
-        return iter(enumerate(self._data))
-
-    def _store_clear(self) -> None:
-        self._data = []
+            backend = ListBackend([0.0] * size)
+        super().__init__(backend=backend)
 
     def spawn_empty(self) -> "Vector":
         return Vector()
 
     def chunk_meta(self) -> dict[str, Any]:
-        return {"size": len(self._data)}
+        return {"size": len(self._backend)}
 
     def apply_chunk_meta(self, meta: dict[str, Any]) -> None:
-        size = meta.get("size", 0)
-        if size > len(self._data):
-            self._data.extend([0.0] * (size - len(self._data)))
-
-    @staticmethod
-    def _check_index(key: Hashable) -> int:
-        if not isinstance(key, int) or isinstance(key, bool) or key < 0:
-            raise StateError(f"vector index must be a non-negative int: {key!r}")
-        return key
+        backend: ListBackend = self._backend  # type: ignore[assignment]
+        backend.grow_to(meta.get("size", 0))
 
     # -- domain API ----------------------------------------------------
 
@@ -95,8 +60,8 @@ class Vector(StateElement):
     def size(self) -> int:
         """Logical length (highest written index + 1)."""
         if self._dirty is None:
-            return len(self._data)
-        top = len(self._data) - 1
+            return len(self._backend)
+        top = len(self._backend) - 1
         for key, value in self._dirty.items():
             if isinstance(key, int) and key > top:
                 top = key

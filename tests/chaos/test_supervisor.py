@@ -173,8 +173,9 @@ class TestStrategyLadder:
         key = store.corrupt_chunk(victim)
         assert key is not None
         # The corruption is detected via checksum and surfaces typed.
+        # corrupt_chunk returns (node_id, version, se_key, chunk_index).
         with pytest.raises(BackupIntegrityError, match="CRC-32"):
-            store.chunks_for(victim, key[1])
+            store.chunks_for(victim, key[2])
 
         app.runtime.fail_node(victim)
         for op in ops[200:]:

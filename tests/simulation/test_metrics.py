@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simulation.metrics import (
+    CheckpointTraffic,
     LatencyRecorder,
     candlestick,
     percentile,
@@ -66,3 +67,42 @@ class TestLatencyRecorder:
     def test_mean_of_empty_rejected(self):
         with pytest.raises(ValueError):
             LatencyRecorder().mean()
+
+
+class TestCheckpointTraffic:
+    def traffic(self):
+        t = CheckpointTraffic()
+        t.record("full", 1000, 64_000)
+        t.record("delta", 10, 640)
+        t.record("delta", 20, 1280)
+        return t
+
+    def test_cycle_counts(self):
+        t = self.traffic()
+        assert len(t) == 3
+        assert t.full_cycles() == 1
+        assert t.delta_cycles() == 2
+
+    def test_totals(self):
+        t = self.traffic()
+        assert t.total_bytes() == 64_000 + 640 + 1280
+        assert t.total_entries() == 1030
+
+    def test_delta_chain_bytes_is_the_tail_since_last_full(self):
+        t = self.traffic()
+        assert t.delta_chain_bytes() == 640 + 1280
+        t.record("full", 1000, 64_000)
+        assert t.delta_chain_bytes() == 0.0
+        t.record("delta", 5, 320)
+        assert t.delta_chain_bytes() == 320
+
+    def test_savings_vs_full(self):
+        t = self.traffic()
+        baseline = 64_000 * 3
+        expected = 1.0 - t.total_bytes() / baseline
+        assert t.savings_vs_full(64_000) == pytest.approx(expected)
+        assert CheckpointTraffic().savings_vs_full(64_000) == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointTraffic().record("partial", 1, 1)

@@ -171,3 +171,23 @@ class TestCFModel:
             CFModel().throughput(1.5)
         with pytest.raises(SimulationError):
             ratio_to_read_fraction(0, 0)
+
+
+class TestIncrementalRecoveryModel:
+    def test_delta_bytes_add_to_recovery_time(self):
+        base = recovery_time(1e9, 2, 2)
+        with_chain = recovery_time(1e9, 2, 2, delta_bytes=500e6)
+        assert with_chain > base
+        # Folding the chain costs like restoring that much extra state.
+        equivalent = recovery_time(1.5e9, 2, 2)
+        assert with_chain == pytest.approx(equivalent)
+
+    def test_delta_bytes_monotonic(self):
+        times = [recovery_time(1e9, 2, 2, delta_bytes=b)
+                 for b in (0.0, 1e8, 5e8, 1e9)]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_negative_delta_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            recovery_time(1e9, 2, 2, delta_bytes=-1.0)

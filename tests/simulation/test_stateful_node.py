@@ -138,3 +138,63 @@ class TestCluster:
         with pytest.raises(SimulationError):
             simulate_cluster(0, 1000, NodeParams(),
                              CheckpointPolicy.none())
+
+
+class TestIncrementalPolicy:
+    def test_full_every_validation(self):
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(full_every=-1)
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(full_every=2.5)
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(full_every=True)
+
+    def test_wants_full_cadence(self):
+        policy = CheckpointPolicy(full_every=3)
+        assert [policy.wants_full(c) for c in range(6)] == [
+            True, False, False, True, False, False]
+        always = CheckpointPolicy(full_every=1)
+        assert all(always.wants_full(c) for c in range(4))
+        once = CheckpointPolicy(full_every=0)
+        assert once.wants_full(0) and not once.wants_full(1)
+
+    def test_delta_cycles_recorded_and_smaller(self):
+        params = NodeParams(service_rate=50_000, state_bytes=1e9,
+                            write_fraction=0.2)
+        result = simulate_node(
+            20_000, params,
+            CheckpointPolicy(mode="async", interval_s=5, disk_bw=200e6,
+                             full_every=0),
+            **FAST)
+        traffic = result.traffic
+        assert traffic.full_cycles() == 1
+        assert traffic.delta_cycles() >= 1
+        full_bytes = [c.bytes for c in traffic.cycles if c.kind == "full"]
+        delta_bytes = [c.bytes for c in traffic.cycles if c.kind == "delta"]
+        assert max(delta_bytes) < min(full_bytes)
+        assert traffic.savings_vs_full(params.state_bytes) > 0.5
+
+    def test_full_every_cycle_matches_seed_traffic(self):
+        params = NodeParams(service_rate=50_000, state_bytes=1e9)
+        result = simulate_node(
+            20_000, params,
+            CheckpointPolicy(mode="async", interval_s=5, disk_bw=200e6),
+            **FAST)
+        assert result.traffic.delta_cycles() == 0
+        for cycle in result.traffic.cycles:
+            assert cycle.bytes == params.state_bytes
+
+    def test_incremental_improves_throughput_under_sync(self):
+        """Smaller persists -> shorter stop-the-world pauses."""
+        params = NodeParams(service_rate=50_000, state_bytes=2e9,
+                            write_fraction=0.1)
+        sync_full = simulate_node(
+            30_000, params,
+            CheckpointPolicy(mode="sync", interval_s=5, disk_bw=200e6),
+            **FAST)
+        sync_delta = simulate_node(
+            30_000, params,
+            CheckpointPolicy(mode="sync", interval_s=5, disk_bw=200e6,
+                             full_every=0),
+            **FAST)
+        assert sync_delta.throughput > sync_full.throughput

@@ -1,0 +1,208 @@
+"""Unit tests for the pluggable state backends and their journals."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.state import (
+    DenseGridBackend,
+    DenseMatrix,
+    DictBackend,
+    KeyValueMap,
+    ListBackend,
+    Matrix,
+    SparseMatrixBackend,
+    StateElement,
+    Vector,
+)
+
+
+class TestJournalInvariants:
+    """The three invariants every backend must maintain."""
+
+    def test_write_journals_as_written(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        journal = backend.journal()
+        assert journal.written == {"a"} and not journal.deleted
+
+    def test_write_then_delete_is_a_tombstone_only(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        backend.delete("a")
+        journal = backend.journal()
+        assert journal.deleted == {"a"} and not journal.written
+
+    def test_delete_then_rewrite_is_a_write_only(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        backend.mark_clean()
+        backend.delete("a")
+        backend.set("a", 2)
+        journal = backend.journal()
+        assert journal.written == {"a"} and not journal.deleted
+
+    def test_mark_clean_resets(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        backend.delete("a")
+        backend.mark_clean()
+        assert backend.journal().empty
+        assert backend.journal_size == 0
+
+    def test_clear_journals_every_key_as_deleted(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        backend.set("b", 2)
+        backend.mark_clean()
+        backend.clear()
+        assert backend.journal().deleted == {"a", "b"}
+
+    def test_journal_is_a_snapshot(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        journal = backend.journal()
+        backend.set("b", 2)
+        assert journal.written == {"a"}
+        assert len(journal) == 1
+
+
+class TestListBackend:
+    def test_gap_fill_journals_implicit_slots(self):
+        backend = ListBackend()
+        backend.set(3, 1.5)
+        assert backend.journal().written == {0, 1, 2, 3}
+        assert [v for _, v in backend.items()] == [0.0, 0.0, 0.0, 1.5]
+
+    def test_delete_keeps_slot_and_journals_a_write(self):
+        backend = ListBackend([1.0, 2.0])
+        backend.mark_clean()
+        backend.delete(1)
+        assert backend.get(1) == 0.0
+        assert len(backend) == 2
+        assert backend.journal().written == {1}
+        assert not backend.journal().deleted
+
+    def test_out_of_bounds_delete_raises(self):
+        with pytest.raises(KeyError):
+            ListBackend([1.0]).delete(5)
+
+    def test_bad_index_raises_state_error(self):
+        with pytest.raises(StateError):
+            ListBackend().set("x", 1.0)
+        with pytest.raises(StateError):
+            ListBackend().set(-1, 1.0)
+
+    def test_grow_to_zero_extends(self):
+        backend = ListBackend()
+        backend.grow_to(3)
+        assert len(backend) == 3
+        backend.grow_to(2)  # never shrinks
+        assert len(backend) == 3
+
+
+class TestDenseGridBackend:
+    def test_bounds_enforced(self):
+        backend = DenseGridBackend(2, 2)
+        with pytest.raises(StateError):
+            backend.set((2, 0), 1.0)
+        with pytest.raises(StateError):
+            backend.get((0, 5))
+
+    def test_delete_zeroes_and_journals_write(self):
+        backend = DenseGridBackend(2, 2)
+        backend.set((0, 1), 3.0)
+        backend.mark_clean()
+        backend.delete((0, 1))
+        assert backend.get((0, 1)) == 0.0
+        assert backend.journal().written == {(0, 1)}
+
+    def test_clear_journals_all_cells_as_writes(self):
+        backend = DenseGridBackend(2, 2)
+        backend.set((1, 1), 9.0)
+        backend.mark_clean()
+        backend.clear()
+        journal = backend.journal()
+        assert journal.written == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert not journal.deleted
+
+    def test_contains_is_a_bounds_check(self):
+        backend = DenseGridBackend(1, 1)
+        assert backend.contains((0, 0))
+
+
+class TestSparseMatrixBackend:
+    def test_row_index_maintained(self):
+        backend = SparseMatrixBackend()
+        backend.set((1, 2), 5.0)
+        backend.set((1, 7), 6.0)
+        backend.delete((1, 2))
+        assert backend.row_cols(1) == {7}
+        backend.delete((1, 7))
+        assert backend.row_cols(1) == set()
+
+    def test_key_validation(self):
+        backend = SparseMatrixBackend()
+        with pytest.raises(StateError):
+            backend.set("bad", 1.0)
+        with pytest.raises(StateError):
+            backend.set((1, -2), 1.0)
+
+
+class TestDeltaCapability:
+    def test_predefined_ses_are_delta_capable(self):
+        for se in (KeyValueMap(), Vector(), Matrix(), DenseMatrix(2, 2)):
+            assert se.delta_capable, type(se).__name__
+
+    def test_legacy_hook_override_is_not_delta_capable(self):
+        class Legacy(StateElement):
+            def __init__(self):
+                super().__init__()
+                self._own = {}
+
+            def _store_set(self, key, value):
+                self._own[key] = value
+
+            def _store_get(self, key):
+                return self._own[key]
+
+            def _store_delete(self, key):
+                del self._own[key]
+
+            def _store_contains(self, key):
+                return key in self._own
+
+            def _store_items(self):
+                return iter(self._own.items())
+
+            def _store_clear(self):
+                self._own.clear()
+
+            def spawn_empty(self):
+                return Legacy()
+
+        legacy = Legacy()
+        assert not legacy.delta_capable
+        with pytest.raises(StateError, match="delta"):
+            legacy.to_delta_chunks(2, version=2, base_version=1)
+
+    def test_se_mutations_reach_the_journal(self):
+        kv = KeyValueMap()
+        kv.put("a", 1)
+        kv.delete("a")
+        kv.put("b", 2)
+        journal = kv.journal()
+        assert journal.written == {"b"}
+        assert journal.deleted == {"a"}
+        kv.mark_clean()
+        assert kv.journal().empty
+
+    def test_overlay_writes_journal_on_consolidate(self):
+        """Mid-checkpoint writes belong to the *next* delta."""
+        kv = KeyValueMap()
+        kv.put("a", 1)
+        kv.mark_clean()
+        kv.begin_checkpoint()
+        kv.put("b", 2)
+        assert kv.journal().empty  # still in the overlay
+        kv.consolidate()
+        assert kv.journal().written == {"b"}

@@ -119,6 +119,18 @@ class TestStatePartitioning:
         with pytest.raises(StateError):
             KeyValueMap.merge_partitions([])
 
+    def test_merge_overlapping_partitions_rejected(self):
+        """Partitions must be disjoint — a shared key means the
+        partitioner was inconsistent, and silently keeping either value
+        would corrupt state."""
+        a = KeyValueMap()
+        a.put("shared", 1)
+        a.put("only-a", 2)
+        b = KeyValueMap()
+        b.put("shared", 3)
+        with pytest.raises(StateError, match="disjoint"):
+            KeyValueMap.merge_partitions([a, b])
+
     def test_repartition_during_checkpoint_rejected(self):
         kv = KeyValueMap()
         kv.begin_checkpoint()
