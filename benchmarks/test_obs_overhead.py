@@ -1,0 +1,93 @@
+"""Overhead guard for the observability layer.
+
+Two enforced properties:
+
+* **Metrics are near-free.** A runtime with the default (live) metrics
+  registry and tracing *off* must process items within 3% of an
+  identical runtime deployed with :data:`~repro.obs.NULL_REGISTRY`
+  (the "no registry at all" baseline). All hot-path instrumentation is
+  pre-bound label children — one attribute add per event — and the
+  tracing branch is a single ``is None`` check.
+* **Tracing works when asked for.** The same workload with
+  ``trace=True`` records a hop for every serviced item.
+
+The comparison interleaves min-of-N trials (baseline, instrumented,
+baseline, ...) so CPU-frequency drift hits both sides equally, and
+retries a few times before failing: wall-clock CI runners are noisy,
+and the bound is a guard against systematic regressions, not jitter.
+"""
+
+import time
+
+from repro.obs import NULL_REGISTRY
+from repro.runtime import Runtime, RuntimeConfig
+
+from repro.testing import build_kv_sdg
+
+_ITEMS = 2_000
+_TRIALS = 5
+_ATTEMPTS = 3
+_MAX_RATIO = 1.03
+
+
+def _deploy(metrics=None, trace=False):
+    config = RuntimeConfig(se_instances={"table": 2}, trace=trace)
+    if metrics is not None:
+        config.metrics = metrics
+    return Runtime(build_kv_sdg(), config).deploy()
+
+
+def _run_batch(runtime, start):
+    for i in range(start, start + _ITEMS):
+        runtime.inject("serve", ("put", i % 64, i))
+    runtime.run_until_idle()
+
+
+def _time_batch(runtime, start):
+    t0 = time.perf_counter()
+    _run_batch(runtime, start)
+    return time.perf_counter() - t0
+
+
+def test_metrics_overhead_with_tracing_off_under_3_percent():
+    for attempt in range(1, _ATTEMPTS + 1):
+        baseline = _deploy(metrics=NULL_REGISTRY)
+        instrumented = _deploy()  # live registry, trace off
+        assert instrumented.tracer is None
+        # Warm both (allocation, code paths) before measuring.
+        _run_batch(baseline, 0)
+        _run_batch(instrumented, 0)
+        best_base = min(
+            _time_batch(baseline, (1 + t) * _ITEMS)
+            for t in range(_TRIALS)
+        )
+        best_inst = min(
+            _time_batch(instrumented, (1 + t) * _ITEMS)
+            for t in range(_TRIALS)
+        )
+        ratio = best_inst / best_base
+        print(f"\nobs overhead attempt {attempt}: baseline "
+              f"{best_base * 1e3:.2f}ms instrumented "
+              f"{best_inst * 1e3:.2f}ms ratio {ratio:.4f}")
+        if ratio < _MAX_RATIO:
+            break
+    assert ratio < _MAX_RATIO, (
+        f"metrics-on (tracing-off) runtime is {ratio:.4f}x the "
+        f"no-registry baseline after {_ATTEMPTS} attempts "
+        f"(bound {_MAX_RATIO}x)"
+    )
+    # The instrumented run actually counted what it processed.
+    processed = instrumented.metrics.counter(
+        "engine_items_processed_total").value(te="serve")
+    assert processed == (1 + _TRIALS) * _ITEMS
+
+
+def test_tracing_on_records_every_hop():
+    runtime = _deploy(trace=True)
+    for i in range(200):
+        runtime.inject("serve", ("put", i % 16, i))
+    runtime.run_until_idle()
+    traces = runtime.tracer.traces()
+    assert len(traces) == 200
+    assert sum(len(t.hops) for t in traces) == 200
+    assert all(t.hops[0].service_steps >= 1 for t in traces)

@@ -8,8 +8,11 @@ seed) is bit-for-bit reproducible.
 Faults are resolved at fire time: a plan says "kill the node hosting
 partition 2 of ``table``", and the injector looks up whichever node
 that is *now* — including replacement nodes installed by recovery.
-Every action (or deliberate skip) is appended to :attr:`injected`, a
-structured log the chaos tests and benchmarks assert against.
+Every action (or deliberate skip) is published to the runtime's event
+bus (``runtime.events``, source ``"injector"``, kind
+``"fault-injected"``); :attr:`injected` remains as a backward-
+compatible view reconstructing :class:`InjectionRecord` entries from
+the bus.
 """
 
 from __future__ import annotations
@@ -70,19 +73,43 @@ class FaultInjector:
         self.runtime = runtime
         self.plan = plan
         self.store = store
-        #: Structured log of everything the injector did.
-        self.injected: list[InjectionRecord] = []
         self._pending: list[tuple[int, object]] = [
             (fault.at_step, fault) for fault in plan
         ]
         self._scale_retries: dict[int, int] = {}
         self._installed = False
+        self._c_armed = runtime.metrics.counter(
+            "chaos_faults_armed_total",
+            "faults armed at injector install, by fault type")
+        self._c_fired = runtime.metrics.counter(
+            "chaos_faults_fired_total",
+            "faults that actually landed, by fault type")
+
+    @property
+    def injected(self) -> list[InjectionRecord]:
+        """Everything the injector did, reconstructed from the event bus.
+
+        Deprecated as a *private* log: actions are now published to
+        ``runtime.events`` with source ``"injector"`` (one injector per
+        runtime is the supported pattern); this property remains as a
+        compatible read view.
+        """
+        return [
+            InjectionRecord(
+                step=e.step, fault=e.attrs.get("fault"),
+                outcome=e.attrs.get("outcome", ""),
+                detail=e.attrs.get("detail", ""),
+            )
+            for e in self.runtime.events.events(source="injector")
+        ]
 
     # ------------------------------------------------------------------
 
     def install(self) -> "FaultInjector":
         if self._installed:
             return self
+        for fault in self.plan:
+            self._c_armed.labels(type=type(fault).__name__).inc()
         self.runtime.add_step_hook(self._on_step)
         self._installed = True
         return self
@@ -112,10 +139,12 @@ class FaultInjector:
             self._fire(fault)
 
     def _log(self, fault: object, outcome: str, detail: str = "") -> None:
-        self.injected.append(InjectionRecord(
-            step=self.runtime.total_steps, fault=fault,
-            outcome=outcome, detail=detail,
-        ))
+        if outcome == "fired":
+            self._c_fired.labels(type=type(fault).__name__).inc()
+        self.runtime.events.publish(
+            "injector", "fault-injected", self.runtime.total_steps,
+            fault=fault, outcome=outcome, detail=detail,
+        )
 
     def _fire(self, fault: object) -> None:
         if isinstance(fault, KillNode):
@@ -224,6 +253,7 @@ class FaultInjector:
                       f"no queued envelope on TE {fault.te!r}")
             return
         envelope = instance.inbox.pop()
+        self.runtime.transport.inbox_gauge(instance.name).dec()
         self.runtime.fail_node(instance.node_id)
         self._log(fault, "fired",
                   f"dropped ts={envelope.ts} bound for "
@@ -238,6 +268,7 @@ class FaultInjector:
             return
         envelope = instance.inbox[0]
         instance.inbox.append(envelope)
+        self.runtime.transport.inbox_gauge(instance.name).inc()
         self._log(fault, "fired",
                   f"redelivered ts={envelope.ts} to "
                   f"{fault.te}[{instance.index}]")

@@ -10,6 +10,9 @@ its Python counterpart, invoked as ``python -m repro``:
 * ``allocate <module>:<Class>`` — additionally run the four-step
   allocation algorithm (§3.3) and print the node placement.
 * ``table1`` — render the design-space classification of Table 1.
+* ``obs`` — run an instrumented benchmark workload (checkpoints,
+  failure detection, supervised recovery, optional fault injection)
+  and dump the observability report: metrics, events, traces.
 """
 
 from __future__ import annotations
@@ -113,6 +116,21 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("table1", help="print the Table 1 design space")
 
+    p_obs = sub.add_parser(
+        "obs", help="run an instrumented workload and dump "
+                    "metrics, events and traces"
+    )
+    p_obs.add_argument("--app", choices=["wordcount", "kvstore"],
+                       default="wordcount", help="workload to run")
+    p_obs.add_argument("--items", type=int, default=120,
+                       help="workload items to inject")
+    p_obs.add_argument("--no-trace", action="store_true",
+                       help="disable per-envelope causal tracing")
+    p_obs.add_argument("--no-chaos", action="store_true",
+                       help="skip the mid-run KillNode fault")
+    p_obs.add_argument("--events", metavar="PATH",
+                       help="also write the event bus as JSON lines")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "table1":
@@ -127,6 +145,17 @@ def main(argv: list[str] | None = None) -> int:
             result = translate(_load_class(args.spec))
             print(_describe(result))
             print(_describe_allocation(result))
+        elif args.command == "obs":
+            from repro.obs.runner import render_report, run_workload
+
+            run = run_workload(args.app, args.items,
+                               trace=not args.no_trace,
+                               chaos=not args.no_chaos)
+            print(render_report(run))
+            if args.events:
+                with open(args.events, "w", encoding="utf-8") as fh:
+                    fh.write(run.runtime.events.to_jsonl())
+                print(f"\nevents written to {args.events}")
     except SDGError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

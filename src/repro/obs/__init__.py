@@ -1,0 +1,47 @@
+"""Unified observability: metrics registry, causal tracing, event bus.
+
+Three pillars, wired through every layer behind the existing
+step-hook/facade seams:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  primitives in an injectable :class:`MetricsRegistry` with a
+  Prometheus text exporter.  Histogram buckets are *logical steps*;
+  nothing in the registry touches the wall clock, so the deterministic
+  core (§4.1) stays deterministic.
+* :mod:`repro.obs.trace` — optional per-envelope causal tracing
+  (``RuntimeConfig(trace=True)``): each envelope carries a trace id and
+  the :class:`Tracer` reconstructs its hop list (TE, instance,
+  queue-wait and service spans in logical steps, ``replayed`` marks).
+* :mod:`repro.obs.events` — a typed, structured :class:`EventBus` that
+  the engine, checkpoint manager, recovery supervisor, failure
+  detector and chaos injector publish to instead of private logs,
+  with JSON-lines export.
+
+``repro obs`` (see :mod:`repro.obs.runner`) runs a workload with the
+full stack enabled and renders metrics + traces + events.
+"""
+
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import Hop, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "Hop",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,120 @@
+"""Structured event bus.
+
+The runtime layers publish typed events here instead of keeping
+private logs: the engine (scale-out, repartition epoch, node failure),
+the checkpoint manager (begin/commit/abort), the recovery manager and
+supervisor (restore, attempt ladder, quarantine), the failure detector
+and the chaos injector.  Consumers read the in-order event list, filter
+by source/kind, subscribe a callback, or export JSON lines.
+
+Events are ordered by publication, stamped with the *logical* step —
+no wall clock, so a deterministic run yields a byte-identical event
+stream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Event", "EventBus", "KIND"]
+
+
+class KIND:
+    """Well-known event kinds (sources may also publish ad-hoc kinds)."""
+
+    SCALE_OUT = "scale-out"
+    REPARTITION = "repartition-epoch"
+    NODE_FAILED = "node-failed"
+    CHECKPOINT_BEGIN = "checkpoint-begin"
+    CHECKPOINT_COMMIT = "checkpoint-commit"
+    CHECKPOINT_ABORT = "checkpoint-abort"
+    RESTORE = "restore"
+    FAILURE_DETECTED = "failure-detected"
+    FAULT_INJECTED = "fault-injected"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence at a logical step.
+
+    ``attrs`` carries the source-specific payload (node ids, checkpoint
+    versions, fault descriptions, ...).
+    """
+
+    seq: int
+    step: int
+    source: str
+    kind: str
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        record = {
+            "seq": self.seq,
+            "step": self.step,
+            "source": self.source,
+            "kind": self.kind,
+            **{k: _jsonable(v) for k, v in self.attrs.items()},
+        }
+        return json.dumps(record, sort_keys=True)
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return [_jsonable(v) for v in value]
+        return repr(value)
+
+
+class EventBus:
+    """Append-only, in-order stream of :class:`Event` with subscriptions."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._listeners: list[tuple[Callable[[Event], None], frozenset[str] | None]] = []
+
+    def publish(self, source: str, kind: str, step: int, **attrs: Any) -> Event:
+        event = Event(seq=len(self._events), step=step, source=source, kind=kind, attrs=attrs)
+        self._events.append(event)
+        for listener, kinds in self._listeners:
+            if kinds is None or kind in kinds:
+                listener(event)
+        return event
+
+    def subscribe(
+        self, listener: Callable[[Event], None], kinds: list[str] | None = None
+    ) -> Callable[[Event], None]:
+        """Call ``listener`` on every future event (optionally filtered)."""
+        self._listeners.append((listener, frozenset(kinds) if kinds else None))
+        return listener
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        self._listeners = [(cb, kinds) for cb, kinds in self._listeners if cb is not listener]
+
+    def events(self, source: str | None = None, kind: str | None = None) -> list[Event]:
+        return [
+            e
+            for e in self._events
+            if (source is None or e.source == source) and (kind is None or e.kind == kind)
+        ]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self._events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in publication order."""
+        return "\n".join(e.to_json() for e in self._events) + ("\n" if self._events else "")
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(list(self._events))

@@ -1,0 +1,363 @@
+"""Metrics primitives and the registry.
+
+Design constraints, in order:
+
+* **Deterministic** — nothing here reads the wall clock.  Histogram
+  buckets are denominated in whatever the caller observes, which in
+  this codebase is always *logical steps* or entry/byte counts.
+* **Cheap when hot** — callers on the per-item path pre-bind label
+  children once (``metric.labels(te="count")`` returns a small mutable
+  cell) so a hot-path increment is one attribute add, no dict lookup.
+* **Injectable** — the engine takes any registry-shaped object via
+  ``RuntimeConfig(metrics=...)``.  :data:`NULL_REGISTRY` is the no-op
+  implementation used as the benchmark baseline ("no registry") and as
+  the default for layers constructed stand-alone in unit tests.
+
+A process-wide default registry (:func:`default_registry`) exists for
+scripts that want one shared sink, but the runtime deliberately
+creates a *fresh* registry per `Runtime` unless one is injected, so
+tests never see each other's counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import SDGError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricError",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "default_registry",
+    "DEFAULT_STEP_BUCKETS",
+]
+
+
+class MetricError(SDGError):
+    """Raised on metric misuse: kind clash, negative counter step."""
+
+
+#: Default histogram buckets, in logical steps.  Chosen to resolve both
+#: sub-checkpoint-interval latencies and long replay spans.
+DEFAULT_STEP_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _CounterChild:
+    """Monotone accumulator bound to one label set."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class _GaugeChild:
+    """Up/down level bound to one label set."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    """Fixed-bucket distribution bound to one label set."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the landing bucket)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= target:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+
+class _Metric:
+    """Shared name/help/children plumbing for the three metric kinds."""
+
+    kind = "untyped"
+    _child_cls: type = _CounterChild
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+
+    def _new_child(self):
+        return self._child_cls()
+
+    def labels(self, **labels: str):
+        """Return (creating if needed) the child cell for ``labels``.
+
+        Pre-bind the result outside any hot loop; the returned child's
+        methods are plain attribute arithmetic.
+        """
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def value(self, **labels: str) -> float:
+        """Current value for a label set, ``0.0`` if never touched."""
+        child = self._children.get(_label_key(labels))
+        return 0.0 if child is None else child.value
+
+    def samples(self) -> list[tuple[dict[str, str], object]]:
+        return [(dict(key), child) for key, child in sorted(self._children.items())]
+
+
+class Counter(_Metric):
+    kind = "counter"
+    _child_cls = _CounterChild
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+    _child_cls = _GaugeChild
+
+    def set(self, value: float, **labels: str) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).dec(amount)
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: tuple[float, ...] | None = None) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets)) if buckets else DEFAULT_STEP_BUCKETS
+
+    def _new_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.labels(**labels).observe(value)
+
+    def value(self, **labels: str) -> float:
+        """For histograms, ``value`` reads the observation *count*."""
+        child = self._children.get(_label_key(labels))
+        return 0.0 if child is None else float(child.count)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for metrics, with Prometheus text export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, name: str, kind: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = _KINDS[kind](name, **kwargs)
+        elif metric.kind != kind:
+            raise MetricError(
+                f"metric {name!r} already registered as {metric.kind}, not {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", help=help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", help=help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        return self._get(name, "histogram", help=help, buckets=buckets)  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> list[_Metric]:
+        return [self._metrics[name] for name in self.names()]
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """``{metric: {"label=value,...": scalar}}`` — JSON-friendly dump.
+
+        Histograms surface their observation count and sum.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for metric in self.collect():
+            series: dict[str, float] = {}
+            for labels, child in metric.samples():
+                key = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                if metric.kind == "histogram":
+                    series[f"{key}#count" if key else "#count"] = float(child.count)
+                    series[f"{key}#sum" if key else "#sum"] = child.sum
+                else:
+                    series[key] = child.value
+            out[metric.name] = series
+        return out
+
+    def to_prometheus_text(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self.collect():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for labels, child in metric.samples():
+                if metric.kind == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(
+                        list(metric.buckets) + [float("inf")], child.counts
+                    ):
+                        cumulative += n
+                        le = "+Inf" if bound == float("inf") else _fmt(bound)
+                        lines.append(
+                            f"{metric.name}_bucket{_label_str(labels, le=le)} {cumulative}"
+                        )
+                    lines.append(f"{metric.name}_sum{_label_str(labels)} {_fmt(child.sum)}")
+                    lines.append(f"{metric.name}_count{_label_str(labels)} {child.count}")
+                else:
+                    lines.append(f"{metric.name}{_label_str(labels)} {_fmt(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(value)
+
+
+def _label_str(labels: dict[str, str], **extra: str) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+class _NullMetric:
+    """A metric that swallows everything; ``labels()`` returns itself."""
+
+    __slots__ = ()
+    value_ = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, **labels: str) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set(self, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, value: float, **labels: str) -> None:
+        pass
+
+    def value(self, **labels: str) -> float:
+        return 0.0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def samples(self) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry-shaped no-op: the "no metrics at all" baseline.
+
+    Used by the overhead benchmark as the reference configuration and
+    as the default sink for layers constructed stand-alone.
+    """
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] | None = None
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def names(self) -> list[str]:
+        return []
+
+    def collect(self) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """Process-wide shared registry for scripts that want one sink.
+
+    The runtime does *not* use this implicitly — pass it explicitly:
+    ``RuntimeConfig(metrics=default_registry())``.
+    """
+    global _default
+    if _default is None:
+        _default = MetricsRegistry()
+    return _default

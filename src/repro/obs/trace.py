@@ -1,0 +1,206 @@
+"""Per-envelope causal tracing in logical time.
+
+When a runtime is deployed with ``RuntimeConfig(trace=True)`` every
+injected envelope is stamped with a ``trace_id`` that survives dispatch
+fan-out, repartition re-routing and crash replay (the id rides the
+frozen :class:`~repro.runtime.envelope.Envelope`).  The :class:`Tracer`
+reconstructs, per trace, the ordered list of :class:`Hop` records:
+which TE instance served the item, how long it waited in the inbox
+(queue-wait steps), how long the invocation took (service steps), and
+whether the hop was a *replay* of work already executed before a crash.
+
+Everything is denominated in logical steps; the tracer never reads the
+wall clock.  With tracing off the engine's hot path does a single
+``is None`` check and nothing else — see
+``benchmarks/test_obs_overhead.py`` for the enforced bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports obs)
+    from repro.runtime.envelope import Envelope
+
+__all__ = ["Hop", "Trace", "Tracer"]
+
+
+@dataclass
+class Hop:
+    """One service of a traced envelope by one TE instance."""
+
+    te: str
+    instance: str
+    enqueue_step: int
+    entry_step: int
+    exit_step: int = -1
+    replayed: bool = False
+
+    @property
+    def queue_wait(self) -> int:
+        """Steps spent in the destination inbox before service."""
+        return max(0, self.entry_step - self.enqueue_step)
+
+    @property
+    def service_steps(self) -> int:
+        """Steps spent inside the invocation (0 while still in flight)."""
+        return max(0, self.exit_step - self.entry_step) if self.exit_step >= 0 else 0
+
+    def describe(self) -> str:
+        mark = " [replayed]" if self.replayed else ""
+        return (
+            f"{self.te}/{self.instance} wait={self.queue_wait} "
+            f"steps={self.entry_step}->{self.exit_step}{mark}"
+        )
+
+
+@dataclass
+class Trace:
+    """All hops recorded under one trace id, in service order."""
+
+    trace_id: int
+    start_step: int
+    hops: list[Hop] = field(default_factory=list)
+
+    @property
+    def end_step(self) -> int:
+        return max((h.exit_step for h in self.hops if h.exit_step >= 0), default=self.start_step)
+
+    @property
+    def latency(self) -> int:
+        """End-to-end logical latency: injection to last hop exit."""
+        return self.end_step - self.start_step
+
+    @property
+    def total_queue_wait(self) -> int:
+        return sum(h.queue_wait for h in self.hops)
+
+    @property
+    def replayed_hops(self) -> int:
+        return sum(1 for h in self.hops if h.replayed)
+
+    def path(self) -> list[str]:
+        return [f"{h.te}/{h.instance}" for h in self.hops]
+
+    def describe(self) -> str:
+        chain = " -> ".join(h.describe() for h in self.hops) or "(no hops)"
+        return (
+            f"trace {self.trace_id}: latency={self.latency} "
+            f"queue_wait={self.total_queue_wait} hops={len(self.hops)} | {chain}"
+        )
+
+
+def _stream_key(channel) -> tuple[int, str | None, int]:
+    return (channel.edge_index, channel.src_te, channel.src_instance)
+
+
+class Tracer:
+    """Collects hop records for traced envelopes.
+
+    The engine drives three callbacks:
+
+    * :meth:`on_deliver` when the transport appends a traced envelope to
+      an inbox (records the enqueue step, so queue wait is observable);
+    * :meth:`begin_hop` when an instance pops the envelope for service;
+    * :meth:`end_hop` when the invocation (and dispatch) completes.
+
+    Replay detection: a hop is ``replayed`` when the same logical item
+    — identified by ``(trace_id, destination TE, producer stream key,
+    producer sequence number)`` — has already been served once.  The
+    engine's duplicate filter drops re-deliveries it has already seen
+    on the *same* instance, so replayed hops surface exactly where
+    recovery re-executes work on a replacement instance.
+    """
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._traces: dict[int, Trace] = {}
+        # (trace_id, channel, ts) -> step the envelope entered the inbox
+        self._enqueued: dict[tuple, int] = {}
+        # (trace_id, dst_te, stream_key, ts) seen served at least once
+        self._served: set[tuple] = set()
+
+    # -- trace lifecycle -------------------------------------------------
+
+    def new_trace(self, step: int) -> int:
+        trace_id = self._next_id
+        self._next_id += 1
+        self._traces[trace_id] = Trace(trace_id=trace_id, start_step=step)
+        return trace_id
+
+    def on_deliver(self, envelope: "Envelope", step: int) -> None:
+        if envelope.trace_id is None:
+            return
+        self._enqueued[(envelope.trace_id, envelope.channel, envelope.ts)] = step
+
+    def begin_hop(self, envelope: "Envelope", te: str, instance_name: str, step: int) -> Hop | None:
+        trace_id = envelope.trace_id
+        if trace_id is None:
+            return None
+        trace = self._traces.get(trace_id)
+        if trace is None:
+            # Trace ids minted by another runtime (e.g. envelopes carried
+            # across a migration) still get a trace record.
+            trace = self._traces[trace_id] = Trace(trace_id=trace_id, start_step=step)
+        enqueue = self._enqueued.pop((trace_id, envelope.channel, envelope.ts), step)
+        item_key = (trace_id, te, _stream_key(envelope.channel), envelope.ts)
+        replayed = item_key in self._served
+        self._served.add(item_key)
+        hop = Hop(
+            te=te,
+            instance=instance_name,
+            enqueue_step=enqueue,
+            entry_step=step,
+            replayed=replayed,
+        )
+        trace.hops.append(hop)
+        return hop
+
+    def end_hop(self, hop: Hop, step: int) -> None:
+        hop.exit_step = step
+
+    # -- read side -------------------------------------------------------
+
+    def trace(self, trace_id: int) -> Trace | None:
+        return self._traces.get(trace_id)
+
+    def traces(self) -> list[Trace]:
+        return [self._traces[tid] for tid in sorted(self._traces)]
+
+    def latencies(self) -> list[int]:
+        return [t.latency for t in self.traces() if t.hops]
+
+    def summary(self, limit: int = 10) -> str:
+        """Human-readable digest: latency distribution + sample traces."""
+        traces = [t for t in self.traces() if t.hops]
+        if not traces:
+            return "no traces recorded"
+        lats = sorted(t.latency for t in traces)
+        waits = sorted(t.total_queue_wait for t in traces)
+
+        def pct(sorted_vals: list[int], q: float) -> int:
+            return sorted_vals[min(len(sorted_vals) - 1, int(q * len(sorted_vals)))]
+
+        replayed = sum(t.replayed_hops for t in traces)
+        lines = [
+            f"traces: {len(traces)}  hops: {sum(len(t.hops) for t in traces)}"
+            f"  replayed-hops: {replayed}",
+            "latency (logical steps): "
+            f"p50={pct(lats, 0.50)} p90={pct(lats, 0.90)} p99={pct(lats, 0.99)} "
+            f"max={lats[-1]}",
+            "queue wait (logical steps): "
+            f"p50={pct(waits, 0.50)} p90={pct(waits, 0.90)} max={waits[-1]}",
+            f"slowest {min(limit, len(traces))} traces:",
+        ]
+        slowest = sorted(traces, key=lambda t: (-t.latency, t.trace_id))[:limit]
+        lines.extend(f"  {t.describe()}" for t in slowest)
+        return "\n".join(lines)
+
+
+def merge_traces(tracers: Iterable[Tracer]) -> list[Trace]:
+    """Flatten traces from several tracers, ordered by trace id."""
+    merged: list[Trace] = []
+    for tracer in tracers:
+        merged.extend(tracer.traces())
+    return sorted(merged, key=lambda t: t.trace_id)

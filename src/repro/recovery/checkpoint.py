@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
+from repro.obs.events import KIND
 from repro.recovery.policy import CheckpointPolicy
 from repro.runtime.envelope import INPUT_EDGE, ChannelId, Envelope
 from repro.runtime.instances import GatherState, StreamKey
@@ -108,6 +109,9 @@ class PendingCheckpoint:
     te_meta: dict[tuple[str, int], TEMeta]
     se_keys: list[tuple[str, int]]
     se_epochs: dict[str, int] = field(default_factory=dict)
+    #: Logical step at which :meth:`CheckpointManager.begin` ran; the
+    #: begin→complete span is the checkpoint's duration in steps.
+    begun_at_step: int = 0
 
 
 class CheckpointManager:
@@ -137,6 +141,28 @@ class CheckpointManager:
         self._pending: dict[int, PendingCheckpoint] = {}
         #: Completed checkpoint cycles per node (drives the cadence).
         self._cycles: dict[int, int] = {}
+        metrics = runtime.metrics
+        self._events = runtime.events
+        self._c_checkpoints = metrics.counter(
+            "recovery_checkpoints_total",
+            "completed checkpoints, by kind (full/delta)")
+        self._c_entries = metrics.counter(
+            "recovery_checkpoint_entries_total",
+            "state entries (incl. tombstones) persisted, by kind")
+        self._c_bytes = metrics.counter(
+            "recovery_checkpoint_bytes_total",
+            "modelled bytes persisted, by kind")
+        self._c_aborted = metrics.counter(
+            "recovery_checkpoints_aborted_total",
+            "checkpoints aborted or discarded (node died mid-flight)"
+        ).labels()
+        self._h_duration = metrics.histogram(
+            "recovery_checkpoint_duration_steps",
+            "begin-to-complete span of a checkpoint, in logical steps")
+        self._c_journal = metrics.counter(
+            "state_journal_mutations_total",
+            "journalled state mutations consumed by checkpoint cycles"
+        ).labels()
 
     # ------------------------------------------------------------------
 
@@ -172,8 +198,13 @@ class CheckpointManager:
                 se_name: self.runtime.se_epoch(se_name)
                 for se_name, _index in node.se_instances
             },
+            begun_at_step=self.runtime.total_steps,
         )
         self._pending[node_id] = pending
+        self._events.publish(
+            "checkpoint", KIND.CHECKPOINT_BEGIN, self.runtime.total_steps,
+            node_id=node_id, version=version,
+        )
         return pending
 
     def complete(self, pending: PendingCheckpoint) -> NodeCheckpoint | None:
@@ -188,20 +219,36 @@ class CheckpointManager:
         self._pending.pop(pending.node_id, None)
         node = self.runtime.nodes[pending.node_id]
         if not node.alive:
+            self._c_aborted.inc()
+            self._events.publish(
+                "checkpoint", KIND.CHECKPOINT_ABORT,
+                self.runtime.total_steps, node_id=pending.node_id,
+                version=pending.version, reason="node died",
+            )
             return None
         delta = self._delta_eligible(pending, node)
+        persisted_bytes = 0
         se_chunks: dict[tuple[str, int], list[StateChunk]] = {}
         for se_key in pending.se_keys:
             se_inst = node.se_instances.get(se_key)
             if se_inst is None:
                 continue
+            element = se_inst.element
+            if element.delta_capable:
+                journal = element.journal()
+                self._c_journal.inc(
+                    len(journal.written) + len(journal.deleted))
             if delta:
-                se_chunks[se_key] = se_inst.element.to_delta_chunks(
+                se_chunks[se_key] = element.to_delta_chunks(
                     self.n_chunks, version=pending.version,
                     base_version=pending.version - 1,
                 )
             else:
-                se_chunks[se_key] = se_inst.element.to_chunks(self.n_chunks)
+                se_chunks[se_key] = element.to_chunks(self.n_chunks)
+            persisted_bytes += sum(
+                chunk.size_bytes(element.BYTES_PER_ENTRY)
+                for chunk in se_chunks[se_key]
+            )
         checkpoint = NodeCheckpoint(
             node_id=pending.node_id, version=pending.version,
             kind="delta" if delta else "full",
@@ -221,6 +268,19 @@ class CheckpointManager:
                 se_inst.element.consolidate()
         self._cycles[pending.node_id] = \
             self._cycles.get(pending.node_id, 0) + 1
+        entries = checkpoint.state_entries()
+        self._c_checkpoints.labels(kind=checkpoint.kind).inc()
+        self._c_entries.labels(kind=checkpoint.kind).inc(entries)
+        self._c_bytes.labels(kind=checkpoint.kind).inc(persisted_bytes)
+        self._h_duration.labels().observe(
+            self.runtime.total_steps - pending.begun_at_step)
+        self._events.publish(
+            "checkpoint", KIND.CHECKPOINT_COMMIT, self.runtime.total_steps,
+            node_id=checkpoint.node_id, version=checkpoint.version,
+            checkpoint_kind=checkpoint.kind, entries=entries,
+            bytes=persisted_bytes,
+            duration_steps=self.runtime.total_steps - pending.begun_at_step,
+        )
         if checkpoint.kind == "full":
             # Deltas must not trim upstream buffers: if the delta part
             # of the chain is later lost or corrupted, base-only
@@ -260,6 +320,12 @@ class CheckpointManager:
             se_inst = node.se_instances.get(se_key)
             if se_inst is not None:
                 se_inst.element.abort_checkpoint()
+        self._c_aborted.inc()
+        self._events.publish(
+            "checkpoint", KIND.CHECKPOINT_ABORT, self.runtime.total_steps,
+            node_id=pending.node_id, version=pending.version,
+            reason="aborted",
+        )
 
     def checkpoint(self, node_id: int) -> NodeCheckpoint | None:
         """Synchronous convenience: begin + complete with no gap."""

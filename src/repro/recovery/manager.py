@@ -29,6 +29,7 @@ from repro.errors import (
     RecoveryError,
     StaleCheckpointError,
 )
+from repro.obs.events import KIND
 from repro.recovery.checkpoint import NodeCheckpoint, TEMeta
 from repro.runtime.instances import SEInstance, TEInstance
 from repro.runtime.node import PhysicalNode
@@ -46,6 +47,25 @@ class RecoveryManager:
     def __init__(self, runtime: "Runtime", store: "BackupStore") -> None:
         self.runtime = runtime
         self.store = store
+        metrics = runtime.metrics
+        self._c_restores = metrics.counter(
+            "recovery_restores_total",
+            "successful node restores, by strategy rung")
+        self._c_replayed = metrics.counter(
+            "recovery_replayed_envelopes_total",
+            "envelopes re-delivered during recovery replay").labels()
+        self._h_replay_span = metrics.histogram(
+            "recovery_replay_span",
+            "envelopes replayed per recovery (the replay span length)")
+
+    @staticmethod
+    def _strategy(n_new: int, use_checkpoint: bool, use_deltas: bool) -> str:
+        """The supervisor-ladder rung this restore corresponds to."""
+        if not use_checkpoint:
+            return "log-replay"
+        if not use_deltas:
+            return "base-only"
+        return "m-to-n" if n_new > 1 else "one-to-one"
 
     # ------------------------------------------------------------------
 
@@ -81,8 +101,23 @@ class RecoveryManager:
         if n_new < 1:
             raise RecoveryError(f"n_new must be >= 1, got {n_new}")
         if n_new == 1:
-            return [self._recover_one_to_one(failed, checkpoint)]
-        return self._recover_one_to_n(failed, checkpoint, n_new)
+            node, replayed = self._recover_one_to_one(failed, checkpoint)
+            nodes = [node]
+        else:
+            nodes, replayed = self._recover_one_to_n(failed, checkpoint,
+                                                     n_new)
+        strategy = self._strategy(n_new, use_checkpoint, use_deltas)
+        self._c_restores.labels(strategy=strategy).inc()
+        self._c_replayed.inc(replayed)
+        self._h_replay_span.labels().observe(replayed)
+        self.runtime.events.publish(
+            "recovery", KIND.RESTORE, self.runtime.total_steps,
+            node_id=node_id, strategy=strategy,
+            new_nodes=[n.node_id for n in nodes], replayed=replayed,
+            checkpoint_version=(checkpoint.version
+                                if checkpoint is not None else None),
+        )
+        return nodes
 
     def migrate_node(self, node_id: int, n_new: int = 1,
                      checkpoint_manager=None) -> list[PhysicalNode]:
@@ -196,7 +231,7 @@ class RecoveryManager:
 
     def _recover_one_to_one(
         self, failed: PhysicalNode, checkpoint: NodeCheckpoint | None
-    ) -> PhysicalNode:
+    ) -> tuple[PhysicalNode, int]:
         se_replacements: list[SEInstance] = []
         for (se_name, index) in failed.se_instances:
             spec = self.runtime.sdg.state(se_name)
@@ -217,15 +252,17 @@ class RecoveryManager:
 
         node = self.runtime.install_replacement(te_replacements,
                                                 se_replacements)
+        replayed = 0
         for instance in te_replacements:
-            self.runtime.replay_rerouted(instance.name, {instance.index})
-            self.runtime.replay_from(instance)
-        return node
+            replayed += self.runtime.replay_rerouted(instance.name,
+                                                     {instance.index})
+            replayed += self.runtime.replay_from(instance)
+        return node, replayed
 
     def _recover_one_to_n(
         self, failed: PhysicalNode, checkpoint: NodeCheckpoint | None,
         n_new: int,
-    ) -> list[PhysicalNode]:
+    ) -> tuple[list[PhysicalNode], int]:
         """Restore a whole partitioned SE across ``n_new`` fresh nodes."""
         if len(failed.se_instances) != 1:
             raise RecoveryError(
@@ -303,11 +340,13 @@ class RecoveryManager:
             )
 
         recovered_indices = set(range(n_new))
+        replayed = 0
         for te_name in accessing:
-            self.runtime.replay_rerouted(te_name, recovered_indices)
+            replayed += self.runtime.replay_rerouted(te_name,
+                                                     recovered_indices)
         for (te_name, index) in stateless_keys:
-            self.runtime.replay_rerouted(te_name, {index})
+            replayed += self.runtime.replay_rerouted(te_name, {index})
         for node in nodes:
             for instance in node.te_instances.values():
-                self.runtime.replay_from(instance)
-        return nodes
+                replayed += self.runtime.replay_from(instance)
+        return nodes, replayed

@@ -34,11 +34,13 @@ Policies, in the order they apply to each failed node:
    supervisor stops touching it — loud, bounded degradation instead of
    a retry storm.
 
-Every decision is appended to a structured event log
-(:attr:`RecoverySupervisor.events`) that tests and benchmarks assert
-against: each failure produces a ``detected`` event followed by a
-``recovered`` (or ``quarantined``) event, with any fallbacks and failed
-attempts in between.
+Every decision is published to the runtime's structured event bus
+(``runtime.events``, source ``"supervisor"``) that tests, benchmarks
+and the ``repro obs`` CLI assert against: each failure produces a
+``detected`` event followed by a ``recovered`` (or ``quarantined``)
+event, with any fallbacks and failed attempts in between.
+:attr:`RecoverySupervisor.events` remains as a backward-compatible
+view reconstructing :class:`RecoveryEvent` records from the bus.
 """
 
 from __future__ import annotations
@@ -104,12 +106,37 @@ class RecoverySupervisor:
         self.max_retries = max_retries
         self.backoff_steps = backoff_steps
         self.restart_stalled = restart_stalled
-        #: Structured recovery log, in decision order.
-        self.events: list[RecoveryEvent] = []
         #: Nodes given up on after exhausting retries.
         self.quarantined: set[int] = set()
         self._pending: dict[int, _PendingRecovery] = {}
         self._installed = False
+        metrics = self.runtime.metrics
+        self._c_attempts = metrics.counter(
+            "recovery_attempts_total",
+            "recovery attempts started by the supervisor").labels()
+        self._c_quarantined = metrics.counter(
+            "recovery_quarantined_total",
+            "nodes quarantined after exhausting retries").labels()
+
+    @property
+    def events(self) -> list[RecoveryEvent]:
+        """The supervisor's decisions, reconstructed from the event bus.
+
+        Deprecated as a *private* log: decisions are now published to
+        ``runtime.events`` with source ``"supervisor"`` (one supervisor
+        per runtime is the supported pattern); this property remains as
+        a compatible read view.
+        """
+        return [
+            RecoveryEvent(
+                step=e.step, kind=e.kind,
+                node_id=e.attrs.get("node_id", -1),
+                attempt=e.attrs.get("attempt", 0),
+                detail=e.attrs.get("detail", ""),
+                new_nodes=tuple(e.attrs.get("new_nodes", ())),
+            )
+            for e in self.runtime.events.events(source="supervisor")
+        ]
 
     # ------------------------------------------------------------------
 
@@ -151,10 +178,11 @@ class RecoverySupervisor:
 
     def _log(self, kind: str, node_id: int, *, attempt: int = 0,
              detail: str = "", new_nodes: tuple[int, ...] = ()) -> None:
-        self.events.append(RecoveryEvent(
-            step=self.runtime.total_steps, kind=kind, node_id=node_id,
-            attempt=attempt, detail=detail, new_nodes=new_nodes,
-        ))
+        self.runtime.events.publish(
+            "supervisor", kind, self.runtime.total_steps,
+            node_id=node_id, attempt=attempt, detail=detail,
+            new_nodes=tuple(new_nodes),
+        )
 
     def _on_detection(self, event: "DetectionEvent") -> None:
         node_id = event.node_id
@@ -188,6 +216,7 @@ class RecoverySupervisor:
 
     def _attempt(self, task: _PendingRecovery) -> None:
         task.attempts += 1
+        self._c_attempts.inc()
         self._log("recovery-started", task.node_id,
                   attempt=task.attempts, detail=task.strategy)
         while True:
@@ -258,6 +287,7 @@ class RecoverySupervisor:
         if task.attempts >= self.max_retries:
             del self._pending[task.node_id]
             self.quarantined.add(task.node_id)
+            self._c_quarantined.inc()
             self._log("quarantined", task.node_id,
                       attempt=task.attempts,
                       detail=f"giving up after {task.attempts} "

@@ -162,6 +162,14 @@ class FailureDetector:
         event = DetectionEvent(step=step, node_id=node_id, kind=kind,
                                detail=detail)
         self.events.append(event)
+        self.runtime.events.publish(
+            "detector", "failure-detected", step,
+            node_id=node_id, verdict=kind, detail=detail,
+        )
+        self.runtime.metrics.counter(
+            "detector_verdicts_total",
+            "failure-detection verdicts, by kind",
+        ).labels(kind=kind).inc()
         for listener in list(self._listeners):
             listener(event)
 

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.dispatch import Dispatch
 from repro.core.graph import SDG
 from repro.errors import RuntimeExecutionError
+from repro.obs.metrics import NULL_REGISTRY
 from repro.runtime.envelope import NO_RESPONSE, Envelope
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,13 +34,22 @@ class Dispatcher:
     """Routes TE outputs along dataflow edges, one method per semantic."""
 
     def __init__(self, sdg: SDG, topology: "Topology",
-                 transport: "Transport") -> None:
+                 transport: "Transport", metrics: Any = None) -> None:
         self.sdg = sdg
         self.topology = topology
         self.transport = transport
         #: Broadcasts and global-access injections correlate their
         #: responses through runtime-unique request ids.
         self._request_ids = itertools.count(1)
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        counter = registry.counter(
+            "dispatch_items_total", "items routed, by dispatch semantics")
+        # Pre-bound per-semantics children: hot-path increments are a
+        # single attribute add, no label resolution.
+        self._c_gather = counter.labels(semantics="all_to_one")
+        self._c_broadcast = counter.labels(semantics="one_to_all")
+        self._c_keyed = counter.labels(semantics="key_partitioned")
+        self._c_any = counter.labels(semantics="one_to_any")
         #: Deploy-time successor index: TE name -> [(edge_index, edge)].
         self._successors: dict[str, list[tuple[int, Any]]] = {
             name: [] for name in sdg.tasks
@@ -65,7 +75,7 @@ class Dispatcher:
             if edge.dispatch is Dispatch.ALL_TO_ONE:
                 self.gather(instance, edge_index, edge, outputs, cause)
             elif edge.dispatch is Dispatch.ONE_TO_ALL:
-                self.broadcast(instance, edge_index, edge, outputs)
+                self.broadcast(instance, edge_index, edge, outputs, cause)
             elif edge.dispatch is Dispatch.KEY_PARTITIONED:
                 self.key_partitioned(instance, edge_index, edge, outputs,
                                      cause)
@@ -88,23 +98,33 @@ class Dispatcher:
         if cause.request_id is None:
             # Not part of a global-access round trip: forward directly.
             for item in outputs:
+                self._c_gather.inc()
                 self.transport.send(instance, edge_index, edge.dst, 0,
-                                    item, None, None)
+                                    item, None, None,
+                                    trace_id=cause.trace_id)
             return
         item = outputs[0] if outputs else NO_RESPONSE
+        self._c_gather.inc()
         self.transport.send(instance, edge_index, edge.dst, 0, item,
-                            cause.request_id, cause.expected_responses)
+                            cause.request_id, cause.expected_responses,
+                            trace_id=cause.trace_id)
 
     def broadcast(self, instance: "TEInstance", edge_index: int, edge,
-                  outputs: list[Any]) -> None:
-        """``ONE_TO_ALL``: fan each item out under a fresh request id."""
+                  outputs: list[Any], cause: Envelope) -> None:
+        """``ONE_TO_ALL``: fan each item out under a fresh request id.
+
+        ``cause`` threads the causal trace id through the fan-out; the
+        broadcast itself still mints a fresh request id per item.
+        """
         slots = self.topology.te_slot_count(edge.dst)
         for item in outputs:
             request_id = self.next_request_id()
             expected = len(self.topology.te_instances(edge.dst))
             for dst in range(slots):
+                self._c_broadcast.inc()
                 self.transport.send(instance, edge_index, edge.dst, dst,
-                                    item, request_id, expected)
+                                    item, request_id, expected,
+                                    trace_id=cause.trace_id)
 
     def key_partitioned(self, instance: "TEInstance", edge_index: int,
                         edge, outputs: list[Any], cause: Envelope) -> None:
@@ -112,8 +132,10 @@ class Dispatcher:
         spec = self.sdg.task(edge.dst)
         for item in outputs:
             dst = self.topology.keyed_index(spec, edge.key_fn(item))
+            self._c_keyed.inc()
             self.transport.send(instance, edge_index, edge.dst, dst, item,
-                                cause.request_id, cause.expected_responses)
+                                cause.request_id, cause.expected_responses,
+                                trace_id=cause.trace_id)
 
     def one_to_any(self, instance: "TEInstance", edge_index: int, edge,
                    outputs: list[Any], cause: Envelope) -> None:
@@ -126,6 +148,8 @@ class Dispatcher:
             # re-execution after recovery reproduces the exact
             # original routing and duplicates are recognised.
             sent = instance.out_seq.get(edge_index, 0)
+            self._c_any.inc()
             self.transport.send(instance, edge_index, edge.dst,
                                 sent % slots, item, cause.request_id,
-                                cause.expected_responses)
+                                cause.expected_responses,
+                                trace_id=cause.trace_id)

@@ -33,6 +33,9 @@ from typing import Any, Iterator
 from repro.core.elements import AccessMode, StateKind, TaskContext
 from repro.core.graph import SDG
 from repro.errors import RuntimeExecutionError
+from repro.obs.events import KIND, EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.runtime.deployment import Topology
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.envelope import (
@@ -99,6 +102,20 @@ class RuntimeConfig:
     #: default (a full checkpoint every cycle). Typed loosely because
     #: ``repro.recovery`` imports runtime modules, not the reverse.
     checkpoint_policy: Any = None
+    #: Metrics sink: anything registry-shaped (``counter``/``gauge``/
+    #: ``histogram`` factories — see :mod:`repro.obs.metrics`). ``None``
+    #: gives each runtime a fresh private
+    #: :class:`~repro.obs.metrics.MetricsRegistry`; pass
+    #: :data:`~repro.obs.metrics.NULL_REGISTRY` to disable collection
+    #: entirely, or ``repro.obs.metrics.default_registry()`` to share
+    #: one process-wide sink.
+    metrics: Any = None
+    #: Enable per-envelope causal tracing (:mod:`repro.obs.trace`).
+    #: Every injected item gets a trace id that survives dispatch
+    #: fan-out, repartition and replay; hop/queue-wait spans are
+    #: recorded on ``runtime.tracer``. Off by default — the disabled
+    #: hot path is a single ``is None`` check.
+    trace: bool = False
 
     def validate(self, sdg: "SDG") -> None:
         """Reject malformed deployment knobs before they misbehave.
@@ -126,6 +143,18 @@ class RuntimeConfig:
                 )
         # Raises on unknown policy names / non-scheduler objects.
         resolve_scheduler(self.scheduler)
+        if not isinstance(self.trace, bool):
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.trace must be a bool, got {self.trace!r}"
+            )
+        if self.metrics is not None:
+            for factory in ("counter", "gauge", "histogram"):
+                if not callable(getattr(self.metrics, factory, None)):
+                    raise RuntimeExecutionError(
+                        f"RuntimeConfig.metrics must be registry-shaped "
+                        f"(callable counter/gauge/histogram), got "
+                        f"{self.metrics!r}"
+                    )
         policy = self.checkpoint_policy
         if policy is not None:
             cadence = getattr(policy, "full_every", None)
@@ -181,6 +210,17 @@ class Runtime:
         self.dispatcher: Dispatcher | None = None
         #: The scheduling policy; resolved from the config at deploy.
         self.scheduler: Scheduler | None = None
+        #: Metrics registry: fresh per runtime unless injected via the
+        #: config, so tests never see each other's counts.
+        self.metrics = (
+            self.config.metrics if self.config.metrics is not None
+            else MetricsRegistry()
+        )
+        #: Structured event bus all layers publish to (always on; an
+        #: event is only created when something structural happens).
+        self.events = EventBus()
+        #: Causal tracer, or None when ``config.trace`` is off.
+        self.tracer: Tracer | None = Tracer() if self.config.trace else None
         #: Collected payloads of TEs without outgoing dataflows.
         self.results: dict[str, list[Any]] = {}
         self.total_steps = 0
@@ -211,9 +251,14 @@ class Runtime:
             self.topology,
             capacity=self.config.channel_capacity,
             copy_payloads=self.config.copy_payloads,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            clock=lambda: self.total_steps,
         )
-        self.dispatcher = Dispatcher(self.sdg, self.topology, self.transport)
+        self.dispatcher = Dispatcher(self.sdg, self.topology, self.transport,
+                                     metrics=self.metrics)
         self.scheduler = resolve_scheduler(self.config.scheduler)
+        self._bind_metrics()
         # One detector for the runtime's lifetime, built from the
         # validated config (not per scale check).
         self._detector = BottleneckDetector(
@@ -224,7 +269,46 @@ class Runtime:
             if not self.dispatcher.successors(te_name):
                 self.results.setdefault(te_name, [])
         self._deployed = True
+        self._refresh_instance_gauges()
         return self
+
+    def _bind_metrics(self) -> None:
+        """Pre-bind metric children so hot-path updates skip label lookup."""
+        m = self.metrics
+        self._c_steps = m.counter(
+            "engine_steps_total", "logical steps (ticks)").labels()
+        self._c_stalls = m.counter(
+            "engine_stall_ticks_total",
+            "steps where all pending work sat on throttled nodes").labels()
+        self._c_picks = m.counter(
+            "scheduler_picks_total",
+            "instance selections, by scheduling policy").labels(
+                policy=getattr(self.scheduler, "name",
+                               type(self.scheduler).__name__))
+        self._c_node_failures = m.counter(
+            "engine_node_failures_total", "nodes killed (fault or crash)"
+        ).labels()
+        self._c_scale_outs = m.counter(
+            "engine_scale_outs_total", "reactive/explicit scale-up actions"
+        ).labels()
+        injected = m.counter(
+            "engine_items_injected_total",
+            "external items injected, by entry TE")
+        processed = m.counter(
+            "engine_items_processed_total", "items processed, by TE")
+        instances_g = m.gauge(
+            "runtime_te_instances", "live instances per TE")
+        self._c_injected = {te: injected.labels(te=te)
+                            for te in self.sdg.tasks}
+        self._c_processed = {te: processed.labels(te=te)
+                             for te in self.sdg.tasks}
+        self._g_instances = {te: instances_g.labels(te=te)
+                             for te in self.sdg.tasks}
+
+    def _refresh_instance_gauges(self) -> None:
+        """Re-read live instance counts after a structural change."""
+        for te, child in self._g_instances.items():
+            child.set(len(self.topology.te_instances(te)))
 
     # ------------------------------------------------------------------
     # Topology facade (instance and node accessors)
@@ -287,29 +371,37 @@ class Runtime:
         spec = self.sdg.task(entry)
         if not spec.is_entry:
             raise RuntimeExecutionError(f"TE {entry!r} is not an entry point")
+        self._c_injected[entry].inc()
+        # One trace per logical injection: a GLOBAL-access broadcast is
+        # one item fanned out, so every slot shares the trace id.
+        trace_id = (self.tracer.new_trace(self.total_steps)
+                    if self.tracer is not None else None)
         if spec.entry_key_fn is not None:
             index = self._keyed_index(spec, spec.entry_key_fn(payload))
-            self._inject_to(entry, index, payload, None, None)
+            self._inject_to(entry, index, payload, None, None, trace_id)
         elif spec.access is AccessMode.GLOBAL:
             request_id = self.dispatcher.next_request_id()
             slots = self.te_slot_count(entry)
             for index in range(slots):
-                self._inject_to(entry, index, payload, request_id, slots)
+                self._inject_to(entry, index, payload, request_id, slots,
+                                trace_id)
         else:
             slots = self.te_slot_count(entry)
             rr = self._rr.get(("input", entry), 0)
             self._rr[("input", entry)] = rr + 1
-            self._inject_to(entry, rr % slots, payload, None, None)
+            self._inject_to(entry, rr % slots, payload, None, None, trace_id)
 
     def _inject_to(self, entry: str, index: int, payload: Any,
-                   request_id: int | None, expected: int | None) -> None:
+                   request_id: int | None, expected: int | None,
+                   trace_id: int | None = None) -> None:
         payload = self.transport.prepare_payload(payload)
         channel = ChannelId(INPUT_EDGE, "__input__", 0, entry, index)
         seq = self._input_seq.get(entry, 0) + 1
         self._input_seq[entry] = seq
         envelope = Envelope(payload=payload, ts=seq, channel=channel,
                             request_id=request_id,
-                            expected_responses=expected)
+                            expected_responses=expected,
+                            trace_id=trace_id)
         self._input_buffers.setdefault(channel, []).append(envelope)
         self.transport.deliver(envelope)
 
@@ -351,10 +443,13 @@ class Runtime:
         instance, throttled = self.scheduler.select(instances, nodes)
         if instance is None:
             if throttled:
+                self._c_stalls.inc()
                 self._tick()
                 return True
             return False
+        self._c_picks.inc()
         envelope = instance.inbox.popleft()
+        self.transport.inbox_gauge(instance.name).dec()
         try:
             self._process(instance, envelope)
         except RuntimeExecutionError as exc:
@@ -374,6 +469,7 @@ class Runtime:
     def _tick(self) -> None:
         """Advance logical time by one step and run the step hooks."""
         self.total_steps += 1
+        self._c_steps.inc()
         for hook in list(self._step_hooks):
             hook(self)
 
@@ -421,6 +517,21 @@ class Runtime:
     def _process(self, instance: TEInstance, envelope: Envelope) -> None:
         if instance.is_duplicate(envelope):
             return
+        # Tracing off costs exactly this `is None` check per item.
+        if self.tracer is not None:
+            hop = self.tracer.begin_hop(envelope, instance.name,
+                                        str(instance.index),
+                                        self.total_steps)
+            try:
+                self._process_item(instance, envelope)
+            finally:
+                if hop is not None:
+                    # Serving one envelope consumes one logical step.
+                    self.tracer.end_hop(hop, self.total_steps + 1)
+            return
+        self._process_item(instance, envelope)
+
+    def _process_item(self, instance: TEInstance, envelope: Envelope) -> None:
         spec = instance.spec
         if spec.is_merge and envelope.request_id is not None:
             self._process_gather(instance, envelope)
@@ -430,6 +541,7 @@ class Runtime:
         self._dispatch(instance, outputs, envelope)
         self.nodes[instance.node_id].items_processed += 1
         instance.processed_count += 1
+        self._c_processed[instance.name].inc()
 
     def _process_gather(self, instance: TEInstance,
                         envelope: Envelope) -> None:
@@ -450,6 +562,7 @@ class Runtime:
         self._dispatch(instance, outputs, envelope)
         self.nodes[instance.node_id].items_processed += 1
         instance.processed_count += 1
+        self._c_processed[instance.name].inc()
 
     def _invoke(self, instance: TEInstance, payload: Any) -> list[Any]:
         element = (
@@ -514,7 +627,23 @@ class Runtime:
 
     def fail_node(self, node_id: int) -> None:
         """Kill a node: inboxes, SE contents and output buffers are lost."""
+        node = self.topology.nodes[node_id]
+        was_alive = node.alive
+        lost = 0
+        if was_alive:
+            for inst in node.te_instances.values():
+                depth = len(inst.inbox)
+                if depth:
+                    lost += depth
+                    self.transport.inbox_gauge(inst.name).dec(depth)
         self.topology.fail_node(node_id)
+        if was_alive:
+            self._c_node_failures.inc()
+            self._refresh_instance_gauges()
+            self.events.publish(
+                "engine", KIND.NODE_FAILED, self.total_steps,
+                node_id=node_id, lost_envelopes=lost,
+            )
 
     def install_replacement(
         self,
@@ -526,8 +655,10 @@ class Runtime:
         Slot lists grow on demand so that m-to-n recovery can restore a
         single failed instance as several new partitioned instances.
         """
-        return self.topology.install_replacement(te_replacements,
+        node = self.topology.install_replacement(te_replacements,
                                                  se_replacements)
+        self._refresh_instance_gauges()
+        return node
 
     def set_partitioner(self, se_name: str,
                         partitioner: HashPartitioner) -> None:
@@ -537,6 +668,10 @@ class Runtime:
         ``n`` partitions, changing the partition count.
         """
         self.topology.set_partitioner(se_name, partitioner)
+        self.events.publish(
+            "engine", KIND.REPARTITION, self.total_steps,
+            se=se_name, epoch=self.topology.se_epoch(se_name),
+        )
 
     def se_epoch(self, se_name: str) -> int:
         """The SE's current partitioning epoch (0 until repartitioned)."""
@@ -699,9 +834,23 @@ class Runtime:
                 # partitioner so keyed items still meet their partition.
                 pending = self.topology.repartition(spec.state, current + 1)
                 for envelope in pending:
+                    self.transport.inbox_gauge(
+                        envelope.channel.dst_te).dec()
                     self._resend_after_reroute(envelope)
+                self.events.publish(
+                    "engine", KIND.REPARTITION, self.total_steps,
+                    se=spec.state,
+                    epoch=self.topology.se_epoch(spec.state),
+                    drained=len(pending),
+                )
         self._scale_events.append(
             (self.total_steps, te_name, self.te_slot_count(te_name))
+        )
+        self._c_scale_outs.inc()
+        self._refresh_instance_gauges()
+        self.events.publish(
+            "engine", KIND.SCALE_OUT, self.total_steps,
+            te=te_name, instances=self.te_slot_count(te_name),
         )
         return True
 
@@ -729,7 +878,8 @@ class Runtime:
                 index = channel.dst_instance
             self._inject_to(channel.dst_te, index, envelope.payload,
                             envelope.request_id,
-                            envelope.expected_responses)
+                            envelope.expected_responses,
+                            envelope.trace_id)
             return
         edge = self.sdg.dataflows[channel.edge_index]
         producer = self.te_instance(channel.src_te, channel.src_instance)
@@ -746,7 +896,8 @@ class Runtime:
             self.transport.send(producer, channel.edge_index,
                                 channel.dst_te, index, envelope.payload,
                                 envelope.request_id,
-                                envelope.expected_responses)
+                                envelope.expected_responses,
+                                trace_id=envelope.trace_id)
         else:
             # Producer lost to a failure: deliver with the old stamp so
             # downstream dedup against a future replay still works.

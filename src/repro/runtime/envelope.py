@@ -64,9 +64,15 @@ class Envelope:
     request_id: int | None = None
     #: Number of responses the gather barrier must collect.
     expected_responses: int | None = None
+    #: Causal trace id (``RuntimeConfig(trace=True)``); rides the
+    #: envelope through dispatch fan-out, repartition re-routing and
+    #: crash replay. ``None`` when tracing is off — the hot path then
+    #: pays a single attribute default, nothing else.
+    trace_id: int | None = None
 
     def with_channel(self, channel: ChannelId, ts: int) -> "Envelope":
         """Rewrap the same logical item for delivery on another channel."""
         return Envelope(payload=self.payload, ts=ts, channel=channel,
                         request_id=self.request_id,
-                        expected_responses=self.expected_responses)
+                        expected_responses=self.expected_responses,
+                        trace_id=self.trace_id)

@@ -5,6 +5,22 @@ bottleneck that limits throughput." The monitor samples, every
 ``sample_every`` engine steps, each TE's backlog and cumulative
 processed count, building the time series that Fig. 10-style analyses
 and the bottleneck detector consume.
+
+Since the unified observability layer, the monitor is a thin *view
+over the metrics registry*: a sample reads the engine-maintained
+``runtime_inbox_depth`` / ``engine_items_processed_total`` /
+``runtime_te_instances`` series instead of re-walking every instance.
+An initial baseline sample is taken at :meth:`install`, so the series
+always start with a point at install time (previously the first sample
+only appeared at the first step divisible by ``sample_every``).
+
+.. deprecated:: Direct construction against a runtime deployed with
+   ``metrics=NULL_REGISTRY`` records all-zero samples — the monitor
+   needs the default (or any real) registry. Note also that the
+   ``processed`` series is now the engine's monotone item counter: it
+   counts replayed re-executions after recovery and never regresses,
+   where the old instance walk reported the surviving instances'
+   restored ``processed_count``.
 """
 
 from __future__ import annotations
@@ -36,6 +52,9 @@ class RuntimeMonitor:
 
     def install(self, runtime: "Runtime") -> "RuntimeMonitor":
         self._runtime = runtime
+        # Baseline point: without it, every series silently starts at
+        # the first step divisible by sample_every (sampling skew).
+        self.take_sample(runtime)
         runtime.add_step_hook(self._on_step)
         return self
 
@@ -50,15 +69,18 @@ class RuntimeMonitor:
         self.take_sample(runtime)
 
     def take_sample(self, runtime: "Runtime") -> Sample:
-        """Record one observation immediately."""
+        """Record one observation immediately (read from the registry)."""
+        backlog_gauge = runtime.metrics.gauge("runtime_inbox_depth")
+        processed_counter = runtime.metrics.counter(
+            "engine_items_processed_total")
+        instances_gauge = runtime.metrics.gauge("runtime_te_instances")
         backlog: dict[str, int] = {}
         processed: dict[str, int] = {}
         instances: dict[str, int] = {}
         for te_name in runtime.sdg.tasks:
-            live = runtime.te_instances(te_name)
-            backlog[te_name] = sum(len(i.inbox) for i in live)
-            processed[te_name] = sum(i.processed_count for i in live)
-            instances[te_name] = len(live)
+            backlog[te_name] = int(backlog_gauge.value(te=te_name))
+            processed[te_name] = int(processed_counter.value(te=te_name))
+            instances[te_name] = int(instances_gauge.value(te=te_name))
         sample = Sample(step=runtime.total_steps, backlog=backlog,
                         processed=processed, instances=instances)
         self.samples.append(sample)

@@ -23,9 +23,11 @@ import copy
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.runtime.envelope import NO_RESPONSE, ChannelId, Envelope
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
     from repro.runtime.deployment import Topology
     from repro.runtime.instances import TEInstance
 
@@ -53,11 +55,47 @@ class Transport:
 
     def __init__(self, topology: "Topology", *,
                  capacity: int | None = None,
-                 copy_payloads: bool = False) -> None:
+                 copy_payloads: bool = False,
+                 metrics: Any = None,
+                 tracer: "Tracer | None" = None,
+                 clock=None) -> None:
         self._topology = topology
         self.capacity = capacity
         self.copy_payloads = copy_payloads
         self._channels: dict[ChannelId, Channel] = {}
+        #: Optional causal tracer; notified on every successful delivery
+        #: so queue-wait spans are observable. ``clock`` supplies the
+        #: current logical step (the engine passes its own counter).
+        self.tracer = tracer
+        self._clock = clock if clock is not None else (lambda: 0)
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._c_delivered = registry.counter(
+            "transport_delivered_total",
+            "envelopes appended to a destination inbox").labels()
+        self._c_refused = registry.counter(
+            "transport_refused_total",
+            "envelopes refused because the destination was dead").labels()
+        self._c_copies = registry.counter(
+            "transport_payload_copies_total",
+            "payload deep-copies performed for isolation").labels()
+        self._g_blocked = registry.gauge(
+            "transport_blocked_channels",
+            "channels over capacity at last blocked_channels() scan").labels()
+        self._g_inbox = registry.gauge(
+            "runtime_inbox_depth", "queued envelopes per destination TE")
+        self._inbox_children: dict[str, Any] = {}
+
+    def inbox_gauge(self, dst_te: str) -> Any:
+        """The (cached) inbox-depth gauge child for a destination TE.
+
+        The engine and chaos injector share these cells with delivery so
+        every inbox mutation — append, pop, drain, loss — is accounted.
+        """
+        child = self._inbox_children.get(dst_te)
+        if child is None:
+            child = self._inbox_children[dst_te] = self._g_inbox.labels(
+                te=dst_te)
+        return child
 
     # ------------------------------------------------------------------
     # Payload isolation
@@ -66,6 +104,7 @@ class Transport:
     def prepare_payload(self, payload: Any) -> Any:
         """Apply the configured isolation policy to an outgoing payload."""
         if self.copy_payloads and payload is not NO_RESPONSE:
+            self._c_copies.inc()
             return copy.deepcopy(payload)
         return payload
 
@@ -99,14 +138,19 @@ class Transport:
             or not self._topology.nodes[instance.node_id].alive
         ):
             channel.refused += 1
+            self._c_refused.inc()
             return False
         instance.inbox.append(envelope)
         channel.delivered += 1
+        self._c_delivered.inc()
+        self.inbox_gauge(envelope.channel.dst_te).inc()
+        if self.tracer is not None:
+            self.tracer.on_deliver(envelope, self._clock())
         return True
 
     def send(self, src: "TEInstance", edge_index: int, dst_te: str,
              dst_index: int, payload: Any, request_id: int | None,
-             expected: int | None) -> bool:
+             expected: int | None, trace_id: int | None = None) -> bool:
         """Stamp, buffer and deliver one item from ``src``.
 
         The producer-side sequence number and output buffer live on the
@@ -119,7 +163,8 @@ class Transport:
         ts = src.next_seq(channel)
         envelope = Envelope(payload=payload, ts=ts, channel=channel,
                             request_id=request_id,
-                            expected_responses=expected)
+                            expected_responses=expected,
+                            trace_id=trace_id)
         src.record_output(envelope)
         return self.deliver(envelope)
 
@@ -156,6 +201,7 @@ class Transport:
                 blocked.append(channel_id)
         blocked.sort(key=lambda c: (c.dst_te, c.dst_instance,
                                     c.edge_index, c.src_te, c.src_instance))
+        self._g_blocked.set(len(blocked))
         return blocked
 
     def blocked_destinations(self) -> set[str]:

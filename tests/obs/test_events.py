@@ -1,0 +1,67 @@
+"""Tests for the structured event bus."""
+
+import json
+
+from repro.obs import EventBus
+
+
+class TestEventBus:
+    def test_publish_orders_and_stamps(self):
+        bus = EventBus()
+        bus.publish("engine", "node-failed", 10, node_id=3)
+        bus.publish("checkpoint", "checkpoint-begin", 12, version=1)
+        events = list(bus)
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].step == 10
+        assert events[0].attrs["node_id"] == 3
+        assert len(bus) == 2
+
+    def test_filter_by_source_and_kind(self):
+        bus = EventBus()
+        bus.publish("engine", "node-failed", 1, node_id=1)
+        bus.publish("supervisor", "detected", 2, node_id=1)
+        bus.publish("supervisor", "recovered", 3, node_id=1)
+        assert len(bus.events(source="supervisor")) == 2
+        assert len(bus.events(kind="recovered")) == 1
+        assert bus.events(source="engine", kind="recovered") == []
+
+    def test_counts_by_kind(self):
+        bus = EventBus()
+        bus.publish("a", "x", 1)
+        bus.publish("b", "x", 2)
+        bus.publish("a", "y", 3)
+        assert bus.counts_by_kind() == {"x": 2, "y": 1}
+
+    def test_subscribe_with_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=["restore"])
+        bus.publish("recovery", "restore", 5, node_id=1)
+        bus.publish("recovery", "checkpoint-begin", 6)
+        assert [e.kind for e in seen] == ["restore"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        listener = bus.subscribe(seen.append)
+        bus.publish("a", "x", 1)
+        bus.unsubscribe(listener)
+        bus.publish("a", "y", 2)
+        assert [e.kind for e in seen] == ["x"]
+
+    def test_jsonl_round_trips(self):
+        bus = EventBus()
+        bus.publish("engine", "scale-out", 7, te="count", instances=3)
+        bus.publish("injector", "fault-injected", 9,
+                    fault=object(), outcome="fired")
+        lines = bus.to_jsonl().strip().splitlines()
+        first = json.loads(lines[0])
+        assert first == {"seq": 0, "step": 7, "source": "engine",
+                         "kind": "scale-out", "te": "count",
+                         "instances": 3}
+        # Non-JSON payloads degrade to repr instead of failing.
+        second = json.loads(lines[1])
+        assert second["fault"].startswith("<object object")
+
+    def test_empty_bus_exports_empty(self):
+        assert EventBus().to_jsonl() == ""

@@ -1,0 +1,125 @@
+"""Tests for the metrics primitives and the registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import MetricError, default_registry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_labeled_children_independent(self):
+        c = Counter("items")
+        c.labels(te="split").inc(5)
+        c.labels(te="count").inc(1)
+        assert c.value(te="split") == 5
+        assert c.value(te="count") == 1
+        assert c.value(te="never") == 0
+
+    def test_prebound_child_is_stable(self):
+        c = Counter("hot")
+        child = c.labels(te="x")
+        assert c.labels(te="x") is child
+        child.inc()
+        assert c.value(te="x") == 1
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(MetricError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(3)
+        g.dec(5)
+        assert g.value() == 8
+
+    def test_gauge_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(2)
+        assert g.value() == -2
+
+
+class TestHistogram:
+    def test_observe_buckets_and_quantile(self):
+        h = Histogram("lat", buckets=(1, 10, 100))
+        for v in (1, 2, 2, 50, 500):
+            h.observe(v)
+        child = h.labels()
+        assert child.count == 5
+        assert child.sum == 555
+        # value() surfaces the observation count.
+        assert h.value() == 5
+        assert child.quantile(0.5) == 10
+        assert child.quantile(1.0) == float("inf")
+
+    def test_default_buckets_are_step_denominated(self):
+        h = Histogram("span")
+        h.observe(3)
+        assert h.labels().quantile(0.5) == 5
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.names() == ["a"]
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+
+    def test_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").labels(te="a").inc(2)
+        reg.histogram("h").observe(7)
+        dump = reg.to_dict()
+        assert dump["c"] == {"te=a": 2.0}
+        assert dump["h"]["#count"] == 1.0
+        assert dump["h"]["#sum"] == 7.0
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter").labels(te="a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1, 2)).observe(2)
+        text = reg.to_prometheus_text()
+        assert "# HELP c a counter" in text
+        assert "# TYPE c counter" in text
+        assert 'c{te="a"} 2' in text
+        assert "g 1.5" in text
+        # Histogram buckets are cumulative and end with +Inf.
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 2" in text
+        assert "h_count 1" in text
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        c = NULL_REGISTRY.counter("anything")
+        c.labels(te="x").inc()
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.to_prometheus_text() == ""
+        assert c.value() == 0.0

@@ -1,0 +1,66 @@
+"""Causal traces must survive repartitioning *and* crash replay.
+
+The acceptance scenario for tracing: an envelope that is (1) drained
+out of an inbox during a repartition epoch and re-routed, then (2)
+replayed from the upstream log after its node crashes, keeps its one
+trace id throughout — the re-execution appears inside the *same* trace
+as an extra hop marked ``replayed=True``, never as a fresh trace.
+"""
+
+from repro.recovery import BackupStore, RecoveryManager
+from repro.runtime import Runtime, RuntimeConfig
+
+from tests.helpers import build_kv_sdg
+
+
+def test_trace_survives_repartition_then_crash_replay():
+    runtime = Runtime(
+        build_kv_sdg(),
+        RuntimeConfig(se_instances={"table": 2}, trace=True),
+    )
+    runtime.deploy()
+
+    # Phase 1: queue puts, then repartition *before* they are served —
+    # every queued envelope is drained and re-sent under the new epoch.
+    n_items = 12
+    for i in range(n_items):
+        runtime.inject("serve", ("put", i, i))
+    assert runtime.scale_up("serve")
+    runtime.run_until_idle()
+
+    tracer = runtime.tracer
+    assert len(tracer.traces()) == n_items  # re-routing minted nothing
+    assert all(len(t.hops) == 1 and t.replayed_hops == 0
+               for t in tracer.traces())
+
+    # Phase 2: crash the node hosting partition 0 and recover it by
+    # pure log replay (empty store): the input log re-delivers every
+    # envelope the lost partition had served.
+    victim = runtime.se_instance("table", 0).node_id
+    runtime.fail_node(victim)
+    RecoveryManager(runtime, BackupStore()).recover_node(
+        victim, use_checkpoint=False
+    )
+    runtime.run_until_idle()
+
+    # Still exactly one trace per injected item: replay extended
+    # existing traces instead of creating new ones.
+    traces = tracer.traces()
+    assert len(traces) == n_items
+
+    replayed = [t for t in traces if t.replayed_hops]
+    assert replayed, "partition 0 served at least one key pre-crash"
+    for trace in replayed:
+        first, *rest = trace.hops
+        # The original service, then the post-crash re-execution, all
+        # under the one trace id.
+        assert not first.replayed
+        assert [h.replayed for h in rest] == [True] * len(rest)
+        assert {h.te for h in trace.hops} == {"serve"}
+        # The replay happened after the crash, on the replacement.
+        assert all(h.entry_step > first.entry_step for h in rest)
+
+    # Items owned by the surviving partition were not re-executed.
+    untouched = [t for t in traces if not t.replayed_hops]
+    assert untouched
+    assert all(len(t.hops) == 1 for t in untouched)

@@ -1,0 +1,89 @@
+"""Tests for per-envelope causal tracing through the live runtime."""
+
+from repro.apps.wordcount import build_wordcount_sdg
+from repro.runtime import Runtime, RuntimeConfig
+
+from tests.helpers import build_kv_sdg
+
+
+def deploy_wordcount(trace=True):
+    runtime = Runtime(
+        build_wordcount_sdg(window_size=10),
+        RuntimeConfig(se_instances={"counts": 2}, trace=trace),
+    )
+    runtime.deploy()
+    return runtime
+
+
+class TestTracing:
+    def test_tracing_off_by_default(self):
+        runtime = Runtime(build_kv_sdg())
+        runtime.deploy()
+        runtime.inject("serve", ("put", 1, 1))
+        runtime.run_until_idle()
+        assert runtime.tracer is None
+        for node in runtime.nodes.values():
+            for instance in node.te_instances.values():
+                assert all(e.trace_id is None
+                           for b in instance.output_buffers.values()
+                           for e in b)
+
+    def test_one_trace_per_injection(self):
+        runtime = deploy_wordcount()
+        for i in range(5):
+            runtime.inject("split", (i, "a b"))
+        runtime.run_until_idle()
+        traces = runtime.tracer.traces()
+        assert len(traces) == 5
+        assert sorted(t.trace_id for t in traces) == [1, 2, 3, 4, 5]
+
+    def test_trace_id_rides_dispatch_fanout(self):
+        runtime = deploy_wordcount()
+        runtime.inject("split", (0, "x y z"))
+        runtime.run_until_idle()
+        (trace,) = runtime.tracer.traces()
+        # One split hop, then one count hop per emitted word.
+        assert [h.te for h in trace.hops] == ["split"] + ["count"] * 3
+        assert trace.replayed_hops == 0
+        assert trace.latency >= len(trace.hops)
+
+    def test_queue_wait_observed(self):
+        runtime = deploy_wordcount()
+        # Ten items are queued before the engine takes a single step,
+        # so later items demonstrably wait in the inbox.
+        for i in range(10):
+            runtime.inject("split", (i, "w"))
+        runtime.run_until_idle()
+        traces = runtime.tracer.traces()
+        first_hops = [t.hops[0] for t in traces]
+        assert all(h.enqueue_step <= h.entry_step for h in first_hops)
+        assert max(h.queue_wait for h in first_hops) > 0
+        assert all(h.service_steps >= 1 for h in first_hops)
+
+    def test_repartition_keeps_trace_ids(self):
+        runtime = Runtime(
+            build_kv_sdg(),
+            RuntimeConfig(se_instances={"table": 2}, trace=True),
+        )
+        runtime.deploy()
+        # Queue items, then repartition before any of them is served:
+        # the drained envelopes are re-routed under the new epoch but
+        # must keep their original trace ids (no fresh traces minted).
+        for i in range(8):
+            runtime.inject("serve", ("put", i, i))
+        runtime.scale_up("serve")
+        runtime.run_until_idle()
+        traces = runtime.tracer.traces()
+        assert len(traces) == 8
+        assert all(len(t.hops) == 1 for t in traces)
+        assert all(t.replayed_hops == 0 for t in traces)
+
+    def test_summary_renders(self):
+        runtime = deploy_wordcount()
+        for i in range(4):
+            runtime.inject("split", (i, "a b c"))
+        runtime.run_until_idle()
+        summary = runtime.tracer.summary(limit=2)
+        assert "traces: 4" in summary
+        assert "p50=" in summary and "queue wait" in summary
+        assert "split/0" in summary

@@ -19,10 +19,16 @@ class TestMonitor:
         for i in range(100):
             runtime.inject("serve", ("put", i, i))
         runtime.run_until_idle()
-        assert len(monitor.samples) == 10
+        # A baseline sample at install, then one every 10 steps.
+        assert len(monitor.samples) == 11
         assert [s.step for s in monitor.samples] == list(
-            range(10, 101, 10)
+            range(0, 101, 10)
         )
+
+    def test_baseline_sample_on_install(self):
+        runtime, monitor = deploy_with_monitor(sample_every=10)
+        assert [s.step for s in monitor.samples] == [0]
+        assert monitor.samples[0].instances["serve"] == 2
 
     def test_backlog_series_drains_to_zero(self):
         runtime, monitor = deploy_with_monitor(sample_every=5)
@@ -30,7 +36,10 @@ class TestMonitor:
             runtime.inject("serve", ("put", i, i))
         runtime.run_until_idle()
         series = monitor.backlog_series("serve")
-        assert series[0][1] > series[-1][1]
+        # The baseline point precedes the injections, so the series
+        # starts at zero, peaks, then drains back to zero.
+        assert series[0][1] == 0
+        assert max(depth for _step, depth in series) > 0
         assert series[-1][1] == 0
 
     def test_throughput_series_steady_state(self):
@@ -67,7 +76,8 @@ class TestMonitor:
         monitor.uninstall()
         runtime.inject("serve", ("put", 1, 1))
         runtime.run_until_idle()
-        assert monitor.samples == []
+        # Only the install-time baseline sample remains.
+        assert [s.step for s in monitor.samples] == [0]
 
     def test_manual_sample(self):
         runtime, monitor = deploy_with_monitor(sample_every=1_000_000)

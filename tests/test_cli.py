@@ -43,6 +43,43 @@ class TestTranslateCommand:
         assert "SDG" in out and "Piccolo" in out
 
 
+class TestObsCommand:
+    def test_obs_wordcount_report(self, capsys):
+        assert main(["obs", "--app", "wordcount", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        # >= 12 distinct metric series spanning every layer.
+        names = {line.split()[2] for line in out.splitlines()
+                 if line.startswith("# TYPE ")}
+        assert len(names) >= 12
+        for prefix in ("engine_", "transport_", "state_",
+                       "recovery_", "chaos_"):
+            assert any(n.startswith(prefix) for n in names), prefix
+        # The mid-run kill was detected, recovered and traced.
+        assert "fault-injected: 1" in out
+        assert "recovered at step" in out
+        assert "queue wait (logical steps):" in out
+        assert "wait=" in out  # per-hop queue-wait breakdowns
+
+    def test_obs_no_trace_no_chaos(self, capsys):
+        assert main(["obs", "--app", "kvstore", "--items", "20",
+                     "--no-trace", "--no-chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "tracing disabled" in out
+        assert "fault-injected" not in out
+
+    def test_obs_events_export(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["obs", "--app", "wordcount", "--items", "30",
+                     "--events", str(path)]) == 0
+        import json
+
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "checkpoint-commit" in kinds
+        assert "restore" in kinds
+
+
 class TestErrors:
     def test_bad_spec_format(self, capsys):
         assert main(["translate", "no-colon"]) == 1
