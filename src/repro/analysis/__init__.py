@@ -1,0 +1,59 @@
+"""``sdglint`` — the multi-pass static analyzer for SDG programs.
+
+The paper's ``java2sdg`` translator is itself a static-analysis
+pipeline (state-access classification, TE splitting, live-variable
+analysis, §4); this package turns that front-end into a diagnostics
+engine. :func:`run` executes every registered pass over an annotated
+program class (or a hand-built :class:`~repro.core.graph.SDG`) and
+returns a :class:`~repro.analysis.diagnostics.Report` of **all**
+findings — unlike ``translate()``/``validate()``, which stop at the
+first error.
+
+Passes (see ``docs/analysis.md`` for the full diagnostic catalogue):
+
+* restriction scan — §4.1 determinism / location independence
+  (``SDG101``/``SDG102``, import aliases resolved);
+* structural validation — the §3 invariants (``SDG2xx``);
+* partial-state race detection (``SDG301``);
+* merge order-sensitivity (``SDG302``);
+* checkpoint safety — journal-bypassing state writes (``SDG303``);
+* key-consistency dataflow (``SDG304``);
+* dead-payload detection (``SDG305``).
+
+This ``__init__`` deliberately imports only the dependency-free
+diagnostics module: ``translate`` and ``core.validation`` emit through
+it, so eagerly importing the engine here would be circular.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticSink,
+    Report,
+    Severity,
+    Span,
+)
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Report",
+    "Severity",
+    "Span",
+    "run",
+]
+
+
+def run(target, name: str | None = None) -> Report:
+    """Analyse ``target`` (program class, SDG, or SDG factory).
+
+    Library entry point of ``repro lint``. Imported lazily to keep the
+    diagnostics primitives importable from the translator without a
+    cycle.
+    """
+    from repro.analysis.engine import analyze
+
+    return analyze(target, name=name)

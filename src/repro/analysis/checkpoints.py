@@ -1,0 +1,112 @@
+"""Pass 3 — checkpoint safety (``SDG303``).
+
+Incremental (delta) checkpointing relies on the **mutation journal**:
+every write must flow through the journalled ``StateBackend`` API
+(``set``/``delete``/``clear``), which records the touched keys so a
+delta checkpoint ships exactly the changed entries. A raw write on the
+backend's internal containers — ``self.table._backend._data[k] = v``,
+``ctx.state._data.update(...)`` — mutates state *without* journalling
+it: the next delta checkpoint silently omits the entry, the
+base+delta restore chain folds to a state that never contained it, and
+recovery is wrong without any integrity check firing (the CRC covers
+what was serialised, not what was skipped).
+
+The pass scans program methods (and, for hand-built SDGs, the task
+functions' sources) for expressions rooted at a state field or
+``ctx.state`` that reach
+
+* any underscore-prefixed attribute (``_backend``, ``_data``,
+  ``_do_set``, ...), or
+* the ``backend`` accessor followed by a mutation (subscript store,
+  attribute store, or a non-journalled method call).
+
+Reads through public APIs never match; every bundled app is clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.model import ProgramModel
+
+#: Journalled mutators that are safe to call on a backend directly.
+_JOURNALLED = frozenset({"set", "delete", "clear", "get", "contains",
+                         "items", "journal", "mark_clean"})
+
+
+def run(model: ProgramModel, sink: DiagnosticSink) -> None:
+    fields = set(model.result.fields)
+    for name, fn_ast in model.result.method_asts.items():
+        _scan_function(fn_ast, name, sink,
+                       roots=_program_roots(fields))
+
+
+def run_graph(sdg, sink: DiagnosticSink) -> None:
+    """Scan the task functions of a hand-built SDG, where possible."""
+    for te in sdg.tasks.values():
+        try:
+            source = textwrap.dedent(inspect.getsource(te.fn))
+            fn_ast = ast.parse(source).body[0]
+        except (OSError, TypeError, SyntaxError, IndexError):
+            continue  # generated / built-in functions have no source
+        if not isinstance(fn_ast, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        _scan_function(fn_ast, te.name, sink, roots=_context_roots())
+
+
+def _program_roots(fields: set[str]):
+    def is_root(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in fields
+        )
+    return is_root
+
+
+def _context_roots():
+    def is_root(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "state"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "ctx"
+        )
+    return is_root
+
+
+def _scan_function(fn_ast, origin: str, sink: DiagnosticSink,
+                   roots) -> None:
+    for node in ast.walk(fn_ast):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if not roots(node.value):
+            continue
+        if node.attr.startswith("_"):
+            sink.emit(
+                "SDG303",
+                f"{origin!r} reaches into state internals via "
+                f"{ast.unparse(node)!r}; writes that bypass the "
+                f"journalled StateBackend API are invisible to the "
+                f"mutation journal, so delta checkpoints silently omit "
+                f"them and restores rebuild corrupt state",
+                lineno=node.lineno, col=node.col_offset, origin=origin,
+                hint="mutate state only through the element's public "
+                     "API (put/set_element/add/... ), which journals "
+                     "every key it touches",
+            )
+        elif node.attr == "backend":
+            sink.emit(
+                "SDG303",
+                f"{origin!r} addresses the physical backend via "
+                f"{ast.unparse(node)!r}; program code must stay on the "
+                f"logical state-element API so every mutation is "
+                f"journalled for incremental checkpointing",
+                lineno=node.lineno, col=node.col_offset, origin=origin,
+                hint="use the state element's public API instead of its "
+                     "backend",
+            )

@@ -1,0 +1,109 @@
+"""The ``sdglint`` driver: run every pass, produce a Report.
+
+:func:`analyze` accepts
+
+* an annotated :class:`~repro.program.SDGProgram` subclass — the full
+  pipeline runs: the translator front-end in collect-all mode
+  (restrictions §4.1, structural splitting, SDG validation), then the
+  five value-level passes over the captured method IR;
+* a hand-built :class:`~repro.core.graph.SDG` — the graph passes run:
+  structural validation plus the checkpoint-safety scan over the task
+  functions' sources;
+* a zero-argument callable returning an SDG (the low-level app
+  builders).
+
+:func:`bundled_targets` names the repository's evaluation applications
+so ``repro lint <app-name>`` and the CI gate can sweep all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis import checkpoints, keyflow, merges, payload, races
+from repro.analysis.diagnostics import DiagnosticSink, Report
+from repro.analysis.model import ProgramModel, source_location
+from repro.core.graph import SDG
+
+#: The program-level passes, in execution (and documentation) order.
+PROGRAM_PASSES: list[tuple[str, Callable]] = [
+    ("partial-state-race", races.run),
+    ("order-sensitive-merge", merges.run),
+    ("checkpoint-bypass", checkpoints.run),
+    ("key-consistency", keyflow.run),
+    ("dead-payload", payload.run),
+]
+
+
+def analyze(target, name: str | None = None) -> Report:
+    """Run the analyzer over ``target`` and return the full report."""
+    from repro.program import SDGProgram
+
+    if isinstance(target, SDG):
+        return _analyze_sdg(target, name or target.name)
+    if isinstance(target, type) and issubclass(target, SDGProgram):
+        return _analyze_program(target, name or target.__name__)
+    if callable(target):
+        sdg = target()
+        if isinstance(sdg, SDG):
+            label = name or getattr(target, "__name__", sdg.name)
+            return _analyze_sdg(sdg, label)
+    raise TypeError(
+        f"cannot lint {target!r}: expected an SDGProgram subclass, an "
+        f"SDG, or a zero-argument SDG factory"
+    )
+
+
+def _analyze_program(cls: type, name: str) -> Report:
+    from repro.translate.builder import translate
+
+    file, line_base = source_location(cls)
+    sink = DiagnosticSink(file=file, line_base=line_base)
+    result = translate(cls, sink=sink)
+    model = ProgramModel.build(cls, result)
+    for _pass_name, run in PROGRAM_PASSES:
+        run(model, sink)
+    return Report(target=name, diagnostics=sink.diagnostics)
+
+
+def _analyze_sdg(sdg: SDG, name: str) -> Report:
+    from repro.core.validation import collect
+
+    sink = DiagnosticSink()
+    sink.extend(collect(sdg))
+    checkpoints.run_graph(sdg, sink)
+    return Report(target=name, diagnostics=sink.diagnostics)
+
+
+def bundled_targets() -> dict[str, Callable[[], Report]]:
+    """Lintable bundled applications, by CLI name."""
+    def program(path: str, cls_name: str):
+        def load() -> Report:
+            import importlib
+
+            module = importlib.import_module(path)
+            return analyze(getattr(module, cls_name),
+                           name=f"{path}:{cls_name}")
+        return load
+
+    def graph(path: str, builder: str):
+        def load() -> Report:
+            import importlib
+
+            module = importlib.import_module(path)
+            return analyze(getattr(module, builder)(),
+                           name=f"{path}:{builder}")
+        return load
+
+    return {
+        "cf": program("repro.apps.collaborative_filtering",
+                      "CollaborativeFiltering"),
+        "kvstore": program("repro.apps.kvstore", "KeyValueStore"),
+        "lr": program("repro.apps.logistic_regression",
+                      "LogisticRegression"),
+        "kmeans": program("repro.apps.kmeans", "KMeans"),
+        "multiclass": program("repro.apps.multiclass",
+                              "MulticlassRegression"),
+        "wordcount": graph("repro.apps.wordcount", "build_wordcount_sdg"),
+        "pagerank": graph("repro.apps.pagerank", "build_pagerank_sdg"),
+    }

@@ -1,0 +1,90 @@
+"""Pass 4 — key-consistency dataflow (``SDG304``).
+
+The structural validator (``SDG213``) checks that every route into a
+partitioned SE agrees on the partition key *name*. This pass is the
+value-level extension: using the translator's live-variable results it
+tracks which variable actually **carries** the key along each dataflow
+edge into a partitioned-access TE, and whether that variable still
+holds the original partition key value.
+
+Two findings:
+
+* the key variable is not live on the edge at all — the routing
+  ``key_fn`` has nothing to extract (the translator refuses this in
+  strict mode; the pass reports it precisely in lint mode);
+* the key variable was **redefined** in an upstream block. Routing and
+  state access then use the recomputed value: the same logical SE is
+  addressed through key values of two different provenances (the entry
+  argument in earlier blocks, the recomputed value later), which
+  breaks the unique-partitioning discipline of §3.2 — two partitions
+  can end up holding entries for what the program thinks is one key.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.model import ProgramModel
+from repro.core.elements import AccessMode
+from repro.translate.liveness import block_uses_defs
+
+
+def run(model: ProgramModel, sink: DiagnosticSink) -> None:
+    for ir in model.entries.values():
+        block_defs = [block_uses_defs(b.statements)[1]
+                      for b in ir.blocks]
+        for index, block in enumerate(ir.blocks):
+            if block.access is None or block.is_merge:
+                continue
+            if block.access.mode is not AccessMode.PARTITIONED:
+                continue
+            key = block.access.key
+            if key is None:
+                continue
+            se = block.access.field
+            stmt = block.statements[0]
+            if index == 0:
+                if key not in ir.params:
+                    sink.emit(
+                        "SDG304",
+                        f"method {ir.method!r}: entry block accesses "
+                        f"partitioned SE {se!r} by key {key!r}, but "
+                        f"{key!r} is not an entry parameter — external "
+                        f"input cannot be dispatched by it",
+                        lineno=stmt.lineno, origin=ir.method,
+                        hint=f"add {key!r} to the entry signature or "
+                             f"re-key the state field",
+                    )
+                continue
+            if key not in ir.lives[index]:
+                sink.emit(
+                    "SDG304",
+                    f"method {ir.method!r}: the dataflow edge into "
+                    f"{ir.te_names[index]!r} (partitioned SE {se!r}) "
+                    f"does not carry the key variable {key!r} — live "
+                    f"variables on the edge: {ir.lives[index]}",
+                    lineno=stmt.lineno, origin=ir.method,
+                    hint=f"make {key!r} reach this statement (define or "
+                         f"thread it through the preceding blocks)",
+                )
+                continue
+            redefining = [
+                upstream for upstream in range(index)
+                if key in block_defs[upstream]
+            ]
+            if redefining and key in ir.params:
+                first = redefining[0]
+                sink.emit(
+                    "SDG304",
+                    f"method {ir.method!r}: key variable {key!r} is "
+                    f"redefined in task element "
+                    f"{ir.te_names[first]!r} before reaching the "
+                    f"partitioned access on {se!r} in "
+                    f"{ir.te_names[index]!r}; the edge now routes by "
+                    f"the recomputed value, so one logical key can be "
+                    f"spread across partitions addressed by different "
+                    f"provenances (§3.2 unique partitioning)",
+                    lineno=stmt.lineno, origin=ir.method,
+                    hint=f"assign the recomputed value to a fresh "
+                         f"variable and keep {key!r} bound to the "
+                         f"original partition key",
+                )

@@ -1,0 +1,121 @@
+"""Pass 2 — merge order-sensitivity check (``SDG302``).
+
+A merge TE reconciles the gathered partial values of a ``global_``
+access (§4.2 rule 5). The gather barrier delivers one value per
+replica, but their **order is not defined** — it depends on scheduling,
+instance count and recovery replay. A merge function must therefore be
+insensitive to the order of its collection argument (the same
+discipline Naiad demands of its vertices and SEEP of its upstream
+backups: deterministic results regardless of delivery interleaving).
+
+This is a conservative AST scan of every merge method reachable from
+an entry. Inside loops that iterate the gathered collection it flags
+accumulation through non-commutative/non-associative operators
+(``-``, ``/``, ``//``, ``%``, ``**``, ``<<``, ``>>``, ``@``) — both
+``acc -= cur`` and ``acc = acc - cur`` shapes — and, anywhere in the
+method, positional indexing of the collection parameter itself
+(``gathered[0]`` picks an arbitrary replica). Order-insensitive
+reductions (sums, maxes, elementwise means divided *after* the loop)
+pass untouched, as every bundled application's merge does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.model import ProgramModel
+
+#: BinOp / AugAssign operators whose accumulation is order-sensitive.
+_ORDER_SENSITIVE_OPS = (
+    ast.Sub, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.MatMult,
+)
+
+
+def run(model: ProgramModel, sink: DiagnosticSink) -> None:
+    for name, (fn_ast, collection_param) in model.merge_methods().items():
+        _check_merge(fn_ast, name, collection_param, sink)
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(node)
+    )
+
+
+def _op_name(op: ast.operator) -> str:
+    return {
+        ast.Sub: "-", ast.Div: "/", ast.FloorDiv: "//", ast.Mod: "%",
+        ast.Pow: "**", ast.LShift: "<<", ast.RShift: ">>",
+        ast.MatMult: "@",
+    }.get(type(op), type(op).__name__)
+
+
+def _same_target(target: ast.expr, operand: ast.expr) -> bool:
+    """``acc = acc - x`` / ``m[i] = m[i] - x``: operand is the target."""
+    return ast.unparse(target) == ast.unparse(operand)
+
+
+def _check_merge(fn_ast: ast.FunctionDef, method: str,
+                 collection_param: str, sink: DiagnosticSink) -> None:
+    # Positional indexing of the gathered collection anywhere.
+    for node in ast.walk(fn_ast):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == collection_param
+        ):
+            sink.emit(
+                "SDG302",
+                f"merge method {method!r} indexes the gathered "
+                f"collection {collection_param!r} by position; the "
+                f"gather order of partial values is not deterministic, "
+                f"so position selects an arbitrary replica",
+                lineno=node.lineno, col=node.col_offset, origin=method,
+                hint="iterate the collection and combine values with an "
+                     "order-insensitive reduction instead of indexing",
+            )
+
+    # Order-sensitive accumulation inside loops over the collection.
+    for loop in ast.walk(fn_ast):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        if isinstance(loop, ast.For):
+            if not _mentions(loop.iter, collection_param):
+                continue
+        elif not _mentions(loop.test, collection_param):
+            continue
+        for node in ast.walk(loop):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _ORDER_SENSITIVE_OPS
+            ):
+                _flag_accumulation(sink, method, collection_param,
+                                   node, node.op)
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.value, ast.BinOp)
+                and isinstance(node.value.op, _ORDER_SENSITIVE_OPS)
+                and _same_target(node.targets[0], node.value.left)
+            ):
+                _flag_accumulation(sink, method, collection_param,
+                                   node, node.value.op)
+
+
+def _flag_accumulation(sink: DiagnosticSink, method: str,
+                       collection_param: str, node: ast.stmt,
+                       op: ast.operator) -> None:
+    sink.emit(
+        "SDG302",
+        f"merge method {method!r} accumulates with {_op_name(op)!r} "
+        f"while iterating the gathered collection "
+        f"{collection_param!r}; the result depends on the replica "
+        f"delivery order, which is not deterministic across runs or "
+        f"recovery replays",
+        lineno=node.lineno, col=node.col_offset, origin=method,
+        hint="restructure the reduction to be commutative (sum the "
+             "terms, then apply the non-commutative step once after "
+             "the loop)",
+    )

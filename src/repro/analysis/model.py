@@ -1,0 +1,146 @@
+"""The analyzer's view of one annotated program.
+
+:class:`ProgramModel` bundles what the lint passes need: the class,
+its annotated fields, the per-entry front-end IR captured by the
+translator (TE blocks + live-variable results), the merge methods
+reachable from entries, and the constructed SDG. It also provides the
+small AST utilities shared across passes (state-field roots, reads vs
+writes classification).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+
+from repro.core.elements import StateKind
+from repro.translate.builder import MethodIR, TranslationResult
+
+#: SE methods that only observe state (the public read surface of
+#: KeyValueMap / Vector / Matrix / DenseMatrix and friends).
+READ_METHODS = frozenset({
+    "get", "get_element", "get_row", "get_col", "to_list", "to_rows",
+    "to_dict", "contains", "num_rows", "num_cols", "items", "keys",
+    "values", "multiply", "dot", "snapshot", "size",
+})
+
+#: SE methods that mutate state through the journalled API. Anything
+#: not recognised as a read is conservatively treated as a write.
+WRITE_METHODS = frozenset({
+    "put", "set", "set_element", "add", "add_element", "add_vector",
+    "increment", "delete", "remove", "clear", "append", "extend",
+    "update",
+})
+
+
+def source_location(obj) -> tuple[str | None, int]:
+    """(file, first line) of ``obj``'s source, tolerant of failures."""
+    try:
+        file = inspect.getsourcefile(obj)
+        _, line_base = inspect.getsourcelines(obj)
+        return file, line_base
+    except (OSError, TypeError):
+        return None, 1
+
+
+@dataclass
+class ProgramModel:
+    """Everything the program-level passes read."""
+
+    program: type
+    result: TranslationResult
+    partial_fields: set[str] = field(default_factory=set)
+    partitioned_fields: set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, program_class: type,
+              result: TranslationResult) -> "ProgramModel":
+        partial = {
+            name for name, descriptor in result.fields.items()
+            if descriptor.kind is StateKind.PARTIAL
+        }
+        partitioned = {
+            name for name, descriptor in result.fields.items()
+            if descriptor.kind is StateKind.PARTITIONED
+        }
+        return cls(program=program_class, result=result,
+                   partial_fields=partial,
+                   partitioned_fields=partitioned)
+
+    @property
+    def entries(self) -> dict[str, MethodIR]:
+        return self.result.method_ir
+
+    def merge_methods(self) -> dict[str, tuple[ast.FunctionDef, str]]:
+        """Merge methods reachable from entries.
+
+        Maps method name → (its AST, the name of the parameter that
+        receives the gathered collection — the first one after self).
+        """
+        merges: dict[str, tuple[ast.FunctionDef, str]] = {}
+        for ir in self.entries.values():
+            for block in ir.blocks:
+                if not block.is_merge:
+                    continue
+                name = block.merge.method
+                fn_ast = self.result.method_asts.get(name)
+                if fn_ast is None or len(fn_ast.args.args) < 2:
+                    continue
+                merges[name] = (fn_ast, fn_ast.args.args[1].arg)
+        return merges
+
+
+def state_field_of(node: ast.expr, fields: set[str]) -> str | None:
+    """``self.<field>`` → field name when it is an annotated SE field."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in fields
+    ):
+        return node.attr
+    return None
+
+
+def field_method_calls(stmt: ast.stmt,
+                       fields: set[str]) -> list[tuple[str, str, ast.Call]]:
+    """All ``self.<field>.<method>(...)`` calls in one statement."""
+    calls = []
+    for node in ast.walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        field_name = state_field_of(func.value, fields)
+        if field_name is not None:
+            calls.append((field_name, func.attr, node))
+    return calls
+
+
+def stmt_reads_field(stmt: ast.stmt, field_name: str,
+                     fields: set[str]) -> bool:
+    """True when the statement consumes a value derived from the field.
+
+    A bare mutator call (``self.f.put(...)`` as a whole statement) is a
+    write, not a read; any other appearance of the field inside an
+    expression — including value-returning mutators like
+    ``increment`` — observes the current replica's contents.
+    """
+    for node in ast.walk(stmt):
+        field = state_field_of(node, fields)
+        if field != field_name:
+            continue
+        # A pure write: Expr statement whose whole value is a known
+        # write-method call on the field.
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.value is node
+            and stmt.value.func.attr in WRITE_METHODS
+        ):
+            continue
+        return True
+    return False

@@ -1,0 +1,80 @@
+"""Pass 5 — dead-payload detection (``SDG305``).
+
+Every dataflow edge ships the variables that are live into its
+destination TE (Fig. 3 step 5); every extra variable inflates the
+envelope on the hottest path of the system — per-item serialisation
+and queueing — for nothing.
+
+Two sources of dead payload:
+
+* **entry arguments**: the entry TE always receives the caller's full
+  argument tuple. A parameter that no task element ever reads (and
+  that is not the declared entry partition key, which the dispatcher
+  extracts for routing) rides every injected envelope and is dropped
+  unopened;
+* **inter-TE edges**: a variable live into block *i* must be read by
+  block *i* or a later one before redefinition. The liveness analysis
+  makes these edges minimal by construction, so a finding here means
+  the analysis and the code generator disagree — the pass double-checks
+  the invariant and would catch a liveness regression.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.model import ProgramModel
+from repro.core.elements import AccessMode
+from repro.translate.liveness import block_uses_defs
+
+
+def run(model: ProgramModel, sink: DiagnosticSink) -> None:
+    for ir in model.entries.values():
+        per_block = [block_uses_defs(b.statements) for b in ir.blocks]
+        all_uses = set()
+        for uses, _defs in per_block:
+            all_uses |= uses
+        entry_keys = set()
+        head = ir.blocks[0]
+        if (
+            head.access is not None
+            and head.access.mode is AccessMode.PARTITIONED
+            and head.access.key
+        ):
+            entry_keys.add(head.access.key)
+
+        for param in ir.params:
+            if param in all_uses or param in entry_keys:
+                continue
+            sink.emit(
+                "SDG305",
+                f"method {ir.method!r}: parameter {param!r} is shipped "
+                f"on every injected envelope but never read by any "
+                f"task element",
+                lineno=ir.fn_ast.lineno, origin=ir.method,
+                hint=f"drop {param!r} from the entry signature (or use "
+                     f"it); smaller envelopes mean less serialisation "
+                     f"and queueing on the hot path",
+            )
+
+        # Inter-TE edges: anything shipped must be read downstream.
+        for index in range(1, len(ir.blocks)):
+            downstream_uses = set()
+            redefined = set()
+            for later in range(index, len(ir.blocks)):
+                uses, defs = per_block[later]
+                downstream_uses |= uses - redefined
+                redefined |= defs
+            for name in ir.lives[index]:
+                if name in downstream_uses:
+                    continue
+                stmt = ir.blocks[index].statements[0]
+                sink.emit(
+                    "SDG305",
+                    f"method {ir.method!r}: variable {name!r} travels "
+                    f"on the edge into {ir.te_names[index]!r} but no "
+                    f"downstream task element reads it",
+                    lineno=stmt.lineno, origin=ir.method,
+                    hint="this indicates a live-variable analysis "
+                         "regression — the edge payload should be "
+                         "minimal by construction",
+                )

@@ -9,6 +9,13 @@ its Python counterpart, invoked as ``python -m repro``:
   semantics). ``--dot`` emits Graphviz instead.
 * ``allocate <module>:<Class>`` — additionally run the four-step
   allocation algorithm (§3.3) and print the node placement.
+* ``lint <module>:<Class> | <app-name> | --all`` — run the ``sdglint``
+  multi-pass static analyzer and report every finding (state races,
+  checkpoint safety, key consistency, dead payloads, plus all the
+  restriction/validation invariants) as structured diagnostics;
+  ``--format json`` for machine-readable reports, ``--output`` to
+  write a JSON report file. Exit status 1 when any error-severity
+  diagnostic is found.
 * ``table1`` — render the design-space classification of Table 1.
 * ``obs`` — run an instrumented benchmark workload (checkpoints,
   failure detection, supervised recovery, optional fault injection)
@@ -19,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 
 from repro.core.allocation import allocate
@@ -44,6 +52,59 @@ def _load_class(spec: str) -> type:
         raise SDGError(
             f"module {module_name!r} has no class {class_name!r}"
         )
+
+
+def _lint_reports(args) -> list:
+    """Resolve the lint targets and run the analyzer over each."""
+    from repro.analysis import run
+    from repro.analysis.engine import bundled_targets
+
+    bundled = bundled_targets()
+    if args.all:
+        return [load() for load in bundled.values()]
+    reports = []
+    for spec in args.targets:
+        if spec in bundled:
+            reports.append(bundled[spec]())
+        else:
+            try:
+                reports.append(run(_load_class(spec), name=spec))
+            except TypeError as exc:
+                raise SDGError(str(exc))
+    return reports
+
+
+def _run_lint(args) -> int:
+    reports = _lint_reports(args)
+    if not reports:
+        raise SDGError(
+            "nothing to lint: pass <module>:<Class>, a bundled app "
+            "name, or --all"
+        )
+    payload = {
+        "reports": [r.to_dict() for r in reports],
+        "summary": {
+            "targets": len(reports),
+            "errors": sum(len(r.errors) for r in reports),
+            "warnings": sum(len(r.warnings) for r in reports),
+        },
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render_text())
+        total_errors = payload["summary"]["errors"]
+        total_warnings = payload["summary"]["warnings"]
+        print(f"sdglint: {len(reports)} target(s), "
+              f"{total_errors} error(s), {total_warnings} warning(s)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        if args.format != "json":
+            print(f"report written to {args.output}")
+    return 1 if payload["summary"]["errors"] else 0
 
 
 def _describe(result) -> str:
@@ -114,6 +175,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_allocate.add_argument("spec", help="<module>:<Class>")
 
+    p_lint = sub.add_parser(
+        "lint", help="run the sdglint static analyzer and report all "
+                     "diagnostics"
+    )
+    p_lint.add_argument(
+        "targets", nargs="*",
+        help="<module>:<Class> specs or bundled app names "
+             "(cf, kvstore, lr, kmeans, multiclass, wordcount, "
+             "pagerank)",
+    )
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every bundled application")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text", help="report format on stdout")
+    p_lint.add_argument("--output", metavar="PATH",
+                        help="also write the JSON report to PATH")
+
     sub.add_parser("table1", help="print the Table 1 design space")
 
     p_obs = sub.add_parser(
@@ -145,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
             result = translate(_load_class(args.spec))
             print(_describe(result))
             print(_describe_allocation(result))
+        elif args.command == "lint":
+            return _run_lint(args)
         elif args.command == "obs":
             from repro.obs.runner import render_report, run_workload
 

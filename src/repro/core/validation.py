@@ -13,10 +13,18 @@ Enforces the invariants stated in the paper:
   TEs must be fed by gather edges (§4.2 rule 5);
 * every TE should be reachable from an entry TE, otherwise it would never
   receive data.
+
+Each check reports through the ``sdglint`` diagnostics engine:
+:func:`collect` returns **every** violated invariant as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic`, while :func:`validate`
+keeps the historical contract of raising
+:class:`~repro.errors.ValidationError` on the first violation (with the
+same messages, in the same order).
 """
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink
 from repro.core.dispatch import Dispatch
 from repro.core.elements import AccessMode, StateKind
 from repro.errors import ValidationError
@@ -24,38 +32,59 @@ from repro.errors import ValidationError
 
 def validate(sdg) -> None:
     """Raise :class:`ValidationError` on the first violated invariant."""
-    _check_access_modes(sdg)
-    _check_partitioned_access(sdg)
-    _check_gather_edges(sdg)
-    _check_reachability(sdg)
+    diagnostics = collect(sdg)
+    if diagnostics:
+        raise ValidationError(diagnostics[0].message)
 
 
-def _check_access_modes(sdg) -> None:
+def collect(sdg) -> list[Diagnostic]:
+    """Run every structural check; return all findings, raise nothing."""
+    sink = DiagnosticSink()
+    _check_access_modes(sdg, sink)
+    _check_partitioned_access(sdg, sink)
+    _check_gather_edges(sdg, sink)
+    _check_reachability(sdg, sink)
+    return sink.diagnostics
+
+
+def _check_access_modes(sdg, sink: DiagnosticSink) -> None:
     for te in sdg.tasks.values():
         if te.state is None:
             continue
         se = sdg.state(te.state)
         if te.access is AccessMode.GLOBAL and se.kind is not StateKind.PARTIAL:
-            raise ValidationError(
+            sink.emit(
+                "SDG201",
                 f"TE {te.name!r} uses global access on SE {se.name!r}, "
-                f"but global access requires partial state"
+                f"but global access requires partial state",
+                origin=te.name,
+                hint=f"declare {se.name!r} as Partial, or drop the "
+                     f"global_ marker",
             )
         if (
             te.access is AccessMode.PARTITIONED
             and se.kind is not StateKind.PARTITIONED
         ):
-            raise ValidationError(
+            sink.emit(
+                "SDG202",
                 f"TE {te.name!r} uses partitioned access on SE "
-                f"{se.name!r}, which is {se.kind.value}"
+                f"{se.name!r}, which is {se.kind.value}",
+                origin=te.name,
+                hint=f"declare {se.name!r} as Partitioned with a key, "
+                     f"or access it locally",
             )
         if te.access is AccessMode.LOCAL and se.kind is StateKind.PARTITIONED:
-            raise ValidationError(
+            sink.emit(
+                "SDG203",
                 f"TE {te.name!r} uses local access on partitioned SE "
-                f"{se.name!r}; partitioned SEs require keyed access"
+                f"{se.name!r}; partitioned SEs require keyed access",
+                origin=te.name,
+                hint="route items to this TE through a key-partitioned "
+                     "dataflow",
             )
 
 
-def _check_partitioned_access(sdg) -> None:
+def _check_partitioned_access(sdg, sink: DiagnosticSink) -> None:
     """All routes into one partitioned SE must agree on the key (§3.2)."""
     for se in sdg.states.values():
         if se.kind is not StateKind.PARTITIONED:
@@ -64,39 +93,55 @@ def _check_partitioned_access(sdg) -> None:
         for te in sdg.tasks_accessing(se.name):
             if te.is_entry:
                 if te.entry_key_fn is None:
-                    raise ValidationError(
+                    sink.emit(
+                        "SDG211",
                         f"entry TE {te.name!r} accesses partitioned SE "
                         f"{se.name!r} but declares no entry_key_fn; "
-                        f"external input must be dispatched by key"
+                        f"external input must be dispatched by key",
+                        origin=te.name,
+                        hint="pass entry_key_fn= (and entry_key_name=) "
+                             "when declaring the entry TE",
                     )
                 key_names.add(te.entry_key_name or "<anonymous>")
             for edge in sdg.predecessors(te.name):
                 if edge.dispatch is Dispatch.KEY_PARTITIONED:
                     key_names.add(edge.key_name or "<anonymous>")
                 elif edge.dispatch is not Dispatch.ALL_TO_ONE:
-                    raise ValidationError(
+                    sink.emit(
+                        "SDG212",
                         f"dataflow {edge.src}->{edge.dst} reaches TE "
                         f"{te.name!r} accessing partitioned SE "
                         f"{se.name!r} but is dispatched "
                         f"{edge.dispatch.value!r}; keyed dispatch is "
-                        f"required for local partition access"
+                        f"required for local partition access",
+                        origin=te.name,
+                        hint="connect the edge with "
+                             "Dispatch.KEY_PARTITIONED and a key_fn",
                     )
         named = {k for k in key_names if k != "<anonymous>"}
         if len(named) > 1:
-            raise ValidationError(
+            sink.emit(
+                "SDG213",
                 f"partitioned SE {se.name!r} is accessed with conflicting "
                 f"partitioning keys {sorted(named)}; a unique partitioning "
-                f"is required"
+                f"is required",
+                origin=se.name,
+                hint="re-key every route into the SE to one partition "
+                     "key, or split the SE",
             )
 
 
-def _check_gather_edges(sdg) -> None:
+def _check_gather_edges(sdg, sink: DiagnosticSink) -> None:
     for edge in sdg.dataflows:
         dst = sdg.task(edge.dst)
         if edge.dispatch is Dispatch.ALL_TO_ONE and not dst.is_merge:
-            raise ValidationError(
+            sink.emit(
+                "SDG221",
                 f"gather dataflow {edge.src}->{edge.dst} must end at a "
-                f"merge TE (a synchronisation barrier)"
+                f"merge TE (a synchronisation barrier)",
+                origin=edge.dst,
+                hint="mark the destination TE is_merge=True and give it "
+                     "merge semantics",
             )
     for te in sdg.tasks.values():
         if not te.is_merge:
@@ -105,19 +150,30 @@ def _check_gather_edges(sdg) -> None:
         if incoming and not any(
             e.dispatch is Dispatch.ALL_TO_ONE for e in incoming
         ):
-            raise ValidationError(
+            sink.emit(
+                "SDG222",
                 f"merge TE {te.name!r} has no all-to-one input; a merge "
-                f"reconciles gathered partial values"
+                f"reconciles gathered partial values",
+                origin=te.name,
+                hint="feed the merge through Dispatch.ALL_TO_ONE",
             )
 
 
-def _check_reachability(sdg) -> None:
+def _check_reachability(sdg, sink: DiagnosticSink) -> None:
     if not sdg.entries():
-        raise ValidationError("SDG has no entry task element")
+        sink.emit(
+            "SDG231", "SDG has no entry task element",
+            hint="mark at least one TE is_entry=True so external input "
+                 "can enter the graph",
+        )
+        return
     reachable = sdg.reachable_from_entries()
     unreachable = set(sdg.tasks) - reachable
     if unreachable:
-        raise ValidationError(
+        sink.emit(
+            "SDG232",
             f"task elements unreachable from any entry: "
-            f"{sorted(unreachable)}"
+            f"{sorted(unreachable)}",
+            hint="connect the orphaned TEs to the dataflow or remove "
+                 "them",
         )

@@ -20,6 +20,7 @@ runtime's calling convention ``fn(ctx, item)``:
 from __future__ import annotations
 
 import ast
+import copy
 from typing import Any, Callable
 
 from repro.errors import TranslationError
@@ -232,8 +233,11 @@ def compile_block(
                 attr="state", ctx=ast.Load(),
             ),
         ))
+    # Rewrite deep copies: NodeTransformer mutates in place, and the
+    # original statements stay live in the front-end IR (MethodIR /
+    # method_asts) that the sdglint passes analyse after codegen.
     for stmt in block.statements:
-        body.append(rewriter.visit(stmt))
+        body.append(rewriter.visit(copy.deepcopy(stmt)))
     if live_out is not None:
         body.extend(_epilogue(live_out))
     if not body:
@@ -276,7 +280,7 @@ def compile_helper(fn_ast: ast.FunctionDef, helper_names: set[str],
         kwarg=args.kwarg,
         defaults=list(args.defaults),
     )
-    body = [rewriter.visit(stmt) for stmt in fn_ast.body]
+    body = [rewriter.visit(copy.deepcopy(stmt)) for stmt in fn_ast.body]
     fn_def = ast.FunctionDef(
         name=_HELPER_PREFIX + fn_ast.name,
         args=new_args, body=body, decorator_list=[],

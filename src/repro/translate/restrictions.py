@@ -11,15 +11,24 @@ translated programs must be:
   files, sockets or environment variables.
 
 The checks are a conservative static scan over the method ASTs for
-calls into the offending modules/builtins. They are heuristic (Python
-cannot be fully sandboxed statically) but catch the realistic mistakes
-with actionable errors.
+calls into the offending modules/builtins. Import aliases are resolved
+first (``from time import time as now`` and ``import random as r`` do
+not evade the scan), both for aliases introduced inside the scanned
+method and for aliases passed in from the surrounding module/class
+scope. The checks are heuristic (Python cannot be fully sandboxed
+statically) but catch the realistic mistakes with actionable errors.
+
+With a :class:`~repro.analysis.diagnostics.DiagnosticSink` the scan
+reports **every** violation as a structured diagnostic; without one it
+raises :class:`~repro.errors.TranslationError` on the first, which is
+the historical ``translate()`` behaviour.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.analysis.diagnostics import DiagnosticSink
 from repro.errors import TranslationError
 
 #: Module roots whose use breaks determinism (§4.1).
@@ -46,28 +55,85 @@ def _call_root(node: ast.Call) -> str | None:
     return None
 
 
-def check_restrictions(fn: ast.FunctionDef, method: str) -> None:
-    """Scan one method for §4.1 violations; raise on the first."""
+def collect_import_aliases(nodes: list[ast.stmt]) -> dict[str, str]:
+    """Map every name an import binds to the *root* module it came from.
+
+    ``import random as r`` → ``{"r": "random"}``; ``from time import
+    time as now`` → ``{"now": "time"}``; ``from os.path import join``
+    → ``{"join": "os"}``. Plain ``import random`` maps the root to
+    itself, so resolution is a no-op for the unaliased case.
+    """
+    aliases: dict[str, str] = {}
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    bound = alias.asname or root
+                    aliases[bound] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports cannot name stdlib roots
+                root = node.module.split(".")[0]
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    aliases[bound] = root
+    return aliases
+
+
+def check_restrictions(
+    fn: ast.FunctionDef,
+    method: str,
+    module_aliases: dict[str, str] | None = None,
+    sink: DiagnosticSink | None = None,
+) -> None:
+    """Scan one method for §4.1 violations.
+
+    Raises on the first violation, or — when ``sink`` is given —
+    records every violation as a diagnostic and returns.
+    """
+    aliases = dict(module_aliases or {})
+    aliases.update(collect_import_aliases(fn.body))
     for node in ast.walk(fn):
         if not isinstance(node, ast.Call):
             continue
         root = _call_root(node)
         if root is None:
             continue
-        if root in _NONDETERMINISTIC_MODULES:
-            raise TranslationError(
-                f"method {method!r} calls into {root!r}: translated "
-                f"programs must be deterministic — recovery re-executes "
-                f"computation and filters duplicates by identity (§4.1); "
-                f"pass randomness/timestamps in as entry arguments "
-                f"instead",
-                lineno=node.lineno,
+        resolved = aliases.get(root, root)
+        alias_note = (f" (via the import alias {root!r})"
+                      if resolved != root else "")
+        if resolved in _NONDETERMINISTIC_MODULES:
+            message = (
+                f"method {method!r} calls into {resolved!r}{alias_note}: "
+                f"translated programs must be deterministic — recovery "
+                f"re-executes computation and filters duplicates by "
+                f"identity (§4.1); pass randomness/timestamps in as "
+                f"entry arguments instead"
             )
-        if root in _ENVIRONMENT_MODULES or root in _FORBIDDEN_BUILTINS:
-            raise TranslationError(
-                f"method {method!r} calls into {root!r}: translated "
-                f"programs must be location independent — TEs run on "
-                f"(and migrate between) arbitrary nodes and cannot rely "
-                f"on local files, sockets or the OS environment (§4.1)",
-                lineno=node.lineno,
+            if sink is None:
+                raise TranslationError(message, lineno=node.lineno)
+            sink.emit(
+                "SDG101", message, lineno=node.lineno,
+                col=node.col_offset, origin=method,
+                hint="pass the nondeterministic value in as an entry "
+                     "argument computed by the caller",
+            )
+        elif resolved in _ENVIRONMENT_MODULES or (
+            resolved in _FORBIDDEN_BUILTINS and root == resolved
+        ):
+            message = (
+                f"method {method!r} calls into {resolved!r}{alias_note}: "
+                f"translated programs must be location independent — TEs "
+                f"run on (and migrate between) arbitrary nodes and cannot "
+                f"rely on local files, sockets or the OS environment "
+                f"(§4.1)"
+            )
+            if sink is None:
+                raise TranslationError(message, lineno=node.lineno)
+            sink.emit(
+                "SDG102", message, lineno=node.lineno,
+                col=node.col_offset, origin=method,
+                hint="move environment interaction outside the program; "
+                     "feed external data in through entry methods",
             )

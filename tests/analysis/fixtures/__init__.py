@@ -1,0 +1,8 @@
+"""Intentionally-broken programs, one per ``sdglint`` diagnostic code.
+
+Each module holds a minimal annotated program (or SDG builder) that
+triggers exactly the diagnostic named by the module, and nothing else.
+``clean`` is the negative control: a program every pass must accept.
+The corpus doubles as executable documentation of the diagnostics —
+``docs/analysis.md`` reproduces these examples.
+"""

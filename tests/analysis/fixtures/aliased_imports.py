@@ -1,0 +1,22 @@
+"""SDG101 via an import alias: ``from time import time as now``.
+
+The §4.1 determinism scan must resolve module-level import aliases —
+the call site never mentions ``time``, but recovery replay would still
+observe a different clock value than the original execution.
+"""
+
+from time import time as now
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class AliasedClock(SDGProgram):
+    """Stamps every write with the wall clock, behind an alias."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def stamp(self, key):
+        self.table.put(key, now())

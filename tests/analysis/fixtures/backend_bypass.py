@@ -1,0 +1,20 @@
+"""SDG303: a write that bypasses the journalled state API.
+
+Poking ``_backend._data`` mutates state without recording the key in
+the mutation journal — the next delta checkpoint omits the entry and
+recovery restores a state that never contained it.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class BackendBypass(SDGProgram):
+    """Writes through the backend internals instead of ``put``."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def poke(self, key, value):
+        self.table._backend._data[key] = value

@@ -1,0 +1,37 @@
+"""Negative control: a program every ``sdglint`` pass must accept.
+
+Exercises the surface the passes inspect — partitioned and partial
+state, a local RMW that stays inside its block, a global_ read
+reconciled by an order-insensitive merge, keyed accesses whose key is
+never rebound, and entry parameters that are all consumed.
+"""
+
+from repro.annotations import Partial, Partitioned, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class CleanCounters(SDGProgram):
+    """A KV store with a replicated store-counter sidecar."""
+
+    table = Partitioned(KeyValueMap, key="key")
+    tally = Partial(KeyValueMap)
+
+    @entry
+    def store(self, key, value):
+        self.table.put(key, value)
+        self.tally.increment("stores", 1)
+
+    @entry
+    def stored_total(self, key):
+        current = self.table.get(key)
+        count = global_(self.tally).get("stores")
+        total = self.merge(collection(count))
+        return (key, current, total)
+
+    def merge(self, counts):
+        total = 0
+        for cur in counts:
+            if cur is not None:
+                total = total + cur
+        return total

@@ -1,0 +1,19 @@
+"""SDG305: an entry parameter no task element ever reads.
+
+``tag`` rides every injected envelope through serialisation and
+queueing — the hot path of the system — and is dropped unopened.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class DeadPayload(SDGProgram):
+    """Ships an unused ``tag`` argument on every write."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def store(self, key, value, tag):
+        self.table.put(key, value)

@@ -1,0 +1,22 @@
+"""SDG102 via an import alias: ``import socket as sck``.
+
+Location independence (§4.1): TEs migrate between nodes, so the
+hostname observed here differs run to run and node to node.
+"""
+
+import socket as sck
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class HostnameTagger(SDGProgram):
+    """Records which node served each write."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def tag(self, key):
+        host = sck.gethostname()
+        self.table.put(key, host)

@@ -1,0 +1,134 @@
+"""Hand-built SDGs violating the structural invariants (SDG2xx).
+
+One zero-argument builder per diagnostic code, mirroring the shapes of
+``tests/core/test_validation.py`` — the analyzer must report the same
+violations as structured diagnostics instead of a raise.
+"""
+
+from repro.core import SDG, AccessMode, Dispatch, StateKind
+from repro.state import KeyValueMap, Matrix
+
+
+def noop(item, ctx=None):
+    return item
+
+
+def build_global_on_partitioned():
+    """SDG201: global access requires partial state."""
+    sdg = SDG("g201")
+    sdg.add_state("s", KeyValueMap, kind=StateKind.PARTITIONED)
+    sdg.add_task("t", noop, state="s", access=AccessMode.GLOBAL,
+                 is_entry=True)
+    return sdg
+
+
+def build_partitioned_on_partial():
+    """SDG202: partitioned access requires partitioned state."""
+    sdg = SDG("g202")
+    sdg.add_state("s", KeyValueMap, kind=StateKind.PARTIAL)
+    sdg.add_task("t", noop, state="s", access=AccessMode.PARTITIONED,
+                 is_entry=True)
+    return sdg
+
+
+def build_local_on_partitioned():
+    """SDG203: local access on partitioned state (also SDG211)."""
+    sdg = SDG("g203")
+    sdg.add_state("s", KeyValueMap, kind=StateKind.PARTITIONED)
+    sdg.add_task("t", noop, state="s", access=AccessMode.LOCAL,
+                 is_entry=True)
+    return sdg
+
+
+def build_entry_without_key_fn():
+    """SDG211: keyed entry access without an entry_key_fn."""
+    sdg = SDG("g211")
+    sdg.add_state("m", KeyValueMap, kind=StateKind.PARTITIONED)
+    sdg.add_task("serve", noop, state="m",
+                 access=AccessMode.PARTITIONED, is_entry=True)
+    return sdg
+
+
+def build_unkeyed_route():
+    """SDG212: an unkeyed dataflow into a partitioned-access TE."""
+    sdg = SDG("g212")
+    sdg.add_state("m", KeyValueMap, kind=StateKind.PARTITIONED)
+    sdg.add_task("src", noop, is_entry=True)
+    sdg.add_task("sink", noop, state="m", access=AccessMode.PARTITIONED)
+    sdg.connect("src", "sink", Dispatch.ONE_TO_ANY)
+    return sdg
+
+
+def build_conflicting_keys():
+    """SDG213: two routes partition the same SE by different keys."""
+    sdg = SDG("g213")
+    sdg.add_state("m", Matrix, kind=StateKind.PARTITIONED)
+    sdg.add_task("src", noop, is_entry=True)
+    sdg.add_task("by_row", noop, state="m", access=AccessMode.PARTITIONED)
+    sdg.add_task("by_col", noop, state="m", access=AccessMode.PARTITIONED)
+    sdg.connect("src", "by_row", Dispatch.KEY_PARTITIONED,
+                key_fn=lambda x: x[0], key_name="row")
+    sdg.connect("src", "by_col", Dispatch.KEY_PARTITIONED,
+                key_fn=lambda x: x[1], key_name="col")
+    return sdg
+
+
+def build_gather_not_at_merge():
+    """SDG221: an all-to-one edge must end at a merge TE."""
+    sdg = SDG("g221")
+    sdg.add_task("a", noop, is_entry=True)
+    sdg.add_task("b", noop)
+    sdg.connect("a", "b", Dispatch.ALL_TO_ONE)
+    return sdg
+
+
+def build_merge_without_gather():
+    """SDG222: a merge TE fed by a non-gather edge."""
+    sdg = SDG("g222")
+    sdg.add_task("a", noop, is_entry=True)
+    sdg.add_task("m", noop, is_merge=True)
+    sdg.connect("a", "m", Dispatch.ONE_TO_ANY)
+    return sdg
+
+
+def build_no_entry():
+    """SDG231: an SDG with no entry TE."""
+    sdg = SDG("g231")
+    sdg.add_task("t", noop)
+    return sdg
+
+
+def build_unreachable_te():
+    """SDG232: a TE no entry can reach."""
+    sdg = SDG("g232")
+    sdg.add_task("a", noop, is_entry=True)
+    sdg.add_task("orphan", noop)
+    return sdg
+
+
+def build_checkpoint_bypass_graph():
+    """SDG303 on a hand-built SDG: a TE writing ctx.state internals."""
+    def leak(item, ctx=None):
+        ctx.state._data[item] = True
+        return item
+
+    sdg = SDG("g303")
+    sdg.add_state("s", KeyValueMap, kind=StateKind.PARTIAL)
+    sdg.add_task("t", leak, state="s", access=AccessMode.LOCAL,
+                 is_entry=True)
+    return sdg
+
+
+BROKEN_BUILDERS = {
+    "SDG201": build_global_on_partitioned,
+    "SDG202": build_partitioned_on_partial,
+    "SDG203": build_local_on_partitioned,
+    "SDG211": build_entry_without_key_fn,
+    "SDG212": build_unkeyed_route,
+    "SDG213": build_conflicting_keys,
+    "SDG221": build_gather_not_at_merge,
+    "SDG222": build_merge_without_gather,
+    "SDG231": build_no_entry,
+    "SDG232": build_unreachable_te,
+    "SDG303": build_checkpoint_bypass_graph,
+}

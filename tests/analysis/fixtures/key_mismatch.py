@@ -1,0 +1,25 @@
+"""SDG304: the partition key variable is redefined mid-method.
+
+``key`` routes the entry dispatch, but the first TE rebinds it to
+``alias`` before the final keyed access — the delete can address a
+different partition than the put, splitting one logical key across
+partitions of different provenance (§3.2 unique partitioning).
+"""
+
+from repro.annotations import Partial, Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class KeyDrift(SDGProgram):
+    """Rebinds the routing key between two keyed accesses."""
+
+    table = Partitioned(KeyValueMap, key="key")
+    audit = Partial(KeyValueMap)
+
+    @entry
+    def relabel(self, key, alias):
+        self.table.put(key, alias)
+        key = alias
+        self.audit.put("seen", 1)
+        self.table.delete(key)

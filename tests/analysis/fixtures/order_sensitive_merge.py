@@ -1,0 +1,31 @@
+"""SDG302: a merge function sensitive to the gather order.
+
+The gather barrier delivers one partial value per replica in an
+undefined order. ``newest_wins`` both indexes the collection by
+position (picks an arbitrary replica) and accumulates with ``-``
+(non-commutative), so its result varies across runs and replays.
+"""
+
+from repro.annotations import Partial, Partitioned, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import Matrix
+
+
+class OrderSensitiveMerge(SDGProgram):
+    """Collaborative-filtering shape with an order-dependent merge."""
+
+    ratings = Partitioned(Matrix, key="user")
+    co_occ = Partial(Matrix)
+
+    @entry
+    def recommend(self, user):
+        row = self.ratings.get_row(user)
+        scores = global_(self.co_occ).multiply(row)
+        best = self.newest_wins(collection(scores))
+        return best
+
+    def newest_wins(self, all_scores):
+        baseline = all_scores[0]
+        for cur in all_scores:
+            baseline = baseline - cur
+        return baseline

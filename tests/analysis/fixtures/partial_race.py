@@ -1,0 +1,23 @@
+"""SDG301: a replica-dependent value escaping a partial RMW block.
+
+``counters`` is partial (replicated); ``increment`` returns the local
+replica's running count, which depends on which instance served the
+item. Shipping that value into the partitioned ``table`` persists
+replica-divergent results no merge can reconcile.
+"""
+
+from repro.annotations import Partial, Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class PartialRace(SDGProgram):
+    """Persists a per-replica counter value into keyed state."""
+
+    counters = Partial(KeyValueMap)
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def record(self, key, amount):
+        seen = self.counters.increment(key, amount)
+        self.table.put(key, seen)

@@ -1,0 +1,142 @@
+"""End-to-end tests of the sdglint passes over the fixture corpus.
+
+Positive case: every intentionally-broken fixture reports its code with
+a span pointing into the fixture file. Negative case: the clean fixture
+and every bundled application lint clean, and running the analyzer does
+not perturb what ``translate()`` produces.
+"""
+
+import inspect
+
+import pytest
+
+from repro import analysis
+from repro.analysis.engine import bundled_targets
+from repro.core.dispatch import Dispatch
+from repro.translate import translate
+
+from tests.analysis.fixtures import (
+    aliased_imports,
+    backend_bypass,
+    clean,
+    dead_payload,
+    env_access,
+    graphs,
+    key_mismatch,
+    order_sensitive_merge,
+    partial_race,
+)
+
+
+def line_of(module, needle: str) -> int:
+    """1-based line number of the first source line containing needle."""
+    for index, line in enumerate(inspect.getsource(module).splitlines(), 1):
+        if needle in line:
+            return index
+    raise AssertionError(f"{needle!r} not found in {module.__name__}")
+
+
+PROGRAM_CASES = [
+    (aliased_imports, aliased_imports.AliasedClock, "SDG101", "now()"),
+    (env_access, env_access.HostnameTagger, "SDG102", "sck.gethostname"),
+    (partial_race, partial_race.PartialRace, "SDG301",
+     "self.counters.increment"),
+    (order_sensitive_merge, order_sensitive_merge.OrderSensitiveMerge,
+     "SDG302", "all_scores[0]"),
+    (backend_bypass, backend_bypass.BackendBypass, "SDG303",
+     "self.table._backend"),
+    (key_mismatch, key_mismatch.KeyDrift, "SDG304", "self.table.delete"),
+    (dead_payload, dead_payload.DeadPayload, "SDG305", "def store"),
+]
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize(
+        "module, program, code, needle",
+        PROGRAM_CASES,
+        ids=[case[2] for case in PROGRAM_CASES],
+    )
+    def test_fixture_reports_its_code_at_the_right_span(
+        self, module, program, code, needle
+    ):
+        report = analysis.run(program)
+        assert report.codes() == {code}
+        diagnostic = report.by_code(code)[0]
+        assert diagnostic.span.file == module.__file__
+        assert diagnostic.span.line == line_of(module, needle)
+
+    def test_alias_note_names_the_alias(self):
+        report = analysis.run(aliased_imports.AliasedClock)
+        message = report.by_code("SDG101")[0].message
+        assert "'now'" in message and "'time'" in message
+
+    def test_clean_fixture_is_clean(self):
+        report = analysis.run(clean.CleanCounters)
+        assert report.clean, report.render_text()
+
+    @pytest.mark.parametrize("code", sorted(graphs.BROKEN_BUILDERS))
+    def test_broken_graph_reports_its_code(self, code):
+        report = analysis.run(graphs.BROKEN_BUILDERS[code])
+        assert code in report.codes(), report.render_text()
+
+    def test_error_severity_split(self):
+        assert not analysis.run(partial_race.PartialRace).ok
+        assert not analysis.run(backend_bypass.BackendBypass).ok
+        # Warnings alone leave the report ok (exit 0 in the CLI).
+        dead = analysis.run(dead_payload.DeadPayload)
+        assert dead.ok and not dead.clean
+
+
+class TestBundledApps:
+    @pytest.mark.parametrize("name", sorted(bundled_targets()))
+    def test_every_bundled_app_lints_clean(self, name):
+        report = bundled_targets()[name]()
+        assert report.clean, report.render_text()
+
+
+class TestAnalyzerDoesNotPerturbTranslation:
+    """The lint front-end must leave ``translate()`` byte-identical."""
+
+    def _shape(self, result):
+        sdg = result.sdg
+        return {
+            "tasks": {
+                (te.name, te.state, te.access, te.is_entry, te.is_merge)
+                for te in sdg.tasks.values()
+            },
+            "states": {
+                (se.name, se.kind, se.partition_by)
+                for se in sdg.states.values()
+            },
+            "dataflows": {
+                (e.src, e.dst, e.dispatch, e.key_name)
+                for e in sdg.dataflows
+            },
+            "entries": {
+                name: (info.params, info.te_names)
+                for name, info in result.entries.items()
+            },
+        }
+
+    @pytest.mark.parametrize("program", [
+        clean.CleanCounters, partial_race.PartialRace,
+        key_mismatch.KeyDrift, dead_payload.DeadPayload,
+    ])
+    def test_same_sdg_with_and_without_sink(self, program):
+        strict = translate(program)
+        sink = analysis.DiagnosticSink()
+        linted = translate(program, sink=sink)
+        assert self._shape(strict) == self._shape(linted)
+
+    def test_translated_clean_program_still_runs(self):
+        result = translate(clean.CleanCounters)
+        fn = result.sdg.task(result.entries["store"].entry_te).fn
+        assert callable(fn)
+        assert result.entries["store"].params == ["key", "value"]
+
+    def test_keyed_edges_survive_lint_mode(self):
+        sink = analysis.DiagnosticSink()
+        result = translate(partial_race.PartialRace, sink=sink)
+        keyed = [e for e in result.sdg.dataflows
+                 if e.dispatch is Dispatch.KEY_PARTITIONED]
+        assert keyed and keyed[0].key_name == "key"

@@ -124,3 +124,58 @@ class TestReachability:
         sdg.add_task("orphan", noop)
         with pytest.raises(ValidationError, match="unreachable"):
             sdg.validate()
+
+
+class TestCyclicGraphs:
+    """Regression tests: cycles must neither hang the reachability
+    walk nor be reported as unreachable when an entry feeds them."""
+
+    def _cycle(self, with_entry: bool) -> SDG:
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=with_entry)
+        sdg.add_task("b", noop)
+        sdg.connect("a", "b", Dispatch.ONE_TO_ANY)
+        sdg.connect("b", "a", Dispatch.ONE_TO_ANY)
+        return sdg
+
+    def test_cycle_fed_by_entry_validates(self):
+        # a -> b -> a: both TEs are reachable; validate() terminates.
+        self._cycle(with_entry=True).validate()
+
+    def test_entryless_cycle_reports_no_entry_and_terminates(self):
+        with pytest.raises(ValidationError, match="no entry"):
+            self._cycle(with_entry=False).validate()
+
+    def test_cycle_detached_from_entry_reported_unreachable(self):
+        sdg = self._cycle(with_entry=True)
+        sdg.add_task("c", noop)
+        sdg.add_task("d", noop)
+        sdg.connect("c", "d", Dispatch.ONE_TO_ANY)
+        sdg.connect("d", "c", Dispatch.ONE_TO_ANY)
+        with pytest.raises(ValidationError, match=r"\['c', 'd'\]"):
+            sdg.validate()
+
+    def test_self_loop_validates(self):
+        sdg = SDG()
+        sdg.add_task("a", noop, is_entry=True)
+        sdg.connect("a", "a", Dispatch.ONE_TO_ANY)
+        sdg.validate()
+
+
+class TestCollectMode:
+    """collect() returns every violation; validate() raises the first."""
+
+    def test_collect_reports_all_findings_in_validate_order(self):
+        from repro.core.validation import collect
+
+        sdg = SDG()
+        sdg.add_state("s", KeyValueMap, kind=StateKind.PARTITIONED)
+        sdg.add_task("t", noop, state="s", access=AccessMode.GLOBAL,
+                     is_entry=True)
+        sdg.add_task("orphan", noop)
+        diagnostics = collect(sdg)
+        codes = [d.code for d in diagnostics]
+        assert "SDG201" in codes and "SDG232" in codes
+        with pytest.raises(ValidationError) as exc:
+            sdg.validate()
+        assert str(exc.value) == diagnostics[0].message

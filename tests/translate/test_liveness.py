@@ -98,3 +98,69 @@ class TestBlockLiveness:
     def test_deterministic_order(self):
         blocks = [stmts("b = 1\na = 2\nz = 3"), stmts("w = a + b + z")]
         assert live_ins(blocks, [])[1] == ["a", "b", "z"]
+
+
+class TestAugmentedAssignment:
+    def test_aug_assign_keeps_variable_live_across_blocks(self):
+        # 't += delta' both uses and defines t: the upstream t must
+        # travel on the edge even though the block also defines it.
+        blocks = [stmts("t = seed"), stmts("t += delta\nout = t")]
+        lives = live_ins(blocks, ["seed", "delta"])
+        assert lives[1] == ["delta", "t"]
+
+    def test_aug_assign_with_subscript_target(self):
+        uses, defs = uses_defs(stmt("acc[k] += v"))
+        assert {"acc", "k", "v"} <= uses
+
+
+class TestBranchOnlyDefinitions:
+    def test_branch_def_is_optimistically_available_downstream(self):
+        # x is only defined when cond holds; the analysis assumes
+        # well-formed programs (the paper's contract) and treats it as
+        # available, so it is carried instead of dropped.
+        blocks = [stmts("if cond:\n    x = a"), stmts("y = x")]
+        lives = live_ins(blocks, ["cond", "a"])
+        assert lives[1] == ["x"]
+
+    def test_branch_def_shadows_within_block(self):
+        uses, defs = block_uses_defs(stmts("if c:\n    x = 1\ny = x"))
+        assert uses == {"c"}  # optimistic: x counts as defined
+        assert {"x", "y"} <= defs
+
+    def test_else_only_use_still_counts(self):
+        uses, _ = uses_defs(stmt(
+            "if c:\n    x = a\nelse:\n    x = fallback"
+        ))
+        assert uses == {"c", "a", "fallback"}
+
+
+class TestLoopCarriedVariables:
+    def test_loop_accumulator_is_live_into_and_out_of_the_loop(self):
+        blocks = [
+            stmts("total = 0"),
+            stmts("for w in words:\n    total = total + w"),
+            stmts("out = total"),
+        ]
+        lives = live_ins(blocks, ["words"])
+        assert lives[1] == ["total", "words"]
+        assert lives[2] == ["total"]
+
+    def test_loop_carried_use_detected_inside_one_statement(self):
+        # First iteration reads the upstream total: a loop-carried use.
+        uses, defs = uses_defs(stmt(
+            "for w in words:\n    total = total + w"
+        ))
+        assert "total" in uses and "total" in defs
+
+    def test_while_loop_carried_variable(self):
+        uses, defs = uses_defs(stmt("while n > 0:\n    n = n - 1"))
+        assert uses == {"n"}
+        assert defs == {"n"}
+
+    def test_loop_local_temporary_not_carried(self):
+        blocks = [
+            stmts("acc = []"),
+            stmts("for i in items:\n    t = i * 2\n    acc.append(t)"),
+        ]
+        lives = live_ins(blocks, ["items"])
+        assert lives[1] == ["acc", "items"]  # t stays inside the loop

@@ -1,5 +1,7 @@
 """Tests for the §4.1 program-restriction scanner."""
 
+import ast
+
 import pytest
 
 from repro import (
@@ -9,6 +11,10 @@ from repro import (
     entry,
 )
 from repro.state import KeyValueMap
+from repro.translate.restrictions import (
+    check_restrictions,
+    collect_import_aliases,
+)
 
 
 class TestDeterminism:
@@ -117,3 +123,110 @@ class TestLocationIndependence:
 
         with pytest.raises(TranslationError, match="line"):
             UsesRandom.translate()
+
+
+class TestImportAliases:
+    """The scan must see through import aliases (the old blind spot)."""
+
+    def test_from_import_alias_rejected(self):
+        class AliasedTime(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                from time import time as now
+
+                self.table.put(key, now())
+
+        with pytest.raises(TranslationError, match="deterministic"):
+            AliasedTime.translate()
+
+    def test_module_alias_rejected(self):
+        class AliasedRandom(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                import random as r
+
+                self.table.put(key, r.random())
+
+        with pytest.raises(TranslationError, match="deterministic"):
+            AliasedRandom.translate()
+
+    def test_submodule_from_import_rejected(self):
+        class AliasedPath(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                from os.path import join
+
+                self.table.put(key, join("a", "b"))
+
+        with pytest.raises(TranslationError, match="location independent"):
+            AliasedPath.translate()
+
+    def test_error_message_names_the_alias(self):
+        class AliasedTime(SDGProgram):
+            table = Partitioned(KeyValueMap, key="key")
+
+            @entry
+            def put(self, key):
+                from time import time as now
+
+                self.table.put(key, now())
+
+        with pytest.raises(TranslationError, match="via the import alias"):
+            AliasedTime.translate()
+
+    def test_module_level_alias_reaches_methods(self):
+        # Aliases from the enclosing scope are passed in by translate();
+        # check_restrictions applies them to the scanned method.
+        fn = ast.parse(
+            "def put(self, key):\n    self.table.put(key, now())"
+        ).body[0]
+        aliases = {"now": "time"}
+        with pytest.raises(TranslationError, match="deterministic"):
+            check_restrictions(fn, "put", module_aliases=aliases)
+
+    def test_innocent_alias_not_flagged(self):
+        fn = ast.parse(
+            "def put(self, key):\n    self.table.put(key, sqrt(key))"
+        ).body[0]
+        check_restrictions(fn, "put", module_aliases={"sqrt": "math"})
+
+
+class TestCollectImportAliases:
+    def test_plain_and_aliased_imports(self):
+        tree = ast.parse(
+            "import random\n"
+            "import random as r\n"
+            "from time import time as now\n"
+            "from os.path import join\n"
+        )
+        aliases = collect_import_aliases(tree.body)
+        assert aliases == {"random": "random", "r": "random",
+                           "now": "time", "join": "os"}
+
+    def test_relative_imports_skipped(self):
+        tree = ast.parse("from .local import helper")
+        assert collect_import_aliases(tree.body) == {}
+
+
+class TestCollectMode:
+    def test_sink_collects_every_violation(self):
+        from repro.analysis import DiagnosticSink
+
+        fn = ast.parse(
+            "def put(self, key):\n"
+            "    import random\n"
+            "    a = random.random()\n"
+            "    import socket\n"
+            "    b = socket.gethostname()\n"
+            "    self.table.put(key, (a, b))\n"
+        ).body[0]
+        sink = DiagnosticSink()
+        check_restrictions(fn, "put", sink=sink)  # must not raise
+        codes = [d.code for d in sink.diagnostics]
+        assert codes == ["SDG101", "SDG102"]
