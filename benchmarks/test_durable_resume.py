@@ -1,0 +1,119 @@
+"""Resume cost of durable runs: epochs committed vs delta-chain shape.
+
+Two questions the durability layer's design hinges on:
+
+* How does *fast* (checkpoint) resume scale with the number of
+  committed epochs? It should be flat-ish — resume installs the fenced
+  chains once, it does not replay history — while *replay* resume grows
+  linearly with the epochs it must re-execute.
+* How does the checkpoint cadence (``full_every``) change the fast
+  path? ``full_every=1`` restores one full snapshot per node;
+  ``full_every=0`` folds an ever-growing delta chain, trading save-time
+  work for restore-time work.
+
+The measured series is written to ``BENCH_durability.json`` so CI can
+archive the trend next to the manifest artifacts.
+"""
+
+import json
+import os
+import shutil
+import time
+
+from conftest import print_figure
+
+from repro.durability import BACKUPS_DIR, DurableRunner, RunSpec
+
+ITEMS_PER_EPOCH = 60
+EPOCH_COUNTS = (2, 6, 12)
+RESULT_FILE = os.path.join(os.path.dirname(__file__),
+                           "BENCH_durability.json")
+
+
+def build_run(tmp_path, tag, epochs, full_every):
+    run_dir = str(tmp_path / f"run-{tag}")
+    spec = RunSpec(app="kvstore", seed=7, epochs=epochs,
+                   items_per_epoch=ITEMS_PER_EPOCH,
+                   full_every=full_every)
+    DurableRunner.start(run_dir, spec).run()
+    return run_dir
+
+
+def timed_resume(run_dir, expect_mode):
+    start = time.perf_counter()
+    runner = DurableRunner.resume(run_dir)
+    elapsed = time.perf_counter() - start
+    assert runner.resume_mode == expect_mode, (
+        f"expected {expect_mode} resume, got {runner.resume_mode}"
+    )
+    return elapsed
+
+
+def force_replay(run_dir):
+    """Drop the checkpoint files so resume must take the replay rung."""
+    shutil.rmtree(os.path.join(run_dir, BACKUPS_DIR))
+
+
+def chain_length(run_dir):
+    """Longest base+delta chain on disk (before any resume re-anchors)."""
+    from repro.durability import load_manifest
+    from repro.recovery import DiskBackupStore
+
+    store = DiskBackupStore(os.path.join(run_dir, BACKUPS_DIR),
+                            m_targets=2)
+    store.reload_from_disk()
+    return max(len(store.chain(node))
+               for node in load_manifest(run_dir).latest.checkpoints)
+
+
+def test_resume_time_vs_epochs_and_chain(tmp_path):
+    rows = []
+    series = []
+    for epochs in EPOCH_COUNTS:
+        for full_every, label in ((1, "full-every-cycle"),
+                                  (0, "deltas-forever")):
+            tag = f"{epochs}x{full_every}"
+            run_dir = build_run(tmp_path, tag, epochs, full_every)
+            chain = chain_length(run_dir)
+            fast = timed_resume(run_dir, "checkpoint")
+            force_replay(run_dir)
+            replay = timed_resume(run_dir, "replay")
+            rows.append((epochs, label, chain,
+                         f"{fast * 1e3:.1f}", f"{replay * 1e3:.1f}",
+                         f"{replay / fast:.1f}x"))
+            series.append({
+                "epochs": epochs,
+                "full_every": full_every,
+                "chain_length": chain,
+                "fast_resume_ms": round(fast * 1e3, 2),
+                "replay_resume_ms": round(replay * 1e3, 2),
+            })
+
+    print_figure(
+        "Durable resume: checkpoint restore vs deterministic replay",
+        ["epochs", "cadence", "chain", "fast (ms)", "replay (ms)",
+         "replay/fast"],
+        rows,
+    )
+
+    with open(RESULT_FILE, "w", encoding="utf-8") as fh:
+        json.dump({"items_per_epoch": ITEMS_PER_EPOCH,
+                   "series": series}, fh, indent=2)
+        fh.write("\n")
+
+    # Shape assertions, not absolute timings.
+    by_key = {(s["epochs"], s["full_every"]): s for s in series}
+    # Replay cost grows with history; fast resume must not grow with it
+    # anywhere near as fast (it restores the boundary, not the past).
+    for full_every in (1, 0):
+        small = by_key[(EPOCH_COUNTS[0], full_every)]
+        large = by_key[(EPOCH_COUNTS[-1], full_every)]
+        assert large["replay_resume_ms"] > small["replay_resume_ms"]
+    # At the largest run, replaying 12 epochs costs more than restoring
+    # their boundary checkpoints.
+    for full_every in (1, 0):
+        s = by_key[(EPOCH_COUNTS[-1], full_every)]
+        assert s["replay_resume_ms"] > s["fast_resume_ms"]
+    # Deltas-forever accumulates a longer chain than full-every-cycle.
+    assert by_key[(EPOCH_COUNTS[-1], 0)]["chain_length"] > \
+        by_key[(EPOCH_COUNTS[-1], 1)]["chain_length"]

@@ -23,6 +23,8 @@ from repro.chaos.plan import (
     ScaleUp,
     SlowNode,
     TargetOffline,
+    fault_from_dict,
+    fault_to_dict,
     random_plan,
 )
 
@@ -41,5 +43,7 @@ __all__ = [
     "ScaleUp",
     "SlowNode",
     "TargetOffline",
+    "fault_from_dict",
+    "fault_to_dict",
     "random_plan",
 ]

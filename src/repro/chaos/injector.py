@@ -124,6 +124,16 @@ class FaultInjector:
         """Every planned fault has fired, been skipped, or given up."""
         return not self._pending
 
+    def pending_faults(self) -> list:
+        """Faults not yet executed, in due order.
+
+        Durable runs serialise these into the run manifest at each epoch
+        commit so a resumed process re-arms exactly the faults the
+        crashed incarnation still owed.
+        """
+        return [fault for _step, fault in
+                sorted(self._pending, key=lambda pair: pair[0])]
+
     def fired(self, outcome: str = "fired") -> list[InjectionRecord]:
         return [r for r in self.injected if r.outcome == outcome]
 

@@ -14,6 +14,7 @@ soak tests run a fixed seed in CI and crank the seed range locally.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -137,6 +138,31 @@ Fault = (KillNode | CrashTask | SlowNode | DropEnvelope
          | DuplicateEnvelope | CorruptChunk | CorruptDeltaChunk
          | DropDeltaChunk | TargetOffline | ScaleUp)
 
+_FAULT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (KillNode, CrashTask, SlowNode, DropEnvelope,
+                DuplicateEnvelope, CorruptChunk, CorruptDeltaChunk,
+                DropDeltaChunk, TargetOffline, ScaleUp)
+}
+
+
+def fault_to_dict(fault: Fault) -> dict:
+    """A JSON-ready record: the fault's fields plus its type tag."""
+    return {"type": type(fault).__name__, **dataclasses.asdict(fault)}
+
+
+def fault_from_dict(record: dict) -> Fault:
+    """Inverse of :func:`fault_to_dict`; unknown tags are refused."""
+    fields = dict(record)
+    tag = fields.pop("type", None)
+    cls = _FAULT_TYPES.get(tag)
+    if cls is None:
+        raise ChaosError(f"unknown fault type {tag!r} in {record!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ChaosError(f"bad fault record {record!r}: {exc}") from exc
+
 
 @dataclass
 class FaultPlan:
@@ -161,6 +187,20 @@ class FaultPlan:
 
     def kills(self) -> list[KillNode]:
         return [f for f in self.faults if isinstance(f, KillNode)]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stored verbatim in durable run manifests)."""
+        return {
+            "seed": self.seed,
+            "faults": [fault_to_dict(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultPlan":
+        return cls(
+            faults=[fault_from_dict(f) for f in record.get("faults", [])],
+            seed=record.get("seed"),
+        )
 
 
 def random_plan(seed: int, *, horizon: int, se: str,

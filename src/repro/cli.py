@@ -20,6 +20,14 @@ its Python counterpart, invoked as ``python -m repro``:
 * ``obs`` — run an instrumented benchmark workload (checkpoints,
   failure detection, supervised recovery, optional fault injection)
   and dump the observability report: metrics, events, traces.
+* ``run --durable DIR`` — start a durable epoch-driven run: every
+  epoch is fenced into ``DIR/manifest.json`` together with checkpoint
+  chains and the exported event log, so the process can be killed at
+  any instant and picked up again.
+* ``resume DIR`` — resume a durable run after a crash (or continue a
+  clean exit), via fast checkpoint restore or deterministic replay.
+* ``fork SRC DEST --epoch K`` — clone a run directory at committed
+  epoch K by hardlinking its checkpoint files.
 """
 
 from __future__ import annotations
@@ -155,6 +163,60 @@ def _describe_allocation(result) -> str:
     return "\n".join(lines)
 
 
+def _durable_spec(args) -> "RunSpec":
+    from repro.durability import RunSpec
+
+    return RunSpec(
+        app=args.app,
+        seed=args.seed,
+        epochs=args.epochs,
+        items_per_epoch=args.items_per_epoch,
+        n_keys=args.n_keys,
+        read_fraction=args.read_fraction,
+        se_instances=args.se_instances,
+        full_every=args.full_every,
+        throttle=args.throttle,
+    )
+
+
+def _durable_plan(args, spec):
+    """Build the kills-only chaos plan for ``run --chaos-seed``."""
+    if args.chaos_seed is None:
+        return None
+    from repro.chaos import random_plan
+    from repro.durability import DurableWorkload
+
+    workload = DurableWorkload(spec)
+    horizon = max(200, spec.epochs * spec.items_per_epoch)
+    n_kills = min(3, spec.epochs)
+    return random_plan(
+        args.chaos_seed,
+        horizon=horizon,
+        se=workload.se_name,
+        entry_te=workload.entry_te,
+        n_kills=n_kills,
+        n_crashes=0,
+        n_duplicates=0,
+        n_slow=0,
+        n_scale_ups=0,
+        min_gap=horizon // (n_kills + 2),
+    )
+
+
+def _drive_durable(runner) -> int:
+    """Run the epoch loop with per-epoch progress lines."""
+    def on_epoch(record):
+        print(f"epoch {record.epoch}: position={record.position} "
+              f"state_hash={record.state_hash} "
+              f"events_offset={record.events_offset}")
+
+    manifest = runner.run(on_epoch=on_epoch)
+    print(f"run {manifest.run_id!r} complete: "
+          f"{manifest.committed_epoch} epochs committed, "
+          f"final state hash {manifest.latest.state_hash}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +271,52 @@ def main(argv: list[str] | None = None) -> int:
     p_obs.add_argument("--events", metavar="PATH",
                        help="also write the event bus as JSON lines")
 
+    p_run = sub.add_parser(
+        "run", help="start a durable epoch-driven run in a directory"
+    )
+    p_run.add_argument("--durable", metavar="DIR", required=True,
+                       help="run directory (manifest, checkpoints, "
+                            "event log)")
+    p_run.add_argument("--app", choices=["kvstore", "wordcount"],
+                       default="kvstore", help="workload to run")
+    p_run.add_argument("--epochs", type=int, default=5,
+                       help="epochs to commit")
+    p_run.add_argument("--items-per-epoch", type=int, default=100,
+                       help="workload items injected per epoch")
+    p_run.add_argument("--seed", type=int, default=11,
+                       help="workload seed")
+    p_run.add_argument("--n-keys", type=int, default=120,
+                       help="KV key space size")
+    p_run.add_argument("--read-fraction", type=float, default=0.0,
+                       help="KV read fraction")
+    p_run.add_argument("--se-instances", type=int, default=2,
+                       help="partitions of the app's state element")
+    p_run.add_argument("--full-every", type=int, default=4,
+                       help="full-checkpoint cadence (0 = deltas "
+                            "forever)")
+    p_run.add_argument("--chaos-seed", type=int, default=None,
+                       help="arm a reproducible kills-only fault plan")
+    p_run.add_argument("--throttle", type=float, default=0.0,
+                       help="seconds to hold each epoch open before "
+                            "the commit (soak-test knob)")
+
+    p_resume = sub.add_parser(
+        "resume", help="resume a durable run from its manifest"
+    )
+    p_resume.add_argument("dir", metavar="DIR",
+                          help="durable run directory")
+
+    p_fork = sub.add_parser(
+        "fork", help="clone a durable run at a committed epoch "
+                     "(hardlinked checkpoints)"
+    )
+    p_fork.add_argument("src", metavar="SRC",
+                        help="source run directory")
+    p_fork.add_argument("dest", metavar="DEST",
+                        help="new run directory to create")
+    p_fork.add_argument("--epoch", type=int, required=True,
+                        help="committed epoch to fork at")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "table1":
@@ -236,6 +344,31 @@ def main(argv: list[str] | None = None) -> int:
                 with open(args.events, "w", encoding="utf-8") as fh:
                     fh.write(run.runtime.events.to_jsonl())
                 print(f"\nevents written to {args.events}")
+        elif args.command == "run":
+            from repro.durability import DurableRunner
+
+            spec = _durable_spec(args)
+            plan = _durable_plan(args, spec)
+            runner = DurableRunner.start(args.durable, spec, plan=plan)
+            print(f"starting durable run in {args.durable} "
+                  f"(app={spec.app}, epochs={spec.epochs}, "
+                  f"chaos={'on' if plan else 'off'})")
+            return _drive_durable(runner)
+        elif args.command == "resume":
+            from repro.durability import DurableRunner
+
+            runner = DurableRunner.resume(args.dir)
+            print(f"resumed {args.dir} via {runner.resume_mode} "
+                  f"(committed epoch "
+                  f"{runner.manifest.committed_epoch})")
+            return _drive_durable(runner)
+        elif args.command == "fork":
+            from repro.durability import fork_run
+
+            child = fork_run(args.src, args.dest, args.epoch)
+            print(f"forked {args.src} at epoch {args.epoch} into "
+                  f"{args.dest} (run id {child.run_id!r}); resume it "
+                  f"with: repro resume {args.dest}")
     except SDGError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

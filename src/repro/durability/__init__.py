@@ -1,0 +1,63 @@
+"""Durable, resumable runs: crash the process, resume from a manifest.
+
+This package makes a whole run of the SDG runtime a durable artifact on
+disk. A *run directory* holds three things:
+
+* ``manifest.json`` — the :class:`RunManifest`: program fingerprint,
+  :class:`RunSpec`, chaos fault plan, and one fenced
+  :class:`EpochRecord` per committed epoch (atomically replaced, so a
+  ``kill -9`` at any instant leaves epoch K or K-1, never half of one);
+* ``backups/`` — the :class:`~repro.recovery.backup.DiskBackupStore`
+  holding each node's checkpoint chain (full bases + deltas, PR-3);
+* ``events.jsonl`` — the observability event log, exported up to the
+  byte offset the manifest fences.
+
+:class:`DurableRunner` drives the epoch loop; :func:`fork_run` clones a
+run at a committed epoch via hardlinks. The CLI front ends are
+``repro run --durable DIR``, ``repro resume DIR`` and
+``repro fork SRC DEST --epoch K``.
+"""
+
+from repro.durability.manifest import (
+    CRASH_POINTS,
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    EpochRecord,
+    RunManifest,
+    SimulatedCrash,
+    atomic_write_json,
+    load_manifest,
+    manifest_path,
+    sdg_fingerprint,
+    state_fingerprint,
+    write_manifest,
+)
+from repro.durability.runner import (
+    BACKUPS_DIR,
+    EVENTS_NAME,
+    DurableRunner,
+    fork_run,
+)
+from repro.durability.workload import APPS, DurableWorkload, RunSpec
+
+__all__ = [
+    "APPS",
+    "BACKUPS_DIR",
+    "CRASH_POINTS",
+    "DurableRunner",
+    "DurableWorkload",
+    "EVENTS_NAME",
+    "EpochRecord",
+    "MANIFEST_NAME",
+    "RunManifest",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "SimulatedCrash",
+    "atomic_write_json",
+    "fork_run",
+    "load_manifest",
+    "manifest_path",
+    "sdg_fingerprint",
+    "state_fingerprint",
+    "write_manifest",
+]

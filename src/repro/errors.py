@@ -82,5 +82,15 @@ class ChaosError(SDGError):
     """Raised on invalid fault plans or fault-injection misuse."""
 
 
+class DurabilityError(SDGError):
+    """Raised when a durable run directory cannot be used.
+
+    Covers a missing or half-formed run manifest, a schema-version or
+    program-fingerprint mismatch between the manifest and the code
+    resuming it, and a restored state whose fingerprint disagrees with
+    the hash the manifest committed for that epoch.
+    """
+
+
 class SimulationError(SDGError):
     """Raised by the discrete-event cluster simulator on invalid input."""

@@ -21,7 +21,7 @@ step-hook/facade seams:
 full stack enabled and renders metrics + traces + events.
 """
 
-from repro.obs.events import Event, EventBus
+from repro.obs.events import Event, EventBus, JsonlExporter
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -39,6 +39,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Hop",
+    "JsonlExporter",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",

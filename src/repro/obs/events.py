@@ -15,10 +15,11 @@ stream.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-__all__ = ["Event", "EventBus", "KIND"]
+__all__ = ["Event", "EventBus", "JsonlExporter", "KIND"]
 
 
 class KIND:
@@ -118,3 +119,54 @@ class EventBus:
 
     def __iter__(self):
         return iter(list(self._events))
+
+
+class JsonlExporter:
+    """Incremental, durable JSONL export of an :class:`EventBus`.
+
+    Each :meth:`export` call appends the events published since the
+    previous call, flushes and fsyncs, and advances :attr:`byte_offset`
+    — a watermark a run manifest can record so that, after a crash, the
+    file is truncated back to the last *committed* offset instead of
+    being re-exported from scratch. Event ``seq`` numbers restart with
+    each process incarnation, so the cursor is positional within the
+    current bus, while the byte offset is durable across restarts.
+    """
+
+    def __init__(self, path: str, start_offset: int = 0) -> None:
+        self.path = path
+        # Create the file if needed, then discard any uncommitted tail
+        # (events exported during an epoch whose commit never landed).
+        with open(path, "ab"):
+            pass
+        if os.path.getsize(path) < start_offset:
+            raise ValueError(
+                f"event log {path!r} is shorter than the committed "
+                f"offset {start_offset}; refusing to resume from it"
+            )
+        with open(path, "r+b") as fh:
+            fh.truncate(start_offset)
+        self.byte_offset = start_offset
+        self._cursor = 0  # events of the *current* bus already exported
+
+    @property
+    def exported_seq(self) -> int:
+        """Events of the current bus incarnation already on disk."""
+        return self._cursor
+
+    def export(self, bus: EventBus) -> tuple[int, int]:
+        """Append all not-yet-exported events; return the new watermark.
+
+        Returns ``(exported_seq, byte_offset)`` after the append. The
+        write is flushed and fsynced before returning, so once a caller
+        records the offset the bytes below it are durable.
+        """
+        fresh = [e for e in bus if e.seq >= self._cursor]
+        with open(self.path, "ab") as fh:
+            for event in fresh:
+                fh.write((event.to_json() + "\n").encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.byte_offset = fh.tell()
+        self._cursor += len(fresh)
+        return self._cursor, self.byte_offset

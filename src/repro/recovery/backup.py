@@ -42,6 +42,22 @@ def chunk_checksum(chunk: StateChunk) -> int:
     return zlib.crc32(pickle.dumps(chunk))
 
 
+def _atomic_pickle(path: str, payload: object) -> None:
+    """Pickle ``payload`` to ``path`` without a torn-write window.
+
+    The bytes land in a sibling temp file first, are fsynced, and only
+    then renamed over the target. A crash at any point leaves either the
+    previous file or the complete new one — never a short file that
+    exists but fails its CRC check on restore.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 class BackupStore:
     """In-memory chunked checkpoint storage across ``m`` backup targets.
 
@@ -117,6 +133,32 @@ class BackupStore:
             for key in stale:
                 del target[key]
         self._meta.pop(node_id, None)
+
+    def prune(self, node_versions: dict[int, int]) -> list[tuple[int, int]]:
+        """Drop checkpoints not covered by a committed watermark.
+
+        ``node_versions`` maps node id -> highest committed checkpoint
+        version; any stored version above that mark — and every version
+        of a node absent from the map — is removed. Durable runs use
+        this on resume to discard checkpoints taken during a crashed,
+        uncommitted epoch, so the surviving chains match exactly what
+        the run manifest fenced. Returns the removed ``(node_id,
+        version)`` pairs, ordered.
+        """
+        removed: list[tuple[int, int]] = []
+        for node_id in list(self._meta):
+            limit = node_versions.get(node_id)
+            for version in sorted(self._meta[node_id]):
+                if limit is None or version > limit:
+                    removed.append((node_id, version))
+                    del self._meta[node_id][version]
+            if not self._meta[node_id]:
+                del self._meta[node_id]
+        doomed = set(removed)
+        for target in self._targets:
+            for key in [k for k in target if (k[0], k[1]) in doomed]:
+                del target[key]
+        return removed
 
     # -- availability ----------------------------------------------------
 
@@ -315,27 +357,37 @@ class DiskBackupStore(BackupStore):
         )
 
     def save(self, checkpoint: "NodeCheckpoint") -> None:
+        """Persist the node's current chain to disk, crash-consistently.
+
+        Every file is written via :func:`_atomic_pickle` (temp file +
+        ``os.replace``), and the new chain is written *before* stale
+        files from a superseded chain are unlinked. A crash mid-save
+        therefore leaves at worst both chains on disk — never a
+        half-written chunk, and never a window where the old chain is
+        gone but the new one is incomplete. Leftovers are swept by the
+        next save or by :meth:`prune`.
+        """
         super().save(checkpoint)
         node_id = checkpoint.node_id
+        prefix = f"node{node_id}_"
         for i, target in enumerate(self._targets):
             if i in self._offline:
                 continue
             directory = self._dirs[i]
-            for name in os.listdir(directory):
-                if name.startswith(f"node{node_id}_"):
-                    os.unlink(os.path.join(directory, name))
+            keep = set()
             for key, chunk in target.items():
                 if key[0] != node_id:
                     continue
-                path = os.path.join(directory, self._chunk_filename(key))
-                with open(path, "wb") as fh:
-                    pickle.dump(chunk, fh)
+                name = self._chunk_filename(key)
+                keep.add(name)
+                _atomic_pickle(os.path.join(directory, name), chunk)
             for version, meta in self._meta.get(node_id, {}).items():
-                meta_path = os.path.join(
-                    directory, f"node{node_id}_v{version}_meta.pkl"
-                )
-                with open(meta_path, "wb") as fh:
-                    pickle.dump(meta, fh)
+                name = f"node{node_id}_v{version}_meta.pkl"
+                keep.add(name)
+                _atomic_pickle(os.path.join(directory, name), meta)
+            for name in os.listdir(directory):
+                if name.startswith(prefix) and name not in keep:
+                    os.unlink(os.path.join(directory, name))
 
     def corrupt_chunk(self, node_id: int | None = None,
                       kind: str | None = None) -> tuple | None:
@@ -345,9 +397,8 @@ class DiskBackupStore(BackupStore):
         filename = self._chunk_filename(key)
         for i, target in enumerate(self._targets):
             if key in target:
-                with open(os.path.join(self._dirs[i], filename),
-                          "wb") as fh:
-                    pickle.dump(target[key], fh)
+                _atomic_pickle(os.path.join(self._dirs[i], filename),
+                               target[key])
         return key
 
     def drop_chunk(self, node_id: int | None = None,
@@ -361,6 +412,16 @@ class DiskBackupStore(BackupStore):
             if os.path.exists(path):
                 os.unlink(path)
         return key
+
+    def prune(self, node_versions: dict[int, int]) -> list[tuple[int, int]]:
+        removed = super().prune(node_versions)
+        for node_id, version in removed:
+            prefix = f"node{node_id}_v{version}_"
+            for directory in self._dirs:
+                for name in os.listdir(directory):
+                    if name.startswith(prefix):
+                        os.unlink(os.path.join(directory, name))
+        return removed
 
     def reload_from_disk(self) -> None:
         """Rebuild the in-memory index from the target directories.
@@ -376,6 +437,8 @@ class DiskBackupStore(BackupStore):
         self._meta = {}
         for i, directory in enumerate(self._dirs):
             for name in sorted(os.listdir(directory)):
+                if not name.endswith(".pkl"):
+                    continue  # e.g. an orphaned .tmp from a crashed save
                 path = os.path.join(directory, name)
                 try:
                     with open(path, "rb") as fh:

@@ -1,0 +1,187 @@
+"""Process-kill soak: SIGKILL the whole run, resume, converge.
+
+This is the durability acceptance test. A durable run executes in a
+real subprocess (``python -m repro run --durable ...``); the parent
+polls the manifest and, once a target epoch is fenced, SIGKILLs the
+subprocess mid-epoch (the run's ``--throttle`` holds each epoch open so
+the kill lands between drain and commit). The run is then resumed —
+possibly killed again — until it completes, and the final state hash
+must be byte-identical to an uninterrupted in-process run with the same
+spec, seeds and fault plan.
+
+The unmarked test kills once and keeps CI fast; the ``chaos``-marked
+soak kills the process in three consecutive epochs and also layers a
+node-kill fault plan under the process kills.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.chaos import FaultPlan, KillNode
+from repro.durability import DurableRunner, RunSpec, load_manifest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: Seconds the subprocess holds each epoch open before the fence.
+THROTTLE = 0.4
+#: Overall per-subprocess watchdog.
+DEADLINE = 120.0
+
+
+def spawn(run_dir, spec, chaos_seed=None, resume=False):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    if resume:
+        argv = [sys.executable, "-m", "repro", "resume", run_dir]
+    else:
+        argv = [
+            sys.executable, "-m", "repro", "run", "--durable", run_dir,
+            "--app", spec.app, "--epochs", str(spec.epochs),
+            "--items-per-epoch", str(spec.items_per_epoch),
+            "--seed", str(spec.seed),
+            "--full-every", str(spec.full_every),
+            "--throttle", str(spec.throttle),
+        ]
+        if chaos_seed is not None:
+            argv += ["--chaos-seed", str(chaos_seed)]
+    return subprocess.Popen(argv, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def committed_epoch(run_dir):
+    try:
+        return load_manifest(run_dir).committed_epoch
+    except Exception:
+        return -1  # manifest not there yet
+
+
+def kill_after_epoch(proc, run_dir, epoch):
+    """SIGKILL ``proc`` once the manifest fences ``epoch``.
+
+    Waiting for the fence and then sleeping a fraction of the throttle
+    puts the kill at an uncontrolled point *inside* the next epoch —
+    anywhere between injection and the commit syscall.
+    """
+    deadline = time.monotonic() + DEADLINE
+    while committed_epoch(run_dir) < epoch:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"subprocess exited (rc={proc.returncode}) before "
+                f"fencing epoch {epoch}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError(f"epoch {epoch} not fenced in time")
+        time.sleep(0.02)
+    time.sleep(THROTTLE / 3)
+    proc.kill()
+    proc.wait()
+
+
+def finish(run_dir):
+    """Resume (repeatedly, defensively) until the run completes."""
+    spec = RunSpec.from_dict(load_manifest(run_dir).spec)
+    for _ in range(spec.epochs + 2):
+        proc = spawn(run_dir, spec, resume=True)
+        try:
+            proc.wait(timeout=DEADLINE)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        if committed_epoch(run_dir) >= spec.epochs:
+            return
+    raise AssertionError("run never completed across resumes")
+
+
+def final_hash(run_dir):
+    manifest = load_manifest(run_dir)
+    assert manifest.committed_epoch == manifest.spec["epochs"]
+    return manifest.latest.state_hash
+
+
+def save_artifacts(run_dir):
+    """Copy the final manifest + event log for CI upload, if asked."""
+    out = os.environ.get("DURABILITY_ARTIFACT_DIR")
+    if not out:
+        return
+    os.makedirs(out, exist_ok=True)
+    for name in ("manifest.json", "events.jsonl"):
+        src = os.path.join(run_dir, name)
+        if os.path.exists(src):
+            shutil.copy2(src, os.path.join(out, name))
+
+
+def no_throttle(spec):
+    record = spec.to_dict()
+    record["throttle"] = 0.0
+    return RunSpec.from_dict(record)
+
+
+def test_sigkill_once_resumes_to_identical_state(tmp_path):
+    spec = RunSpec(app="kvstore", seed=7, epochs=3, items_per_epoch=60,
+                   throttle=THROTTLE)
+    ref = DurableRunner.start(str(tmp_path / "ref"), no_throttle(spec))
+    ref.run()
+
+    run_dir = str(tmp_path / "run")
+    proc = spawn(run_dir, spec)
+    kill_after_epoch(proc, run_dir, 1)
+    assert committed_epoch(run_dir) >= 1
+    finish(run_dir)
+    assert final_hash(run_dir) == ref.state_hash()
+    save_artifacts(run_dir)
+
+
+@pytest.mark.chaos
+def test_sigkill_soak_three_epochs_with_node_kills(tmp_path):
+    """Kill the process in >= 3 consecutive epochs, under chaos."""
+    spec = RunSpec(app="kvstore", seed=11, epochs=5,
+                   items_per_epoch=60, throttle=THROTTLE)
+    plan = FaultPlan(
+        faults=[KillNode(at_step=50, se="table", index=0),
+                KillNode(at_step=220, se="table", index=1),
+                KillNode(at_step=400, se="table", index=0)],
+        seed=3)
+    ref = DurableRunner.start(str(tmp_path / "ref"), no_throttle(spec),
+                              plan=plan)
+    ref.run()
+
+    run_dir = str(tmp_path / "run")
+    manifest = json.loads(json.dumps(plan.to_dict()))  # sanity: JSON-safe
+    assert manifest["faults"]
+    runner = DurableRunner.start(run_dir, spec, plan=plan)
+    del runner  # manifest written; the subprocess takes over via resume
+
+    kills = 0
+    for epoch in (1, 2, 3):
+        proc = spawn(run_dir, spec, resume=True)
+        kill_after_epoch(proc, run_dir, epoch)
+        kills += 1
+        assert committed_epoch(run_dir) >= epoch
+    assert kills >= 3
+    finish(run_dir)
+    assert final_hash(run_dir) == ref.state_hash()
+    save_artifacts(run_dir)
+
+
+@pytest.mark.chaos
+def test_sigkill_soak_wordcount(tmp_path):
+    spec = RunSpec(app="wordcount", seed=5, epochs=4,
+                   items_per_epoch=50, throttle=THROTTLE)
+    ref = DurableRunner.start(str(tmp_path / "ref"), no_throttle(spec))
+    ref.run()
+
+    run_dir = str(tmp_path / "run")
+    proc = spawn(run_dir, spec)
+    kill_after_epoch(proc, run_dir, 1)
+    proc2 = spawn(run_dir, spec, resume=True)
+    kill_after_epoch(proc2, run_dir, 2)
+    finish(run_dir)
+    assert final_hash(run_dir) == ref.state_hash()

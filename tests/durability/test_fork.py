@@ -1,0 +1,108 @@
+"""Tests for forking a durable run at a committed epoch."""
+
+import os
+
+import pytest
+
+from repro.durability import (
+    BACKUPS_DIR,
+    DurableRunner,
+    RunSpec,
+    fork_run,
+    load_manifest,
+)
+from repro.errors import DurabilityError
+
+# full_every=0 keeps every epoch's delta on the single chain, so the
+# fork's fenced versions are all still on disk.
+SPEC = RunSpec(app="kvstore", seed=7, epochs=5, items_per_epoch=40,
+               full_every=0)
+
+
+def run_parent(tmp_path):
+    parent_dir = str(tmp_path / "parent")
+    runner = DurableRunner.start(parent_dir, SPEC)
+    runner.run()
+    return parent_dir, runner
+
+
+def chunk_files(run_dir):
+    backups = os.path.join(run_dir, BACKUPS_DIR)
+    return sorted(
+        os.path.join(root, name)
+        for root, _dirs, names in os.walk(backups)
+        for name in names if name.endswith(".pkl")
+    )
+
+
+class TestFork:
+    def test_fork_shares_checkpoints_by_hardlink(self, tmp_path):
+        parent_dir, _runner = run_parent(tmp_path)
+        child_dir = str(tmp_path / "child")
+        child = fork_run(parent_dir, child_dir, 3)
+        assert child.committed_epoch == 3
+        assert child.run_id.endswith("~fork3")
+        files = chunk_files(child_dir)
+        assert files
+        # Checked before any child resume (which re-anchors): the fork
+        # itself copied no checkpoint payloads, it linked them.
+        assert all(os.stat(f).st_nlink >= 2 for f in files)
+        # Nothing beyond the fenced epoch-3 versions came along.
+        fence = load_manifest(parent_dir).record_for(3).checkpoints
+        for path in files:
+            name = os.path.basename(path)
+            node_part, version_part, _ = name.split("_", 2)
+            node = int(node_part[len("node"):])
+            version = int(version_part[len("v"):])
+            assert version <= fence[node]
+
+    def test_fork_truncates_event_log(self, tmp_path):
+        parent_dir, _runner = run_parent(tmp_path)
+        child_dir = str(tmp_path / "child")
+        fork_run(parent_dir, child_dir, 2)
+        fenced = load_manifest(parent_dir).record_for(2).events_offset
+        child_events = os.path.join(child_dir, "events.jsonl")
+        assert os.path.getsize(child_events) == fenced
+        with open(child_events, "rb") as fh:
+            data = fh.read()
+        assert data.endswith(b"\n")  # cut on a record boundary
+
+    def test_child_resumes_to_parent_epoch_hash(self, tmp_path):
+        parent_dir, _runner = run_parent(tmp_path)
+        child_dir = str(tmp_path / "child")
+        fork_run(parent_dir, child_dir, 3)
+        resumed = DurableRunner.resume(child_dir)
+        assert resumed.resume_mode == "checkpoint"
+        parent_record = load_manifest(parent_dir).record_for(3)
+        assert resumed.state_hash() == parent_record.state_hash
+
+    def test_child_continues_to_parent_final_hash(self, tmp_path):
+        parent_dir, parent = run_parent(tmp_path)
+        child_dir = str(tmp_path / "child")
+        fork_run(parent_dir, child_dir, 3)
+        resumed = DurableRunner.resume(child_dir)
+        resumed.run()
+        assert resumed.state_hash() == parent.state_hash()
+
+    def test_fork_at_uncommitted_epoch_refused(self, tmp_path):
+        parent_dir, _runner = run_parent(tmp_path)
+        with pytest.raises(DurabilityError):
+            fork_run(parent_dir, str(tmp_path / "child"), 9)
+
+    def test_fork_onto_existing_run_refused(self, tmp_path):
+        parent_dir, _runner = run_parent(tmp_path)
+        child_dir = str(tmp_path / "child")
+        fork_run(parent_dir, child_dir, 2)
+        with pytest.raises(DurabilityError):
+            fork_run(parent_dir, child_dir, 3)
+
+    def test_child_diverges_without_touching_parent(self, tmp_path):
+        parent_dir, parent = run_parent(tmp_path)
+        parent_hash = parent.state_hash()
+        child_dir = str(tmp_path / "child")
+        fork_run(parent_dir, child_dir, 3)
+        resumed = DurableRunner.resume(child_dir)
+        resumed.run()
+        # The parent's manifest is untouched by everything the child did.
+        assert load_manifest(parent_dir).committed_epoch == 5
+        assert parent.state_hash() == parent_hash

@@ -1,6 +1,9 @@
 """Tests for the structured event bus."""
 
 import json
+import os
+
+import pytest
 
 from repro.obs import EventBus
 
@@ -65,3 +68,69 @@ class TestEventBus:
 
     def test_empty_bus_exports_empty(self):
         assert EventBus().to_jsonl() == ""
+
+
+class TestJsonlExporter:
+    def fill(self, bus, n, start=0):
+        for i in range(start, start + n):
+            bus.publish("engine", "tick", i, i=i)
+
+    def test_export_appends_and_reports_offset(self, tmp_path):
+        from repro.obs import JsonlExporter
+
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        self.fill(bus, 3)
+        exporter = JsonlExporter(path)
+        seq, offset = exporter.export(bus)
+        assert seq == 3
+        assert offset == os.path.getsize(path)
+        lines = open(path).read().splitlines()
+        assert [json.loads(ln)["seq"] for ln in lines] == [0, 1, 2]
+        # A second export only appends the fresh tail.
+        self.fill(bus, 2, start=3)
+        seq, offset2 = exporter.export(bus)
+        assert seq == 5
+        assert offset2 > offset
+        assert len(open(path).read().splitlines()) == 5
+
+    def test_export_is_idempotent_when_nothing_fresh(self, tmp_path):
+        from repro.obs import JsonlExporter
+
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        self.fill(bus, 2)
+        exporter = JsonlExporter(path)
+        _, offset = exporter.export(bus)
+        _, offset_again = exporter.export(bus)
+        assert offset_again == offset
+        assert len(open(path).read().splitlines()) == 2
+
+    def test_resume_truncates_to_watermark(self, tmp_path):
+        """A crash after a partial append must not leak torn lines."""
+        from repro.obs import JsonlExporter
+
+        path = str(tmp_path / "events.jsonl")
+        bus = EventBus()
+        self.fill(bus, 2)
+        exporter = JsonlExporter(path)
+        _, durable = exporter.export(bus)
+        # The dying incarnation appends beyond the fenced watermark.
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 99, "torn":')
+        resumed = JsonlExporter(path, start_offset=durable)
+        assert os.path.getsize(path) == durable
+        assert resumed.byte_offset == durable
+        fresh = EventBus()
+        self.fill(fresh, 1, start=0)
+        resumed.export(fresh)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(ln) for ln in lines)
+
+    def test_watermark_beyond_file_rejected(self, tmp_path):
+        from repro.obs import JsonlExporter
+
+        path = str(tmp_path / "events.jsonl")
+        with pytest.raises(ValueError):
+            JsonlExporter(path, start_offset=10)

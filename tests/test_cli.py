@@ -108,3 +108,29 @@ class TestSubprocessEntryPoint:
     def test_exit_code_on_error(self):
         completed = run_cli("translate", "garbage")
         assert completed.returncode == 1
+
+
+class TestDurableCommands:
+    def test_run_resume_fork_round_trip(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "run")
+        fork_dir = str(tmp_path / "fork")
+        assert main(["run", "--durable", run_dir, "--epochs", "3",
+                     "--items-per-epoch", "30",
+                     "--chaos-seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos=on" in out
+        assert "3 epochs committed" in out
+        final = out.splitlines()[-1]
+
+        assert main(["fork", run_dir, fork_dir, "--epoch", "2"]) == 0
+        capsys.readouterr()
+        assert main(["resume", fork_dir]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        # The fork converges to the same final state hash.
+        assert out.splitlines()[-1].split("hash")[-1] == \
+            final.split("hash")[-1]
+
+    def test_resume_of_non_run_dir_errors(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path)]) == 1
+        assert "error:" in capsys.readouterr().err
