@@ -20,10 +20,14 @@ its Python counterpart, invoked as ``python -m repro``:
 * ``obs`` — run an instrumented benchmark workload (checkpoints,
   failure detection, supervised recovery, optional fault injection)
   and dump the observability report: metrics, events, traces.
-* ``run --durable DIR`` — start a durable epoch-driven run: every
+* ``run`` — execute a workload. Plain runs pick an execution substrate
+  (``--substrate inprocess`` or ``--substrate multiprocess --workers
+  N``) and print wall time, throughput and the final state hash. With
+  ``--durable DIR`` the run is epoch-driven and durable instead: every
   epoch is fenced into ``DIR/manifest.json`` together with checkpoint
   chains and the exported event log, so the process can be killed at
-  any instant and picked up again.
+  any instant and picked up again (durable runs pin the in-process
+  substrate — deterministic replay is its contract).
 * ``resume DIR`` — resume a durable run after a crash (or continue a
   clean exit), via fast checkpoint restore or deterministic replay.
 * ``fork SRC DEST --epoch K`` — clone a run directory at committed
@@ -203,6 +207,58 @@ def _durable_plan(args, spec):
     )
 
 
+def _plain_run(args) -> int:
+    """A plain (non-durable) run on the configured substrate."""
+    import time
+
+    from repro.durability.manifest import state_fingerprint
+    from repro.runtime.engine import Runtime, RuntimeConfig
+
+    if args.app == "kvstore":
+        from repro.testing import build_kv_sdg
+
+        sdg = build_kv_sdg()
+        se_name, entry = "table", "serve"
+        keys = max(1, args.n_keys)
+        payloads = (("put", f"k{i % keys}", i)
+                    for i in range(args.items))
+    else:
+        from repro.apps.wordcount import build_wordcount_sdg
+
+        sdg = build_wordcount_sdg()
+        se_name, entry = "counts", "split"
+        words = ("state", "dataflow", "explicit", "imperative",
+                 "big", "data", "processing")
+        payloads = (
+            (i, " ".join(words[(i + j) % len(words)] for j in range(4)))
+            for i in range(args.items)
+        )
+    config = RuntimeConfig(
+        se_instances={se_name: args.se_instances},
+        substrate=args.substrate,
+        workers=args.workers,
+    )
+    runtime = Runtime(sdg, config).deploy()
+    try:
+        start = time.perf_counter()
+        for payload in payloads:
+            runtime.inject(entry, payload)
+        processed = runtime.run_until_idle()
+        wall = time.perf_counter() - start
+        fingerprint = state_fingerprint(runtime)
+    finally:
+        runtime.close()
+    workers = ""
+    if args.substrate == "multiprocess":
+        workers = f" workers={args.workers if args.workers else 2}"
+    throughput = args.items / wall if wall > 0 else float("inf")
+    print(f"run complete: app={args.app} substrate={args.substrate}"
+          f"{workers} items={args.items} processed={processed} "
+          f"wall={wall:.3f}s throughput={throughput:.0f} items/s "
+          f"state_hash={fingerprint}")
+    return 0
+
+
 def _drive_durable(runner) -> int:
     """Run the epoch loop with per-epoch progress lines."""
     def on_epoch(record):
@@ -272,11 +328,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="also write the event bus as JSON lines")
 
     p_run = sub.add_parser(
-        "run", help="start a durable epoch-driven run in a directory"
+        "run", help="execute a workload (plain, or durable with "
+                    "--durable DIR)"
     )
-    p_run.add_argument("--durable", metavar="DIR", required=True,
-                       help="run directory (manifest, checkpoints, "
-                            "event log)")
+    p_run.add_argument("--durable", metavar="DIR", default=None,
+                       help="make the run durable and epoch-driven in "
+                            "DIR (manifest, checkpoints, event log); "
+                            "pins the in-process substrate")
+    p_run.add_argument("--substrate",
+                       choices=["inprocess", "multiprocess"],
+                       default="inprocess",
+                       help="execution substrate for a plain run")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="worker processes for "
+                            "--substrate multiprocess (default 2)")
+    p_run.add_argument("--items", type=int, default=400,
+                       help="items to inject in a plain run")
     p_run.add_argument("--app", choices=["kvstore", "wordcount"],
                        default="kvstore", help="workload to run")
     p_run.add_argument("--epochs", type=int, default=5,
@@ -345,6 +412,14 @@ def main(argv: list[str] | None = None) -> int:
                     fh.write(run.runtime.events.to_jsonl())
                 print(f"\nevents written to {args.events}")
         elif args.command == "run":
+            if args.durable is None:
+                return _plain_run(args)
+            if args.substrate != "inprocess" or args.workers is not None:
+                raise SDGError(
+                    "durable runs pin the in-process substrate "
+                    "(deterministic replay is its contract); drop "
+                    "--substrate/--workers or drop --durable"
+                )
             from repro.durability import DurableRunner
 
             spec = _durable_spec(args)

@@ -104,10 +104,16 @@ class DurableWorkload:
         return build_wordcount_sdg(self.spec.window_size)
 
     def build_runtime(self) -> Runtime:
+        # Durable runs pin the in-process substrate: epoch fencing,
+        # checkpoint chains and crash-replay all assume the
+        # deterministic single-process step loop. The multiprocess
+        # substrate is rejected at the CLI; this keeps the invariant
+        # even for programmatic callers.
         config = RuntimeConfig(
             se_instances={self.se_name: self.spec.se_instances},
             checkpoint_policy=CheckpointPolicy(
                 full_every=self.spec.full_every),
+            substrate="inprocess",
         )
         return Runtime(self.build_sdg(), config)
 

@@ -224,6 +224,101 @@ class MetricsRegistry:
     def collect(self) -> list[_Metric]:
         return [self._metrics[name] for name in self.names()]
 
+    # -- sharding (multiprocess substrate) -----------------------------
+
+    def reset(self) -> None:
+        """Zero every child cell in place, keeping bound children valid.
+
+        Forked worker processes inherit the coordinator's registry —
+        including deploy-time values — so they reset it at startup:
+        their shard then holds only work performed *in* the worker, and
+        the barrier merge never double-counts the coordinator's
+        deploy-time series. Pre-bound label children stay usable (the
+        cells are mutated, not replaced).
+        """
+        for metric in self._metrics.values():
+            for child in metric._children.values():
+                if metric.kind == "histogram":
+                    child.counts = [0] * len(child.counts)
+                    child.sum = 0.0
+                    child.count = 0
+                else:
+                    child.value = 0.0
+
+    def snapshot(self) -> dict:
+        """The registry's full state as plain picklable data.
+
+        Worker processes ship these shards to the coordinator at
+        barrier points; :meth:`merge_snapshot` folds them back into one
+        registry so observability output is substrate-agnostic.
+        """
+        out: dict = {}
+        for name, metric in self._metrics.items():
+            children: dict = {}
+            for key, child in metric._children.items():
+                if metric.kind == "histogram":
+                    children[key] = (list(child.counts), child.sum,
+                                     child.count)
+                else:
+                    children[key] = child.value
+            entry = {"kind": metric.kind, "help": metric.help,
+                     "children": children}
+            if metric.kind == "histogram":
+                entry["buckets"] = metric.buckets
+            out[name] = entry
+        return out
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold one :meth:`snapshot` shard into this registry.
+
+        Counters and gauges add (a gauge like inbox depth is a per-
+        worker level; the merged value is the fleet total); histograms
+        merge bucket-by-bucket and require identical bounds.
+        """
+        for name, entry in snap.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                metric = self.histogram(name, entry["help"],
+                                        buckets=entry.get("buckets"))
+            elif kind == "gauge":
+                metric = self.gauge(name, entry["help"])
+            else:
+                metric = self.counter(name, entry["help"])
+            if metric.kind != kind:
+                raise MetricError(
+                    f"cannot merge shard metric {name!r} of kind "
+                    f"{kind} into existing {metric.kind}"
+                )
+            for key, state in entry["children"].items():
+                child = metric.labels(**dict(key))
+                if kind == "histogram":
+                    counts, total, n = state
+                    if len(counts) != len(child.counts):
+                        raise MetricError(
+                            f"histogram {name!r} shard has "
+                            f"{len(counts)} buckets, registry has "
+                            f"{len(child.counts)}"
+                        )
+                    for i, c in enumerate(counts):
+                        child.counts[i] += c
+                    child.sum += total
+                    child.count += n
+                else:
+                    child.value += state
+
+    def merged_with(self, shards: "list[dict]") -> "MetricsRegistry":
+        """A fresh registry = this registry's snapshot + all shards.
+
+        Non-destructive: repeated calls with the same cumulative shards
+        never double-count, because the merge always starts from a new
+        registry.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.snapshot())
+        for shard in shards:
+            merged.merge_snapshot(shard)
+        return merged
+
     def to_dict(self) -> dict[str, dict[str, float]]:
         """``{metric: {"label=value,...": scalar}}`` — JSON-friendly dump.
 
@@ -344,6 +439,15 @@ class NullRegistry:
 
     def to_prometheus_text(self) -> str:
         return ""
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        pass
+
+    def merged_with(self, shards: list) -> "NullRegistry":
+        return self
 
 
 NULL_REGISTRY = NullRegistry()

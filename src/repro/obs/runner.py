@@ -155,7 +155,11 @@ def run_workload(app: str = "wordcount", items: int = 120, *,
 def render_report(run: ObsRun, *, trace_limit: int = 8) -> str:
     """The full ``repro obs`` report: metrics, events, traces."""
     runtime = run.runtime
-    names = runtime.metrics.names()
+    # Substrate-agnostic view: on the multiprocess substrate this folds
+    # every worker's registry shard (as of the last barrier) into the
+    # coordinator's series; in-process it is runtime.metrics itself.
+    metrics = runtime.merged_metrics()
+    names = metrics.names()
     lines = [
         f"== repro obs: app={run.app} items={run.items} "
         f"steps={runtime.total_steps} "
@@ -163,7 +167,7 @@ def render_report(run: ObsRun, *, trace_limit: int = 8) -> str:
         f"trace={'on' if runtime.tracer is not None else 'off'} ==",
         "",
         f"-- metrics ({len(names)} series) --",
-        runtime.metrics.to_prometheus_text().rstrip("\n"),
+        metrics.to_prometheus_text().rstrip("\n"),
         "",
         f"-- events ({len(runtime.events)} published) --",
     ]

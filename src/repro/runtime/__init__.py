@@ -6,8 +6,8 @@ pipelined TE-to-TE without intermediate materialisation, and the number
 of TE instances changes reactively at runtime in response to bottlenecks
 and stragglers.
 
-This package executes SDGs for real, in-process, as four layers behind
-the :class:`Runtime` facade (see ``docs/architecture.md``):
+This package executes SDGs for real, as five layers behind the
+:class:`Runtime` facade (see ``docs/architecture.md``):
 
 * **deployment** (:class:`Topology`) — instance materialisation, node
   placement, partitioners and repartition epochs;
@@ -16,14 +16,18 @@ the :class:`Runtime` facade (see ``docs/architecture.md``):
 * **transport** (:class:`Transport`) — channels, inbox delivery,
   payload isolation and backpressure reporting;
 * **dispatch** (:class:`Dispatcher`) — the paper's four routing
-  semantics over a deploy-time successor index.
+  semantics over a deploy-time successor index;
+* **substrate** (:class:`ExecutionSubstrate`) — where the step loop
+  actually runs: the deterministic in-process loop (default) or
+  shared-nothing forked worker processes over the pickle wire
+  (:class:`~repro.runtime.multiprocess.MultiprocessSubstrate`).
 
 Logical nodes hold TE and SE instances, dataflow edges become channels
 with upstream output buffers (retained for replay-based recovery), and
 ``@Global`` access is implemented with broadcast + gather barriers.
 """
 
-from repro.runtime.deployment import Topology
+from repro.runtime.deployment import Topology, WorkerPlacement
 from repro.runtime.detector import DetectionEvent, FailureDetector
 from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.engine import Runtime, RuntimeConfig
@@ -36,6 +40,12 @@ from repro.runtime.scheduler import (
     SCHEDULERS,
     Scheduler,
 )
+from repro.runtime.substrate import (
+    ExecutionSubstrate,
+    InProcessSubstrate,
+    SUBSTRATES,
+    resolve_substrate,
+)
 from repro.runtime.transport import Channel, Transport
 
 __all__ = [
@@ -44,7 +54,9 @@ __all__ = [
     "DetectionEvent",
     "Dispatcher",
     "Envelope",
+    "ExecutionSubstrate",
     "FailureDetector",
+    "InProcessSubstrate",
     "LongestQueueScheduler",
     "NO_RESPONSE",
     "RoundRobinScheduler",
@@ -52,8 +64,11 @@ __all__ = [
     "RuntimeConfig",
     "RuntimeMonitor",
     "SCHEDULERS",
+    "SUBSTRATES",
     "Sample",
     "Scheduler",
     "Topology",
     "Transport",
+    "WorkerPlacement",
+    "resolve_substrate",
 ]

@@ -17,6 +17,7 @@ envelopes back to its caller.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.core.allocation import allocate
@@ -31,6 +32,40 @@ from repro.state.base import StateElement
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.engine import RuntimeConfig
+
+
+@dataclass(frozen=True)
+class WorkerPlacement:
+    """The deploy-time assignment of logical nodes to worker processes.
+
+    The multiprocess substrate is shared-nothing: a worker owns every
+    TE instance — and, transitively, every StateElement partition —
+    hosted on its assigned nodes, and nothing else. Because a stateful
+    TE instance is always co-located with its SE instance on one
+    logical node, mapping *nodes* to workers automatically keeps each
+    partition's state and its accessing task on the same process, so
+    workers never contend on state (the shared-nothing discipline of
+    the state-access-patterns taxonomy).
+    """
+
+    n_workers: int
+    #: node id -> worker index.
+    node_worker: dict[int, int] = field(default_factory=dict)
+    #: (te_name, instance_index) -> worker index.
+    instance_worker: dict[tuple[str, int], int] = field(
+        default_factory=dict)
+
+    def owner_of(self, te_name: str, index: int) -> int:
+        """The worker owning TE instance ``(te_name, index)``."""
+        return self.instance_worker[(te_name, index)]
+
+    def worker_of_node(self, node_id: int) -> int:
+        return self.node_worker[node_id]
+
+    def instances_of(self, worker: int) -> list[tuple[str, int]]:
+        """The instance keys owned by ``worker``, in deployment order."""
+        return [key for key, w in self.instance_worker.items()
+                if w == worker]
 
 
 class Topology:
@@ -174,6 +209,35 @@ class Topology:
             for inst in insts
             if inst is not None and self.nodes[inst.node_id].alive
         )
+
+    # ------------------------------------------------------------------
+    # Worker placement (multiprocess substrate)
+    # ------------------------------------------------------------------
+
+    def plan_workers(self, n_workers: int) -> WorkerPlacement:
+        """Assign every materialised node to one of ``n_workers`` workers.
+
+        Nodes are distributed round-robin in node-id (deployment)
+        order, which keeps the assignment deterministic and balances
+        partitions across workers for the common symmetric layouts.
+        Every TE instance inherits its hosting node's worker, so state
+        ownership follows placement with no further bookkeeping.
+        """
+        if n_workers < 1:
+            raise RuntimeExecutionError(
+                f"worker count must be >= 1, got {n_workers}"
+            )
+        node_worker = {
+            node_id: i % n_workers
+            for i, node_id in enumerate(sorted(self.nodes))
+        }
+        instance_worker = {
+            inst.key: node_worker[inst.node_id]
+            for inst in self.all_te_instances()
+        }
+        return WorkerPlacement(n_workers=n_workers,
+                               node_worker=node_worker,
+                               instance_worker=instance_worker)
 
     # ------------------------------------------------------------------
     # Routing

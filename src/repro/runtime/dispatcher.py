@@ -61,6 +61,20 @@ class Dispatcher:
         """The precomputed outgoing ``(edge_index, edge)`` pairs of ``te``."""
         return self._successors[te]
 
+    def export_index(self) -> dict[str, list[tuple[int, str, str]]]:
+        """The successor index as plain picklable data.
+
+        Shipped to every worker at deploy by the multiprocess substrate
+        (``MSG_HELLO``): each worker verifies the coordinator's routing
+        table against its own view before serving traffic, so a
+        divergence between the processes' dispatch structures fails
+        loudly at bootstrap instead of silently misrouting envelopes.
+        """
+        return {
+            te: [(index, edge.src, edge.dst) for index, edge in pairs]
+            for te, pairs in self._successors.items()
+        }
+
     def next_request_id(self) -> int:
         return next(self._request_ids)
 

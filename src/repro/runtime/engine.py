@@ -54,6 +54,10 @@ from repro.runtime.instances import (
 from repro.runtime.node import PhysicalNode
 from repro.runtime.scaling import BottleneckDetector
 from repro.runtime.scheduler import Scheduler, resolve_scheduler
+from repro.runtime.substrate import (
+    ExecutionSubstrate,
+    resolve_substrate,
+)
 from repro.runtime.transport import Transport
 from repro.state import HashPartitioner
 
@@ -116,6 +120,17 @@ class RuntimeConfig:
     #: recorded on ``runtime.tracer``. Off by default — the disabled
     #: hot path is a single ``is None`` check.
     trace: bool = False
+    #: Execution substrate: ``"inprocess"`` (the deterministic
+    #: single-threaded logical-time loop — the default and the
+    #: testing/repro baseline), ``"multiprocess"`` (shared-nothing
+    #: worker processes connected by OS pipes), or a custom
+    #: :class:`~repro.runtime.substrate.ExecutionSubstrate` object.
+    substrate: str | ExecutionSubstrate = "inprocess"
+    #: Worker process count for the multiprocess substrate (``None``
+    #: defaults to 2). Only meaningful with
+    #: ``substrate="multiprocess"``; setting it for the in-process
+    #: substrate is a deploy-time error.
+    workers: int | None = None
 
     def validate(self, sdg: "SDG") -> None:
         """Reject malformed deployment knobs before they misbehave.
@@ -147,6 +162,37 @@ class RuntimeConfig:
             raise RuntimeExecutionError(
                 f"RuntimeConfig.trace must be a bool, got {self.trace!r}"
             )
+        workers = self.workers
+        if workers is not None:
+            if not isinstance(workers, int) or isinstance(workers, bool) \
+                    or workers < 1:
+                raise RuntimeExecutionError(
+                    f"RuntimeConfig.workers must be None or an integer "
+                    f">= 1, got {workers!r}"
+                )
+            if self.substrate == "inprocess":
+                raise RuntimeExecutionError(
+                    "RuntimeConfig.workers requires "
+                    "substrate='multiprocess'; the in-process substrate "
+                    "is single-process by definition"
+                )
+        if self.substrate == "multiprocess":
+            # Structural mutations (scale-out, repartition) and the
+            # per-envelope tracer are not yet wired through the
+            # control plane; fail at deploy instead of mid-run.
+            if self.auto_scale:
+                raise RuntimeExecutionError(
+                    "auto_scale requires the in-process substrate: "
+                    "reactive scale-out is not yet a multiprocess "
+                    "control-plane action"
+                )
+            if self.trace:
+                raise RuntimeExecutionError(
+                    "trace=True requires the in-process substrate: "
+                    "causal tracing is not yet merged across workers"
+                )
+        # Raises on unknown substrate names / non-substrate objects.
+        resolve_substrate(self.substrate, self)
         if self.metrics is not None:
             for factory in ("counter", "gauge", "histogram"):
                 if not callable(getattr(self.metrics, factory, None)):
@@ -210,6 +256,8 @@ class Runtime:
         self.dispatcher: Dispatcher | None = None
         #: The scheduling policy; resolved from the config at deploy.
         self.scheduler: Scheduler | None = None
+        #: The execution substrate; resolved from the config at deploy.
+        self.substrate: ExecutionSubstrate | None = None
         #: Metrics registry: fresh per runtime unless injected via the
         #: config, so tests never see each other's counts.
         self.metrics = (
@@ -247,10 +295,17 @@ class Runtime:
         self.sdg.validate()
         self.config.validate(self.sdg)
         self.topology.materialise()
+        # The substrate is resolved before the transport so its
+        # isolation capability can switch off the defensive payload
+        # deepcopy (the wire codec serialises every hand-off anyway).
+        self.substrate = resolve_substrate(self.config.substrate,
+                                           self.config)
         self.transport = Transport(
             self.topology,
             capacity=self.config.channel_capacity,
             copy_payloads=self.config.copy_payloads,
+            payload_isolated=getattr(self.substrate,
+                                     "isolates_payloads", False),
             metrics=self.metrics,
             tracer=self.tracer,
             clock=lambda: self.total_steps,
@@ -270,6 +325,9 @@ class Runtime:
                 self.results.setdefault(te_name, [])
         self._deployed = True
         self._refresh_instance_gauges()
+        # Bind last: a distributed substrate forks its workers here and
+        # they must inherit the fully deployed topology.
+        self.substrate.bind(self)
         return self
 
     def _bind_metrics(self) -> None:
@@ -403,7 +461,7 @@ class Runtime:
                             expected_responses=expected,
                             trace_id=trace_id)
         self._input_buffers.setdefault(channel, []).append(envelope)
-        self.transport.deliver(envelope)
+        self.substrate.deliver(envelope)
 
     def _keyed_index(self, spec, key: Any) -> int:
         """Partition index for keyed dispatch into TE ``spec``."""
@@ -414,14 +472,17 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def blocked_channels(self) -> list[ChannelId]:
-        """Channels currently reporting backpressure (bounded transport).
+        """Channels currently reporting backpressure.
 
-        Empty when ``channel_capacity`` is unset; consumed by the
-        bottleneck detector as a scaling signal alongside inbox depth.
+        Empty when ``channel_capacity`` is unset. In-process this is
+        the bounded transport's signal (consumed by the bottleneck
+        detector alongside inbox depth); on the multiprocess substrate
+        it additionally names congested coordinator->worker wire
+        channels (``edge_index == WIRE_EDGE``).
         """
-        if self.transport is None:
+        if self.substrate is None:
             return []
-        return self.transport.blocked_channels()
+        return self.substrate.blocked_channels()
 
     def step(self) -> bool:
         """Process one envelope on one TE instance; False when idle.
@@ -434,10 +495,10 @@ class Runtime:
         """
         self._require_deployed()
         nodes = self.topology.nodes
-        instances = [
+        instances = self.substrate.runnable([
             inst for inst in self.topology.all_te_instances()
             if nodes[inst.node_id].alive
-        ]
+        ])
         if not instances:
             return False
         instance, throttled = self.scheduler.select(instances, nodes)
@@ -451,7 +512,7 @@ class Runtime:
         envelope = instance.inbox.popleft()
         self.transport.inbox_gauge(instance.name).dec()
         try:
-            self._process(instance, envelope)
+            self.substrate.process(instance, envelope)
         except RuntimeExecutionError as exc:
             if not self._crash_handlers:
                 raise
@@ -498,21 +559,41 @@ class Runtime:
         self._crash_handlers.remove(handler)
 
     def run_until_idle(self, max_steps: int = 10_000_000) -> int:
-        """Drain all inboxes; returns the number of items processed."""
-        steps = 0
-        while steps < max_steps:
-            if (
-                self.config.auto_scale
-                and steps
-                and steps % self.config.scale_check_every == 0
-            ):
-                self._maybe_scale()
-            if not self.step():
-                return steps
-            steps += 1
-        raise RuntimeExecutionError(
-            f"pipeline did not become idle within {max_steps} steps"
-        )
+        """Drain all pending work; returns the number of items processed.
+
+        Substrate-dispatched: in-process this is the deterministic
+        step loop (auto-scale checks between steps); on the
+        multiprocess substrate it pumps the coordinator's event loop
+        until every worker reports quiescence, then merges worker
+        state/results/metrics shards back (a barrier point).
+        """
+        self._require_deployed()
+        return self.substrate.run_until_idle(max_steps)
+
+    def close(self) -> None:
+        """Release substrate resources (worker processes, pipes).
+
+        Idempotent; a no-op on the in-process substrate. Distributed
+        substrates also shut down automatically when the runtime is
+        garbage-collected or the process exits, but tests and services
+        should close deterministically.
+        """
+        if self.substrate is not None:
+            self.substrate.shutdown()
+
+    def merged_metrics(self):
+        """The runtime's metrics with all substrate shards folded in.
+
+        In-process this is ``self.metrics`` itself. On the multiprocess
+        substrate each worker keeps its own registry shard; this
+        returns a fresh registry merging the coordinator's series with
+        every worker's, as of the last barrier — so observability
+        output is substrate-agnostic.
+        """
+        shards = getattr(self.substrate, "metric_shards", None)
+        if not shards:
+            return self.metrics
+        return self.metrics.merged_with(list(shards))
 
     def _process(self, instance: TEInstance, envelope: Envelope) -> None:
         if instance.is_duplicate(envelope):

@@ -25,6 +25,16 @@ class _NoResponse:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "<NO_RESPONSE>"
 
+    def __reduce__(self):
+        # The marker is compared by identity (``payload is NO_RESPONSE``)
+        # so crossing a pickle boundary — the multiprocess substrate's
+        # wire codec — must yield the singleton, not a fresh instance.
+        return (_restore_no_response, ())
+
+
+def _restore_no_response() -> "_NoResponse":
+    return NO_RESPONSE
+
 
 NO_RESPONSE = _NoResponse()
 
@@ -51,6 +61,12 @@ class ChannelId:
 #: edge_index used for external input injected into entry TEs.
 INPUT_EDGE = -1
 
+#: edge_index used for the coordinator<->worker wire channels of the
+#: multiprocess substrate; ``blocked_channels()`` reports congested wire
+#: channels under this sentinel so callers can tell transport-level
+#: backpressure (real edges) from wire-level backpressure.
+WIRE_EDGE = -2
+
 
 @dataclass(frozen=True)
 class Envelope:
@@ -76,3 +92,30 @@ class Envelope:
                         request_id=self.request_id,
                         expected_responses=self.expected_responses,
                         trace_id=self.trace_id)
+
+    # -- wire serialisation ----------------------------------------------
+    #
+    # The multiprocess substrate pickles envelopes across process
+    # boundaries. ``to_wire``/``from_wire`` pin the field order as an
+    # explicit tuple so the contract survives dataclass refactors
+    # (added fields, __slots__, reordering) — the wire tests assert
+    # both this path and plain pickling stay equivalent.
+
+    WIRE_FIELDS = ("payload", "ts", "channel", "request_id",
+                   "expected_responses", "trace_id")
+
+    def to_wire(self) -> tuple:
+        """The envelope as a positional tuple (channel flattened)."""
+        return (self.payload, self.ts,
+                (self.channel.edge_index, self.channel.src_te,
+                 self.channel.src_instance, self.channel.dst_te,
+                 self.channel.dst_instance),
+                self.request_id, self.expected_responses, self.trace_id)
+
+    @classmethod
+    def from_wire(cls, wired: tuple) -> "Envelope":
+        """Rebuild an envelope from :meth:`to_wire` output."""
+        payload, ts, channel, request_id, expected, trace_id = wired
+        return cls(payload=payload, ts=ts, channel=ChannelId(*channel),
+                   request_id=request_id, expected_responses=expected,
+                   trace_id=trace_id)

@@ -1,0 +1,586 @@
+"""The multiprocess substrate: shared-nothing workers over OS pipes.
+
+This is the second :class:`~repro.runtime.substrate.ExecutionSubstrate`
+implementation: the deployed topology is partitioned across ``N``
+forked worker processes, one per group of logical nodes
+(:meth:`~repro.runtime.deployment.Topology.plan_workers`), each owning
+its nodes' TE instances and — transitively — their StateElement
+partitions. Workers never share memory: every cross-worker hand-off is
+an :class:`~repro.runtime.envelope.Envelope` serialised through the
+:mod:`repro.runtime.wire` codec, which is exactly the paper's
+location-independence discipline (§4.1) made physical.
+
+Process topology is a **star**: the coordinator (the process that
+called ``deploy()``) holds two pipes per worker and relays every
+cross-worker envelope. Workers are **forked**, not spawned: SDG task
+functions are closures and generated code that pickle cannot ship, but
+a forked child inherits the fully deployed runtime for free — only
+envelopes and control messages ever cross the wire.
+
+Deadlock freedom by construction:
+
+* the coordinator never blocks on a write — outbound frames queue in
+  per-worker byte queues and drain through a ``select`` loop that
+  always also reads;
+* a worker only blocks on its control pipe when it is locally idle
+  *after* reporting so (``MSG_IDLE``).
+
+Quiescence: each ``MSG_IDLE`` carries cumulative (consumed, emitted,
+processed) counters. Pipes are FIFO, so every ``MSG_OUT`` a worker
+emitted precedes the idle frame that counts it; the system is quiet
+exactly when every worker has consumed everything the coordinator
+sent, the coordinator has read everything every worker emitted, and
+no outbound bytes are queued. ``run_until_idle`` then runs the barrier
+sync (``MSG_SNAPSHOT``): workers ship SE elements, terminal results
+and their metrics shard back, and the coordinator installs them — so
+after the call, coordinator-side state inspection (fingerprints,
+checkpoints, reports) is substrate-agnostic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import select
+import traceback
+import weakref
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import RuntimeExecutionError
+from repro.runtime.envelope import WIRE_EDGE, ChannelId, Envelope
+from repro.runtime.substrate import InProcessSubstrate
+from repro.runtime.wire import (
+    MSG_CRASH,
+    MSG_DELIVER,
+    MSG_HELLO,
+    MSG_IDLE,
+    MSG_OUT,
+    MSG_SHUTDOWN,
+    MSG_SNAPSHOT,
+    MSG_STATE,
+    FrameBuffer,
+    encode_frame,
+    write_frame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.deployment import WorkerPlacement
+    from repro.runtime.engine import Runtime
+    from repro.runtime.instances import TEInstance
+
+#: Upper bound on consecutive local steps a worker takes without
+#: touching its control pipe — the multiprocess analogue of the
+#: in-process loop's default ``max_steps``, so a worker-local infinite
+#: dataflow cycle dies loudly (MSG_CRASH) instead of spinning forever.
+WORKER_DRAIN_LIMIT = 10_000_000
+
+#: Read size for both sides of the pipe.
+_READ_CHUNK = 1 << 16
+
+
+class _Link:
+    """Coordinator-side view of one worker: process, pipes, counters."""
+
+    __slots__ = (
+        "worker_id", "process", "send_fd", "recv_fd", "buffer", "outbox",
+        "sent", "consumed", "emitted", "received_out", "processed",
+        "state_reply",
+    )
+
+    def __init__(self, worker_id: int, process, send_fd: int,
+                 recv_fd: int) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.send_fd = send_fd
+        self.recv_fd = recv_fd
+        self.buffer = FrameBuffer()
+        #: Encoded frames waiting for pipe capacity (never block a write).
+        self.outbox: deque = deque()
+        #: Frames enqueued towards this worker (every kind).
+        self.sent = 0
+        #: Worker's cumulative consumed/emitted/processed, as of its
+        #: latest MSG_IDLE / MSG_STATE report.
+        self.consumed = 0
+        self.emitted = 0
+        self.processed = 0
+        #: MSG_OUT frames read *from* this worker.
+        self.received_out = 0
+        self.state_reply: dict | None = None
+
+
+def _release(links: list) -> None:
+    """Tear a worker fleet down (finalizer-safe: no substrate ref)."""
+    for link in links:
+        try:
+            os.set_blocking(link.send_fd, True)
+            while link.outbox:
+                chunk = link.outbox.popleft()
+                while chunk:
+                    chunk = chunk[os.write(link.send_fd, chunk):]
+            write_frame(link.send_fd, (MSG_SHUTDOWN,))
+        except OSError:
+            pass
+        try:
+            os.close(link.send_fd)
+        except OSError:
+            pass
+    for link in links:
+        link.process.join(timeout=2.0)
+        if link.process.is_alive():  # pragma: no cover - hung worker
+            link.process.terminate()
+            link.process.join(timeout=1.0)
+        try:
+            os.close(link.recv_fd)
+        except OSError:
+            pass
+
+
+class MultiprocessSubstrate:
+    """Shared-nothing worker processes behind the substrate protocol."""
+
+    name = "multiprocess"
+    #: Every cross-worker hand-off crosses the pickle wire, so the
+    #: transport's defensive payload deepcopy is redundant.
+    isolates_payloads = True
+
+    def __init__(self, workers: int = 2,
+                 capacity: int | None = None) -> None:
+        self.workers = int(workers)
+        self.capacity = capacity
+        self.runtime: "Runtime | None" = None
+        self.placement: "WorkerPlacement | None" = None
+        #: Latest per-worker metrics snapshots (set at each barrier);
+        #: consumed by :meth:`Runtime.merged_metrics`.
+        self.metric_shards: list[dict] = []
+        self._links: list[_Link] = []
+        self._routed = 0
+        self._processed_base = 0
+        self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # Deploy: fork the fleet
+    # ------------------------------------------------------------------
+
+    def bind(self, runtime: "Runtime") -> None:
+        """Plan placement, open pipes, fork workers, say hello.
+
+        Called at the *end* of ``deploy()`` so every forked child
+        inherits the fully materialised topology — task closures and
+        generated code never travel the wire.
+        """
+        self.runtime = runtime
+        self.placement = runtime.topology.plan_workers(self.workers)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX
+            raise RuntimeExecutionError(
+                "the multiprocess substrate requires the fork start "
+                "method (POSIX); this platform does not support it"
+            ) from exc
+        # Coordinator and workers each mint request ids in a disjoint
+        # residue class mod (workers + 1): two workers broadcasting
+        # concurrently must never collide at a merge barrier.
+        stride = self.workers + 1
+        runtime.dispatcher._request_ids = itertools.count(stride, stride)
+        pipes = []  # (c2w_read, c2w_write, w2c_read, w2c_write)
+        for _ in range(self.workers):
+            c2w_r, c2w_w = os.pipe()
+            w2c_r, w2c_w = os.pipe()
+            pipes.append((c2w_r, c2w_w, w2c_r, w2c_w))
+        all_fds = [fd for quad in pipes for fd in quad]
+        index_digest = runtime.dispatcher.export_index()
+        for wid, (c2w_r, c2w_w, w2c_r, w2c_w) in enumerate(pipes):
+            keep = {c2w_r, w2c_w}
+            close_fds = [fd for fd in all_fds if fd not in keep]
+            process = ctx.Process(
+                target=_worker_main,
+                args=(runtime, wid, self.placement, c2w_r, w2c_w,
+                      close_fds),
+                daemon=True,
+                name=f"repro-worker-{wid}",
+            )
+            process.start()
+            self._links.append(_Link(wid, process, c2w_w, w2c_r))
+        for c2w_r, c2w_w, w2c_r, w2c_w in pipes:
+            os.close(c2w_r)
+            os.close(w2c_w)
+            os.set_blocking(c2w_w, False)
+            os.set_blocking(w2c_r, False)
+        # Idempotent teardown: explicit close(), GC and interpreter
+        # exit all funnel into one _release of this exact fleet.
+        self._finalizer = weakref.finalize(self, _release, self._links)
+        for link in self._links:
+            self._send(link, (MSG_HELLO, link.worker_id, self.workers,
+                              index_digest))
+
+    # ------------------------------------------------------------------
+    # Substrate protocol
+    # ------------------------------------------------------------------
+
+    def deliver(self, envelope: "Envelope") -> bool:
+        """Route one envelope to the worker owning its destination."""
+        owner = self.placement.owner_of(
+            envelope.channel.dst_te, envelope.channel.dst_instance
+        )
+        self._routed += 1
+        self._send(self._links[owner], (MSG_DELIVER, envelope))
+        return True
+
+    def runnable(self, instances: "list[TEInstance]") \
+            -> "list[TEInstance]":
+        # The coordinator process owns no instances: it routes.
+        return []
+
+    def process(self, instance: "TEInstance",
+                envelope: "Envelope") -> None:  # pragma: no cover
+        raise RuntimeExecutionError(
+            "the multiprocess coordinator does not process envelopes; "
+            "instances run inside their owning workers"
+        )
+
+    def run_until_idle(self, max_steps: int) -> int:
+        """Pump the star until quiescent, then barrier-sync state back."""
+        routed_start = self._routed
+        while not self._quiet():
+            if self._routed - routed_start > max_steps:
+                raise RuntimeExecutionError(
+                    f"pipeline did not become idle within {max_steps} "
+                    f"steps"
+                )
+            self._pump(0.1)
+        return self._sync()
+
+    def blocked_channels(self) -> "list[ChannelId]":
+        """Wire edges whose in-flight frame count exceeds capacity.
+
+        The coordinator->worker stream is modelled as one channel per
+        worker (``edge_index == WIRE_EDGE``): frames enqueued but not
+        yet acknowledged by the worker's cumulative consumed counter
+        are in flight — the multiprocess analogue of inbox depth.
+        """
+        if self.capacity is None:
+            return []
+        return [
+            ChannelId(WIRE_EDGE, "__coordinator__", 0, "__worker__",
+                      link.worker_id)
+            for link in self._links
+            if link.sent - link.consumed > self.capacity
+        ]
+
+    def shutdown(self) -> None:
+        """Stop workers and close pipes (idempotent)."""
+        if not self._links:
+            return
+        links, self._links = self._links, []
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _release(links)
+
+    # ------------------------------------------------------------------
+    # Coordinator event loop
+    # ------------------------------------------------------------------
+
+    def _send(self, link: _Link, message: Any) -> None:
+        link.outbox.append(encode_frame(message))
+        link.sent += 1
+        self._flush(link)
+
+    def _flush(self, link: _Link) -> None:
+        """Write queued frames without ever blocking."""
+        while link.outbox:
+            head = link.outbox[0]
+            try:
+                written = os.write(link.send_fd, head)
+            except BlockingIOError:
+                return
+            except BrokenPipeError:
+                self._worker_died(link)
+            if written < len(head):
+                link.outbox[0] = head[written:]
+                return
+            link.outbox.popleft()
+
+    def _pump(self, timeout: float) -> None:
+        """One select round: drain worker frames, flush pending writes."""
+        rlist = {link.recv_fd: link for link in self._links}
+        wlist = {link.send_fd: link
+                 for link in self._links if link.outbox}
+        readable, writable, _ = select.select(
+            list(rlist), list(wlist), [], timeout
+        )
+        for fd in writable:
+            self._flush(wlist[fd])
+        for fd in readable:
+            link = rlist[fd]
+            try:
+                data = os.read(fd, _READ_CHUNK)
+            except BlockingIOError:  # pragma: no cover - spurious wake
+                continue
+            if not data:
+                self._worker_died(link)
+            for message in link.buffer.feed(data):
+                self._handle(link, message)
+
+    def _handle(self, link: _Link, message: tuple) -> None:
+        tag = message[0]
+        if tag == MSG_OUT:
+            link.received_out += 1
+            self.deliver(message[1])
+        elif tag == MSG_IDLE:
+            _, link.consumed, link.emitted, link.processed = message
+        elif tag == MSG_STATE:
+            reply = message[1]
+            link.consumed = reply["consumed"]
+            link.emitted = reply["emitted"]
+            link.processed = reply["processed"]
+            link.state_reply = reply
+        elif tag == MSG_CRASH:
+            raise RuntimeExecutionError(
+                f"worker {link.worker_id} crashed:\n{message[1]}"
+            )
+        else:  # pragma: no cover - protocol violation
+            raise RuntimeExecutionError(
+                f"unexpected frame tag {tag!r} from worker "
+                f"{link.worker_id}"
+            )
+
+    def _quiet(self) -> bool:
+        """Nothing queued, nothing unconsumed, nothing unread."""
+        return all(
+            not link.outbox
+            and link.consumed == link.sent
+            and link.received_out == link.emitted
+            for link in self._links
+        )
+
+    def _worker_died(self, link: _Link) -> None:
+        raise RuntimeExecutionError(
+            f"worker {link.worker_id} exited unexpectedly "
+            f"(exitcode {link.process.exitcode})"
+        )
+
+    # ------------------------------------------------------------------
+    # Barrier sync
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> int:
+        """Ship worker state back and install it on the coordinator.
+
+        After this barrier the coordinator's topology holds every SE
+        element, ``runtime.results`` holds the merged terminal outputs
+        (in worker order — deterministic for a fixed placement), and
+        ``metric_shards`` holds each worker's registry snapshot.
+        Returns the items processed since the previous barrier.
+        """
+        runtime = self.runtime
+        for link in self._links:
+            link.state_reply = None
+            self._send(link, (MSG_SNAPSHOT,))
+        while any(link.state_reply is None for link in self._links):
+            self._pump(0.1)
+        results: dict[str, list] = {te: [] for te in runtime.results}
+        processed_total = 0
+        shards: list[dict] = []
+        for link in self._links:
+            reply = link.state_reply
+            for (se_name, index), element in reply["se"].items():
+                inst = runtime.topology.se_instance(se_name, index)
+                if inst is not None:
+                    inst.element = element
+            for te, items in reply["results"].items():
+                results.setdefault(te, []).extend(items)
+            shards.append(reply["metrics"])
+            processed_total += reply["processed"]
+        runtime.results.clear()
+        runtime.results.update(results)
+        self.metric_shards = shards
+        delta = processed_total - self._processed_base
+        self._processed_base = processed_total
+        return delta
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerSubstrate(InProcessSubstrate):
+    """The in-process loop, restricted to the instances a worker owns.
+
+    Workers reuse the engine's step loop verbatim — same scheduler
+    rotor, same per-item semantics — which is what keeps the two
+    substrates behaviourally aligned; only the candidate set shrinks
+    to the local partition.
+    """
+
+    name = "multiprocess-worker"
+    isolates_payloads = False
+
+    def __init__(self, owned: set) -> None:
+        super().__init__()
+        self._owned = owned
+
+    def runnable(self, instances: "list[TEInstance]") \
+            -> "list[TEInstance]":
+        return [inst for inst in instances if inst.key in self._owned]
+
+
+def _worker_main(runtime: "Runtime", worker_id: int, placement,
+                 recv_fd: int, send_fd: int,
+                 close_fds: list) -> None:  # pragma: no cover - subprocess
+    """Entry point of a forked worker process."""
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    try:
+        _serve(runtime, worker_id, placement, recv_fd, send_fd)
+    except (EOFError, BrokenPipeError):
+        # Coordinator went away: nothing left to serve.
+        pass
+    except BaseException:
+        try:
+            write_frame(send_fd, (MSG_CRASH, traceback.format_exc()))
+        except OSError:
+            pass
+        os._exit(1)
+
+
+def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
+           send_fd: int) -> None:  # pragma: no cover - subprocess
+    """The worker loop: drain local work, relay wire traffic, report."""
+    # The forked copy of the coordinator's substrate must never run its
+    # teardown in this process (its Process handles belong to the
+    # parent); detach the inherited finalizer before replacing it.
+    inherited = runtime.substrate
+    if isinstance(inherited, MultiprocessSubstrate):
+        if inherited._finalizer is not None:
+            inherited._finalizer.detach()
+        inherited._links = []
+    counters = {"consumed": 0, "emitted": 0, "processed": 0}
+
+    def remote_send(envelope: "Envelope") -> None:
+        write_frame(send_fd, (MSG_OUT, envelope))
+        counters["emitted"] += 1
+
+    owned = set(placement.instances_of(worker_id))
+    substrate = _WorkerSubstrate(owned)
+    substrate.bind(runtime)
+    runtime.substrate = substrate
+    # The inherited registry holds the coordinator's deploy-time
+    # values; zero it so this worker's shard is purely its own work
+    # and the barrier merge never double-counts.
+    runtime.metrics.reset()
+    runtime.transport.enable_worker_routing(placement, worker_id,
+                                            remote_send)
+    # Disjoint request-id residue class (see bind()).
+    runtime.dispatcher._request_ids = itertools.count(
+        worker_id + 1, placement.n_workers + 1
+    )
+
+    os.set_blocking(recv_fd, False)
+    buffer = FrameBuffer()
+    pending: deque = deque()
+
+    def poll(block: bool) -> None:
+        """Move available frames into ``pending``; optionally wait."""
+        while True:
+            try:
+                data = os.read(recv_fd, _READ_CHUNK)
+            except BlockingIOError:
+                data = None
+            if data == b"":
+                raise EOFError("coordinator closed the control pipe")
+            if data:
+                pending.extend(buffer.feed(data))
+                continue
+            if pending or not block:
+                return
+            select.select([recv_fd], [], [])
+
+    reported = None
+    drained = 0
+    while True:
+        poll(block=False)
+        if not pending:
+            if runtime.step():
+                counters["processed"] += 1
+                drained += 1
+                if drained > WORKER_DRAIN_LIMIT:
+                    raise RuntimeExecutionError(
+                        f"worker {worker_id} did not become idle "
+                        f"within {WORKER_DRAIN_LIMIT} local steps"
+                    )
+                continue
+            drained = 0
+            report = (counters["consumed"], counters["emitted"],
+                      counters["processed"])
+            if report != reported:
+                write_frame(send_fd, (MSG_IDLE,) + report)
+                reported = report
+            poll(block=True)
+            continue
+        message = pending.popleft()
+        counters["consumed"] += 1
+        tag = message[0]
+        if tag == MSG_DELIVER:
+            runtime.transport.deliver(message[1])
+        elif tag == MSG_SNAPSHOT:
+            write_frame(send_fd, (MSG_STATE, _snapshot(
+                runtime, worker_id, placement, counters)))
+        elif tag == MSG_HELLO:
+            _check_hello(runtime, message, worker_id, placement)
+        elif tag == MSG_SHUTDOWN:
+            return
+        else:
+            raise RuntimeExecutionError(
+                f"worker {worker_id}: unexpected frame tag {tag!r}"
+            )
+
+
+def _check_hello(runtime: "Runtime", message: tuple, worker_id: int,
+                 placement) -> None:  # pragma: no cover - subprocess
+    """Verify the coordinator's shipped view matches the forked one.
+
+    A divergence between the coordinator's successor index and the
+    worker's own (impossible today, cheap to check forever) would
+    silently misroute envelopes; fail at bootstrap instead.
+    """
+    _, wid, n_workers, index_digest = message
+    if wid != worker_id or n_workers != placement.n_workers:
+        raise RuntimeExecutionError(
+            f"hello mismatch: coordinator addressed worker {wid} of "
+            f"{n_workers}, this process is worker {worker_id} of "
+            f"{placement.n_workers}"
+        )
+    local = runtime.dispatcher.export_index()
+    if index_digest != local:
+        raise RuntimeExecutionError(
+            f"worker {worker_id}: successor index diverged from the "
+            f"coordinator's (routing tables are not identical)"
+        )
+
+
+def _snapshot(runtime: "Runtime", worker_id: int, placement,
+              counters: dict) -> dict:  # pragma: no cover - subprocess
+    """This worker's barrier payload: SE elements, results, metrics."""
+    elements = {}
+    for se_name in runtime.sdg.states:
+        for inst in runtime.topology.se_instances(se_name):
+            if placement.worker_of_node(inst.node_id) == worker_id:
+                elements[inst.key] = inst.element
+    return {
+        "worker": worker_id,
+        "consumed": counters["consumed"],
+        "emitted": counters["emitted"],
+        "processed": counters["processed"],
+        "se": elements,
+        "results": {te: list(items)
+                    for te, items in runtime.results.items() if items},
+        "metrics": runtime.metrics.snapshot(),
+        "steps": runtime.total_steps,
+    }

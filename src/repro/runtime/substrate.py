@@ -1,0 +1,190 @@
+"""The execution-substrate layer: one program semantics, N executors.
+
+The runtime's upper layers (deployment, scheduling, transport,
+dispatch) define *what* an SDG execution means; an
+:class:`ExecutionSubstrate` decides *where and how* the step loop
+actually runs. The layered-dataflow discipline (Misale et al.) is the
+contract: every substrate must produce the same final SE state for the
+same injected inputs — the cross-substrate differential tests enforce
+it.
+
+Two substrates ship:
+
+* :class:`InProcessSubstrate` (default) — the deterministic
+  single-threaded logical-time loop the repository has always had,
+  byte-for-byte. It remains the testing, repro and durability baseline
+  (durable runs pin it: deterministic replay is its contract).
+* :class:`~repro.runtime.multiprocess.MultiprocessSubstrate` —
+  shared-nothing worker processes, each owning the TE instances and
+  StateElement partitions of its assigned logical nodes, connected by
+  OS pipes speaking the length-prefixed pickle codec of
+  :mod:`repro.runtime.wire`.
+
+A substrate is chosen per deployment via
+``RuntimeConfig(substrate="inprocess" | "multiprocess" | <object>)``;
+custom substrates plug in like custom schedulers do, by passing any
+object implementing the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import RuntimeExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.engine import Runtime
+    from repro.runtime.envelope import ChannelId, Envelope
+    from repro.runtime.instances import TEInstance
+
+
+@runtime_checkable
+class ExecutionSubstrate(Protocol):
+    """Where the step loop runs: the execution layer behind the facade.
+
+    The engine calls, in order: :meth:`bind` at deploy, then
+    :meth:`deliver` for every injected envelope, :meth:`run_until_idle`
+    to drain, and :meth:`shutdown` when the runtime is closed. The
+    remaining hooks let a substrate restrict (:meth:`runnable`) and
+    observe/intercept (:meth:`process`) the in-process step loop, which
+    worker processes of a distributed substrate reuse verbatim.
+    """
+
+    #: Registry name (``RuntimeConfig(substrate=name)``).
+    name: str
+
+    #: Capability flag: True when every payload hand-off through this
+    #: substrate crosses a serialisation boundary, which makes the
+    #: transport's defensive ``copy_payloads`` deepcopy redundant (the
+    #: wire codec *is* the isolation). The transport consults this to
+    #: skip the hot-path copy.
+    isolates_payloads: bool
+
+    def bind(self, runtime: "Runtime") -> None:
+        """Attach to a deployed runtime (spawn workers, open pipes...)."""
+        ...  # pragma: no cover - protocol
+
+    def deliver(self, envelope: "Envelope") -> bool:
+        """Hand one injected envelope to the execution layer."""
+        ...  # pragma: no cover - protocol
+
+    def runnable(self, instances: "list[TEInstance]") \
+            -> "list[TEInstance]":
+        """Filter the step loop's candidate instances to the local set."""
+        ...  # pragma: no cover - protocol
+
+    def process(self, instance: "TEInstance",
+                envelope: "Envelope") -> None:
+        """Serve one envelope on one instance (the per-item semantics)."""
+        ...  # pragma: no cover - protocol
+
+    def run_until_idle(self, max_steps: int) -> int:
+        """Drain all pending work; returns the items processed."""
+        ...  # pragma: no cover - protocol
+
+    def blocked_channels(self) -> "list[ChannelId]":
+        """Channels currently reporting backpressure."""
+        ...  # pragma: no cover - protocol
+
+    def shutdown(self) -> None:
+        """Release substrate resources (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+
+class InProcessSubstrate:
+    """The deterministic single-process logical-time loop (default).
+
+    This substrate *is* the seed engine's behaviour: the scheduler's
+    rotor order, stall ticks, hook timing and auto-scale cadence are
+    unchanged — the rotor-determinism reference test asserts selection
+    order against this class, which is what makes the substrate
+    refactor provably behaviour-preserving.
+    """
+
+    name = "inprocess"
+    isolates_payloads = False
+
+    def __init__(self) -> None:
+        self.runtime: "Runtime | None" = None
+
+    def bind(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+
+    # -- execution -------------------------------------------------------
+
+    def deliver(self, envelope: "Envelope") -> bool:
+        return self.runtime.transport.deliver(envelope)
+
+    def runnable(self, instances: "list[TEInstance]") \
+            -> "list[TEInstance]":
+        return instances
+
+    def process(self, instance: "TEInstance",
+                envelope: "Envelope") -> None:
+        self.runtime._process(instance, envelope)
+
+    def run_until_idle(self, max_steps: int) -> int:
+        """The seed drain loop: auto-scale checks between steps."""
+        runtime = self.runtime
+        steps = 0
+        while steps < max_steps:
+            if (
+                runtime.config.auto_scale
+                and steps
+                and steps % runtime.config.scale_check_every == 0
+            ):
+                runtime._maybe_scale()
+            if not runtime.step():
+                return steps
+            steps += 1
+        raise RuntimeExecutionError(
+            f"pipeline did not become idle within {max_steps} steps"
+        )
+
+    # -- observation -----------------------------------------------------
+
+    def blocked_channels(self) -> "list[ChannelId]":
+        if self.runtime is None or self.runtime.transport is None:
+            return []
+        return self.runtime.transport.blocked_channels()
+
+    def shutdown(self) -> None:
+        pass
+
+
+#: Built-in substrates selectable by name. The multiprocess substrate
+#: is imported lazily so that plain in-process deployments never pay
+#: its imports (selectors, multiprocessing).
+SUBSTRATES = ("inprocess", "multiprocess")
+
+
+def resolve_substrate(spec, config) -> "ExecutionSubstrate":
+    """Turn the config knob into a substrate instance.
+
+    Accepts a registry name or any object implementing the
+    :class:`ExecutionSubstrate` protocol. Raises
+    :class:`~repro.errors.RuntimeExecutionError` on anything else, so a
+    typo'd substrate name fails at deploy time.
+    """
+    if isinstance(spec, str):
+        if spec == "inprocess":
+            return InProcessSubstrate()
+        if spec == "multiprocess":
+            from repro.runtime.multiprocess import MultiprocessSubstrate
+
+            workers = config.workers if config.workers is not None else 2
+            return MultiprocessSubstrate(
+                workers=workers, capacity=config.channel_capacity
+            )
+        raise RuntimeExecutionError(
+            f"unknown substrate {spec!r}; available substrates: "
+            f"{sorted(SUBSTRATES)}"
+        )
+    required = ("bind", "deliver", "run_until_idle", "runnable",
+                "process", "shutdown")
+    if all(callable(getattr(spec, hook, None)) for hook in required):
+        return spec
+    raise RuntimeExecutionError(
+        f"RuntimeConfig.substrate must be a substrate name or an object "
+        f"implementing the ExecutionSubstrate protocol, got {spec!r}"
+    )

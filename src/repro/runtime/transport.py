@@ -56,13 +56,27 @@ class Transport:
     def __init__(self, topology: "Topology", *,
                  capacity: int | None = None,
                  copy_payloads: bool = False,
+                 payload_isolated: bool = False,
                  metrics: Any = None,
                  tracer: "Tracer | None" = None,
                  clock=None) -> None:
         self._topology = topology
         self.capacity = capacity
         self.copy_payloads = copy_payloads
+        #: Substrate capability flag: when the execution substrate
+        #: already serialises every hand-off (process boundary), the
+        #: defensive ``copy_payloads`` deepcopy is redundant — the wire
+        #: codec *is* the isolation — and is skipped on the hot path.
+        self.payload_isolated = payload_isolated
         self._channels: dict[ChannelId, Channel] = {}
+        #: Worker-side wire routing (multiprocess substrate): when set,
+        #: envelopes whose destination instance is owned by another
+        #: worker are forwarded over the wire instead of delivered into
+        #: a local inbox. ``None`` on the in-process substrate and on
+        #: the coordinator.
+        self._placement = None
+        self._local_worker: int | None = None
+        self._remote_send = None
         #: Optional causal tracer; notified on every successful delivery
         #: so queue-wait spans are observable. ``clock`` supplies the
         #: current logical step (the engine passes its own counter).
@@ -78,6 +92,10 @@ class Transport:
         self._c_copies = registry.counter(
             "transport_payload_copies_total",
             "payload deep-copies performed for isolation").labels()
+        self._c_wire = registry.counter(
+            "transport_wire_forwards_total",
+            "envelopes forwarded to another worker over the wire"
+        ).labels()
         self._g_blocked = registry.gauge(
             "transport_blocked_channels",
             "channels over capacity at last blocked_channels() scan").labels()
@@ -102,11 +120,43 @@ class Transport:
     # ------------------------------------------------------------------
 
     def prepare_payload(self, payload: Any) -> Any:
-        """Apply the configured isolation policy to an outgoing payload."""
-        if self.copy_payloads and payload is not NO_RESPONSE:
+        """Apply the configured isolation policy to an outgoing payload.
+
+        When the substrate guarantees isolation through serialisation
+        (``payload_isolated``), the defensive deepcopy is skipped: the
+        payload is pickled onto the wire right after, and the consumer
+        only ever sees the deserialised copy.
+        """
+        if (
+            self.copy_payloads
+            and not self.payload_isolated
+            and payload is not NO_RESPONSE
+        ):
             self._c_copies.inc()
             return copy.deepcopy(payload)
         return payload
+
+    # ------------------------------------------------------------------
+    # Worker-side wire routing (multiprocess substrate)
+    # ------------------------------------------------------------------
+
+    def enable_worker_routing(self, placement, local_worker: int,
+                              remote_send) -> None:
+        """Route envelopes for non-local instances through the wire.
+
+        Called once inside each worker process after the fork:
+        ``placement`` maps instance keys to workers, ``remote_send``
+        writes one envelope frame towards the coordinator, which
+        forwards it to the owning worker. Local hops keep the exact
+        in-process delivery path (and the configured ``copy_payloads``
+        semantics — within a worker, references are shared again).
+        """
+        self._placement = placement
+        self._local_worker = local_worker
+        self._remote_send = remote_send
+        # Within a worker the process boundary is gone: local hops
+        # share references, so honour copy_payloads again.
+        self.payload_isolated = False
 
     # ------------------------------------------------------------------
     # Delivery
@@ -130,6 +180,19 @@ class Transport:
         output buffer and are replayed during recovery.
         """
         channel = self.channel(envelope.channel)
+        if (
+            self._placement is not None
+            and self._placement.owner_of(
+                envelope.channel.dst_te, envelope.channel.dst_instance
+            ) != self._local_worker
+        ):
+            # Not ours: ship it to the owning worker via the wire. The
+            # frame counts as delivered on this channel — the owning
+            # worker performs the actual inbox append on its side.
+            self._c_wire.inc()
+            channel.delivered += 1
+            self._remote_send(envelope)
+            return True
         instance = self._topology.te_instance(
             envelope.channel.dst_te, envelope.channel.dst_instance
         )

@@ -12,6 +12,7 @@ import pytest
 from repro.core import SDG
 from repro.errors import RuntimeExecutionError
 from repro.runtime import (
+    InProcessSubstrate,
     LongestQueueScheduler,
     RoundRobinScheduler,
     Runtime,
@@ -184,19 +185,27 @@ class SeedLoopScheduler:
 
 
 def traced_run(scheduler, straggle=False):
-    """Run a fixed KV workload; return the processing trace + results."""
+    """Run a fixed KV workload; return the processing trace + results.
+
+    The trace is recorded at the *substrate* surface — the layer the
+    engine actually drives — and the run asserts it executes on
+    :class:`InProcessSubstrate`: the rotor-determinism reference is a
+    property of that substrate (the seed loop, byte-for-byte), not of
+    engine internals.
+    """
     runtime = Runtime(
         build_kv_sdg(),
         RuntimeConfig(se_instances={"table": 3}, scheduler=scheduler),
     ).deploy()
+    assert isinstance(runtime.substrate, InProcessSubstrate)
     trace = []
-    original = runtime._process
+    original = runtime.substrate.process
 
     def record(instance, envelope):
         trace.append((instance.name, instance.index, envelope.ts))
         original(instance, envelope)
 
-    runtime._process = record
+    runtime.substrate.process = record
     if straggle:
         slow = runtime.te_instances("serve")[1]
         runtime.nodes[slow.node_id].speed = 0.4

@@ -1,0 +1,397 @@
+"""Tests for the execution-substrate layer.
+
+The substrate contract is behavioural equivalence: for the same
+injected inputs, every substrate must produce the same final SE state
+(the cross-substrate differential tests assert it via the durability
+layer's partition-independent ``state_fingerprint``) and the same
+terminal results. On top of that, this file covers the multiprocess
+specifics: wire backpressure under a bounded in-flight window, crash
+propagation, barrier metrics merging, the payload-isolation capability
+flag, and the deploy-time configuration gates.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.wordcount import build_wordcount_sdg
+from repro.core import SDG
+from repro.core.elements import AccessMode, StateKind
+from repro.durability.manifest import state_fingerprint
+from repro.errors import RuntimeExecutionError
+from repro.runtime import (
+    InProcessSubstrate,
+    Runtime,
+    RuntimeConfig,
+    SUBSTRATES,
+    resolve_substrate,
+)
+from repro.runtime.envelope import WIRE_EDGE
+from repro.runtime.multiprocess import MultiprocessSubstrate
+from repro.state import KeyValueMap
+from repro.testing import build_iterative_sdg, build_kv_sdg
+
+
+def run_kv(substrate, workers=None, puts=120, gets=13, partitions=4,
+           **knobs):
+    """A fixed KV workload; returns (processed, fingerprint, results)."""
+    config = RuntimeConfig(se_instances={"table": partitions},
+                           substrate=substrate, workers=workers, **knobs)
+    runtime = Runtime(build_kv_sdg(), config).deploy()
+    try:
+        for i in range(puts):
+            runtime.inject("serve", ("put", f"k{i % 17}", i))
+        for i in range(gets):
+            runtime.inject("serve", ("get", f"k{i}", None))
+        processed = runtime.run_until_idle()
+        fingerprint = state_fingerprint(runtime)
+        results = {te: sorted(map(repr, items))
+                   for te, items in runtime.results.items()}
+    finally:
+        runtime.close()
+    return processed, fingerprint, results
+
+
+def run_wordcount(substrate, workers=None, lines=80, partitions=4):
+    config = RuntimeConfig(se_instances={"counts": partitions},
+                           substrate=substrate, workers=workers)
+    runtime = Runtime(build_wordcount_sdg(), config).deploy()
+    try:
+        text = ["the quick brown fox", "jumps over the lazy dog",
+                "the fox", "dog days of state"]
+        for i in range(lines):
+            runtime.inject("split", (i, text[i % len(text)]))
+        processed = runtime.run_until_idle()
+        fingerprint = state_fingerprint(runtime)
+        results = {te: sorted(map(repr, items))
+                   for te, items in runtime.results.items()}
+    finally:
+        runtime.close()
+    return processed, fingerprint, results
+
+
+class TestCrossSubstrateDifferential:
+    """Same inputs => same merged final state, on either substrate."""
+
+    def test_kvstore_state_and_results_identical(self):
+        inproc = run_kv("inprocess")
+        multi = run_kv("multiprocess", workers=3)
+        assert multi == inproc
+
+    def test_wordcount_state_and_results_identical(self):
+        inproc = run_wordcount("inprocess")
+        multi = run_wordcount("multiprocess", workers=4)
+        assert multi == inproc
+
+    def test_iterative_loop_crosses_workers(self):
+        # stepA -> stepB -> stepA keyed ping-pong: with one partition
+        # per worker every hop crosses the wire through the coordinator.
+        def run(substrate, workers=None):
+            config = RuntimeConfig(
+                se_instances={"modelA": 2, "modelB": 2},
+                substrate=substrate, workers=workers,
+            )
+            runtime = Runtime(build_iterative_sdg(), config).deploy()
+            try:
+                for n in (5, 8, 3):
+                    runtime.inject("stepA", n)
+                processed = runtime.run_until_idle()
+                fingerprint = state_fingerprint(runtime)
+            finally:
+                runtime.close()
+            return processed, fingerprint
+
+        assert run("multiprocess", workers=2) == run("inprocess")
+
+    def test_more_workers_than_nodes(self):
+        # Extra workers simply own nothing; correctness is unchanged.
+        inproc = run_kv("inprocess", partitions=2)
+        multi = run_kv("multiprocess", workers=6, partitions=2)
+        assert multi == inproc
+
+    def test_repeated_runs_accumulate_consistently(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            runtime.inject("serve", ("put", "a", 1))
+            first = runtime.run_until_idle()
+            runtime.inject("serve", ("put", "b", 2))
+            runtime.inject("serve", ("get", "a", None))
+            second = runtime.run_until_idle()
+            merged = {}
+            for inst in runtime.se_instances("table"):
+                merged.update(dict(inst.element.items()))
+        finally:
+            runtime.close()
+        assert (first, second) == (1, 2)
+        assert merged == {"a": 1, "b": 2}
+        assert ("a", 1) in runtime.results["serve"]
+
+
+class TestWireBackpressure:
+    """Satellite: blocked_channels() under a bounded in-flight window."""
+
+    def test_burst_blocks_then_drains_without_loss(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2,
+                               channel_capacity=8)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            # The coordinator never pumps during injection, so its
+            # consumed counters stay at the hello handshake: a burst
+            # beyond capacity deterministically reports wire
+            # backpressure towards every loaded worker.
+            n = 100
+            for i in range(n):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            blocked = runtime.blocked_channels()
+            assert blocked, "burst past capacity must report blocking"
+            assert {c.edge_index for c in blocked} == {WIRE_EDGE}
+            assert all(c.dst_te == "__worker__" for c in blocked)
+            # The producer observes blocking, yet delivery never drops:
+            # the drain completes (no deadlock) and every envelope
+            # reaches its partition (no loss).
+            processed = runtime.run_until_idle()
+            assert processed == n
+            assert runtime.blocked_channels() == []
+            merged = {}
+            for inst in runtime.se_instances("table"):
+                merged.update(dict(inst.element.items()))
+            assert merged == {f"k{i}": i for i in range(n)}
+        finally:
+            runtime.close()
+
+    def test_unbounded_wire_never_reports(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            for i in range(50):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            assert runtime.blocked_channels() == []
+            runtime.run_until_idle()
+        finally:
+            runtime.close()
+
+
+class TestMultiprocessLifecycle:
+    def test_worker_crash_propagates_with_traceback(self):
+        sdg = SDG("crashy")
+        sdg.add_state("table", KeyValueMap, kind=StateKind.PARTITIONED,
+                      partition_by="key")
+
+        def serve(ctx, request):
+            op, key, value = request
+            if key == "boom":
+                raise ValueError("injected task failure")
+            ctx.state.put(key, value)
+
+        sdg.add_task("serve", serve, state="table",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda r: r[1], entry_key_name="key")
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(sdg, config).deploy()
+        try:
+            runtime.inject("serve", ("put", "ok", 1))
+            runtime.inject("serve", ("put", "boom", 2))
+            with pytest.raises(RuntimeExecutionError, match="crashed"):
+                runtime.run_until_idle()
+        finally:
+            runtime.close()
+
+    def test_close_is_idempotent_and_reaps_workers(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        substrate = runtime.substrate
+        links = list(substrate._links)
+        runtime.inject("serve", ("put", "a", 1))
+        runtime.run_until_idle()
+        runtime.close()
+        runtime.close()
+        assert substrate._links == []
+        for link in links:
+            assert not link.process.is_alive()
+
+    def test_merged_metrics_match_inprocess_totals(self):
+        def processed_series(substrate, workers=None):
+            config = RuntimeConfig(se_instances={"table": 2},
+                                   substrate=substrate, workers=workers)
+            runtime = Runtime(build_kv_sdg(), config).deploy()
+            try:
+                for i in range(40):
+                    runtime.inject("serve", ("put", f"k{i}", i))
+                runtime.run_until_idle()
+                snap = runtime.merged_metrics().snapshot()
+            finally:
+                runtime.close()
+            return snap["engine_items_processed_total"]["children"]
+
+        assert processed_series("multiprocess", workers=2) \
+            == processed_series("inprocess")
+
+    def test_run_returns_processed_delta_per_barrier(self):
+        _, _, _ = run_kv("multiprocess", workers=2, puts=30, gets=0)
+        processed, _, _ = run_kv("inprocess", puts=30, gets=0)
+        assert processed == 30
+
+
+class TestPayloadIsolation:
+    """Satellite: the serialisation boundary replaces the deepcopy."""
+
+    def test_inprocess_copy_payloads_still_deepcopies(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               copy_payloads=True)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        assert runtime.transport.payload_isolated is False
+        payload = {"mutable": []}
+        assert runtime.transport.prepare_payload(payload) is not payload
+
+    def test_multiprocess_coordinator_skips_the_deepcopy(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               copy_payloads=True,
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            assert runtime.substrate.isolates_payloads is True
+            assert runtime.transport.payload_isolated is True
+            payload = {"mutable": []}
+            # The wire codec is the isolation: no defensive copy.
+            assert runtime.transport.prepare_payload(payload) is payload
+            copies = runtime.metrics.snapshot()[
+                "transport_payload_copies_total"]["children"]
+            assert all(v == 0 for v in copies.values())
+        finally:
+            runtime.close()
+
+    def test_mutating_consumer_cannot_corrupt_producer_payload(self):
+        # End to end: a consumer that mutates its input must never be
+        # observable by the injector, on either isolation mechanism.
+        sdg = SDG("mutate")
+        sdg.add_state("seen", KeyValueMap, kind=StateKind.PARTITIONED,
+                      partition_by="key")
+
+        def absorb(ctx, item):
+            key, values = item
+            values.append("consumer-was-here")
+            ctx.state.put(key, list(values))
+
+        sdg.add_task("absorb", absorb, state="seen",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda item: item[0],
+                     entry_key_name="key")
+        for substrate, workers in (("inprocess", None),
+                                   ("multiprocess", 2)):
+            config = RuntimeConfig(se_instances={"seen": 2},
+                                   copy_payloads=True,
+                                   substrate=substrate, workers=workers)
+            runtime = Runtime(sdg, config).deploy()
+            try:
+                original = ["pristine"]
+                runtime.inject("absorb", ("k", original))
+                runtime.run_until_idle()
+                assert original == ["pristine"], substrate
+            finally:
+                runtime.close()
+
+
+class TestResolutionAndGates:
+    def test_default_substrate_is_inprocess(self):
+        runtime = Runtime(build_kv_sdg()).deploy()
+        assert isinstance(runtime.substrate, InProcessSubstrate)
+        assert runtime.substrate.name == "inprocess"
+
+    def test_registry_names(self):
+        assert SUBSTRATES == ("inprocess", "multiprocess")
+        config = RuntimeConfig(workers=3, substrate="multiprocess")
+        resolved = resolve_substrate("multiprocess", config)
+        assert isinstance(resolved, MultiprocessSubstrate)
+        assert resolved.workers == 3
+
+    def test_workers_default_to_two(self):
+        config = RuntimeConfig(substrate="multiprocess")
+        assert resolve_substrate("multiprocess", config).workers == 2
+
+    def test_unknown_substrate_fails_at_deploy(self):
+        runtime = Runtime(build_kv_sdg(),
+                          RuntimeConfig(substrate="threads"))
+        with pytest.raises(RuntimeExecutionError,
+                           match="unknown substrate"):
+            runtime.deploy()
+
+    def test_custom_substrate_object_passthrough(self):
+        substrate = InProcessSubstrate()
+        config = RuntimeConfig(substrate=substrate)
+        assert resolve_substrate(substrate, config) is substrate
+
+    def test_non_substrate_object_rejected(self):
+        with pytest.raises(RuntimeExecutionError, match="protocol"):
+            resolve_substrate(42, RuntimeConfig())
+
+    def test_workers_require_multiprocess(self):
+        runtime = Runtime(build_kv_sdg(), RuntimeConfig(workers=2))
+        with pytest.raises(RuntimeExecutionError,
+                           match="substrate='multiprocess'"):
+            runtime.deploy()
+
+    def test_bad_worker_count_rejected(self):
+        config = RuntimeConfig(substrate="multiprocess", workers=0)
+        with pytest.raises(RuntimeExecutionError, match="workers"):
+            config.validate(build_kv_sdg())
+
+    def test_auto_scale_requires_inprocess(self):
+        config = RuntimeConfig(substrate="multiprocess",
+                               auto_scale=True)
+        with pytest.raises(RuntimeExecutionError, match="auto_scale"):
+            config.validate(build_kv_sdg())
+
+    def test_trace_requires_inprocess(self):
+        config = RuntimeConfig(substrate="multiprocess", trace=True)
+        with pytest.raises(RuntimeExecutionError, match="trace"):
+            config.validate(build_kv_sdg())
+
+
+class TestParallelSpeedupSmoke:
+    """A scaled-down twin of the fig7 parallel benchmark: overlapping
+    per-item service latency across workers must beat one worker."""
+
+    @staticmethod
+    def build_slow_kv(delay):
+        sdg = SDG("slowkv")
+        sdg.add_state("table", KeyValueMap,
+                      kind=StateKind.PARTITIONED, partition_by="key")
+
+        def serve(ctx, request):
+            op, key, value = request
+            time.sleep(delay)
+            ctx.state.put(key, value)
+
+        sdg.add_task("serve", serve, state="table",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda r: r[1], entry_key_name="key")
+        return sdg
+
+    def run(self, workers, items=120, delay=0.002):
+        config = RuntimeConfig(se_instances={"table": 4},
+                               substrate="multiprocess",
+                               workers=workers)
+        runtime = Runtime(self.build_slow_kv(delay), config).deploy()
+        try:
+            start = time.perf_counter()
+            for i in range(items):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            runtime.run_until_idle()
+            wall = time.perf_counter() - start
+            fingerprint = state_fingerprint(runtime)
+        finally:
+            runtime.close()
+        return wall, fingerprint
+
+    def test_four_workers_overlap_service_latency(self):
+        wall_1, fp_1 = self.run(1)
+        wall_4, fp_4 = self.run(4)
+        assert fp_1 == fp_4
+        # Loose bound for CI noise; the benchmark asserts the real 1.5x.
+        assert wall_4 < wall_1

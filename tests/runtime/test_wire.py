@@ -1,0 +1,189 @@
+"""Unit tests for the wire layer: framing and serialisation safety.
+
+The multiprocess substrate's correctness rests on two contracts this
+file pins down: (1) the length-prefixed frame codec survives arbitrary
+chunking, partial reads and junk headers; (2) every message class that
+crosses a process boundary — envelopes, the identity-compared
+``NO_RESPONSE`` sentinel, state checkpoint chunks, chaos fault records
+— round-trips through pickle without losing meaning, so a future
+``__slots__`` or dataclass refactor cannot silently break the
+multiprocess path.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.chaos import fault_from_dict, fault_to_dict
+from repro.chaos.plan import CrashTask, KillNode, ScaleUp
+from repro.runtime.envelope import (
+    INPUT_EDGE,
+    NO_RESPONSE,
+    WIRE_EDGE,
+    ChannelId,
+    Envelope,
+)
+from repro.runtime.wire import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    FrameBuffer,
+    WireError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.state.base import DeltaChunk, StateChunk
+
+
+def make_envelope(payload="x", ts=7, request_id=None, expected=None,
+                  trace_id=None):
+    channel = ChannelId(2, "split", 1, "count", 3)
+    return Envelope(payload=payload, ts=ts, channel=channel,
+                    request_id=request_id, expected_responses=expected,
+                    trace_id=trace_id)
+
+
+class TestFrameCodec:
+    def test_encode_decode_round_trip(self):
+        message = ("deliver", {"k": [1, 2, 3]})
+        frame = encode_frame(message)
+        (length,) = FRAME_HEADER.unpack(frame[:FRAME_HEADER.size])
+        assert length == len(frame) - FRAME_HEADER.size
+        assert decode_frame(frame[FRAME_HEADER.size:]) == message
+
+    def test_oversized_message_refused(self, monkeypatch):
+        import repro.runtime.wire as wire
+
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(WireError, match="exceeds"):
+            encode_frame(b"x" * 65)
+
+    def test_pipe_round_trip_blocking(self):
+        r, w = os.pipe()
+        try:
+            write_frame(w, ("idle", 3, 4, 5))
+            write_frame(w, ("out", make_envelope()))
+            assert read_frame(r) == ("idle", 3, 4, 5)
+            tag, envelope = read_frame(r)
+            assert tag == "out"
+            assert envelope == make_envelope()
+        finally:
+            os.close(r)
+            os.close(w)
+
+    def test_read_frame_eof_on_closed_pipe(self):
+        r, w = os.pipe()
+        os.close(w)
+        try:
+            with pytest.raises(EOFError):
+                read_frame(r)
+        finally:
+            os.close(r)
+
+    def test_read_frame_rejects_corrupt_header(self):
+        r, w = os.pipe()
+        try:
+            os.write(w, FRAME_HEADER.pack(MAX_FRAME_BYTES + 1))
+            with pytest.raises(WireError, match="corrupt"):
+                read_frame(r)
+        finally:
+            os.close(r)
+            os.close(w)
+
+
+class TestFrameBuffer:
+    def test_yields_messages_across_arbitrary_chunking(self):
+        messages = [("a", i) for i in range(5)]
+        stream = b"".join(encode_frame(m) for m in messages)
+        for chunk_size in (1, 2, 3, 7, len(stream)):
+            buffer = FrameBuffer()
+            received = []
+            for start in range(0, len(stream), chunk_size):
+                received.extend(
+                    buffer.feed(stream[start:start + chunk_size])
+                )
+            assert received == messages
+            assert buffer.pending_bytes() == 0
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame(("deliver", "payload"))
+        buffer = FrameBuffer()
+        assert list(buffer.feed(frame[:-1])) == []
+        assert buffer.pending_bytes() == len(frame) - 1
+        assert list(buffer.feed(frame[-1:])) == [("deliver", "payload")]
+
+    def test_corrupt_header_raises(self):
+        buffer = FrameBuffer()
+        with pytest.raises(WireError, match="corrupt"):
+            list(buffer.feed(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1)))
+
+
+class TestEnvelopeSerialisation:
+    def test_pickle_round_trip_preserves_every_field(self):
+        envelope = make_envelope(payload=("put", "k1", {"v": 2}), ts=19,
+                                 request_id=5, expected=3, trace_id=11)
+        clone = pickle.loads(pickle.dumps(envelope))
+        for field in Envelope.WIRE_FIELDS:
+            assert getattr(clone, field) == getattr(envelope, field)
+        assert clone == envelope
+
+    def test_to_wire_from_wire_round_trip(self):
+        envelope = make_envelope(payload=[1, "two"], ts=3,
+                                 request_id=8, expected=2, trace_id=4)
+        wired = envelope.to_wire()
+        assert len(wired) == len(Envelope.WIRE_FIELDS)
+        assert Envelope.from_wire(wired) == envelope
+
+    def test_wire_fields_cover_the_dataclass(self):
+        # A new Envelope field must be added to WIRE_FIELDS (and
+        # to_wire/from_wire) deliberately, not forgotten.
+        from dataclasses import fields
+
+        assert tuple(f.name for f in fields(Envelope)) \
+            == Envelope.WIRE_FIELDS
+
+    def test_no_response_survives_pickle_as_the_singleton(self):
+        envelope = make_envelope(payload=NO_RESPONSE, request_id=1,
+                                 expected=2)
+        clone = pickle.loads(pickle.dumps(envelope))
+        # Identity, not equality: the gather barrier compares with `is`.
+        assert clone.payload is NO_RESPONSE
+
+    def test_channel_sentinels_round_trip(self):
+        for edge in (INPUT_EDGE, WIRE_EDGE, 0, 5):
+            channel = ChannelId(edge, "src", 0, "dst", 1)
+            assert pickle.loads(pickle.dumps(channel)) == channel
+
+
+class TestStateAndFaultCodecs:
+    def test_state_chunk_round_trip(self):
+        chunk = StateChunk(index=1, total=4,
+                           items=(("k1", 10), ("k2", [1, 2])),
+                           meta={"se": "table"})
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert clone == chunk
+
+    def test_delta_chunk_round_trip(self):
+        delta = DeltaChunk(index=0, total=2, items=(("k", 9),),
+                           meta={"se": "counts"}, version=7,
+                           base_version=6, deleted=("gone",))
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone == delta
+        assert clone.version == 7 and clone.deleted == ("gone",)
+
+    def test_fault_records_round_trip_both_codecs(self):
+        faults = [KillNode(at_step=10, node_id=2),
+                  CrashTask(at_step=5, te="serve"),
+                  ScaleUp(at_step=30, te="count")]
+        for fault in faults:
+            assert pickle.loads(pickle.dumps(fault)) == fault
+            assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_frame_carries_delta_chunk(self):
+        delta = DeltaChunk(index=0, total=1, items=(("a", 1),),
+                           version=2, base_version=1)
+        buffer = FrameBuffer()
+        (message,) = buffer.feed(encode_frame(("snapshot", delta)))
+        assert message == ("snapshot", delta)
