@@ -107,3 +107,41 @@ def bundled_targets() -> dict[str, Callable[[], Report]]:
         "wordcount": graph("repro.apps.wordcount", "build_wordcount_sdg"),
         "pagerank": graph("repro.apps.pagerank", "build_pagerank_sdg"),
     }
+
+
+def bundled_objects() -> dict[str, Callable[[], tuple[object, str]]]:
+    """The bundled applications as certifiable objects, by CLI name.
+
+    Same keys as :func:`bundled_targets`, but each loader returns the
+    raw target (program class or built SDG) plus its display name, so
+    callers can run :func:`repro.analysis.capabilities.certify` — or
+    anything else — over it instead of the lint pipeline.
+    """
+    def program(path: str, cls_name: str):
+        def load() -> tuple[object, str]:
+            import importlib
+
+            module = importlib.import_module(path)
+            return getattr(module, cls_name), f"{path}:{cls_name}"
+        return load
+
+    def graph(path: str, builder: str):
+        def load() -> tuple[object, str]:
+            import importlib
+
+            module = importlib.import_module(path)
+            return getattr(module, builder)(), f"{path}:{builder}"
+        return load
+
+    return {
+        "cf": program("repro.apps.collaborative_filtering",
+                      "CollaborativeFiltering"),
+        "kvstore": program("repro.apps.kvstore", "KeyValueStore"),
+        "lr": program("repro.apps.logistic_regression",
+                      "LogisticRegression"),
+        "kmeans": program("repro.apps.kmeans", "KMeans"),
+        "multiclass": program("repro.apps.multiclass",
+                              "MulticlassRegression"),
+        "wordcount": graph("repro.apps.wordcount", "build_wordcount_sdg"),
+        "pagerank": graph("repro.apps.pagerank", "build_pagerank_sdg"),
+    }

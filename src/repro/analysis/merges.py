@@ -11,12 +11,20 @@ backups: deterministic results regardless of delivery interleaving).
 This is a conservative AST scan of every merge method reachable from
 an entry. Inside loops that iterate the gathered collection it flags
 accumulation through non-commutative/non-associative operators
-(``-``, ``/``, ``//``, ``%``, ``**``, ``<<``, ``>>``, ``@``) — both
-``acc -= cur`` and ``acc = acc - cur`` shapes — and, anywhere in the
-method, positional indexing of the collection parameter itself
-(``gathered[0]`` picks an arbitrary replica). Order-insensitive
-reductions (sums, maxes, elementwise means divided *after* the loop)
-pass untouched, as every bundled application's merge does.
+(``-``, ``/``, ``//``, ``%``, ``**``, ``<<``, ``>>``, ``@``) — the
+``acc -= cur``, ``acc = acc - cur`` and operand-swapped
+``acc = cur - acc`` shapes — and, anywhere in the method, positional
+indexing of the collection parameter itself (``gathered[0]`` picks an
+arbitrary replica) or of a call over it (``sorted(gathered)[0]``
+launders the same arbitrary pick through a transform).
+Order-insensitive reductions (sums, maxes, elementwise means divided
+*after* the loop) pass untouched, as every bundled application's
+merge does.
+
+The same scan powers positive certification: the capability layer
+(:mod:`repro.analysis.capabilities`) calls
+:func:`order_sensitive_sites` and only considers a merge for the
+``COMMUTATIVE_MERGE`` flag when the scan finds nothing.
 """
 
 from __future__ import annotations
@@ -58,27 +66,40 @@ def _same_target(target: ast.expr, operand: ast.expr) -> bool:
     return ast.unparse(target) == ast.unparse(operand)
 
 
-def _check_merge(fn_ast: ast.FunctionDef, method: str,
-                 collection_param: str, sink: DiagnosticSink) -> None:
-    # Positional indexing of the gathered collection anywhere.
+def order_sensitive_sites(
+    fn_ast: ast.FunctionDef, collection_param: str,
+) -> list[tuple[str, ast.AST, ast.operator | None]]:
+    """Every order-sensitivity witness in one merge method.
+
+    Returns ``(kind, node, op)`` triples with ``kind`` one of
+    ``"index"`` (positional indexing of the collection itself),
+    ``"laundered_index"`` (indexing a call over the collection, e.g.
+    ``sorted(gathered)[0]``) or ``"accumulation"`` (non-commutative
+    accumulation inside a loop over the collection; ``op`` is the
+    operator). An empty list is the *positive* signal the capability
+    certifier builds on — shared here so the warning pass and the
+    certifier can never disagree about what is order-sensitive.
+    """
+    sites: list[tuple[str, ast.AST, ast.operator | None]] = []
+
+    # Positional indexing of the gathered collection anywhere — direct,
+    # or laundered through a call over it (sorted()/list()/reversed()
+    # re-expose the arbitrary gather order as a positional pick).
     for node in ast.walk(fn_ast):
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == collection_param
+        if not isinstance(node, ast.Subscript):
+            continue
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == collection_param:
+            sites.append(("index", node, None))
+        elif isinstance(value, ast.Call) and _mentions(
+            value, collection_param
         ):
-            sink.emit(
-                "SDG302",
-                f"merge method {method!r} indexes the gathered "
-                f"collection {collection_param!r} by position; the "
-                f"gather order of partial values is not deterministic, "
-                f"so position selects an arbitrary replica",
-                lineno=node.lineno, col=node.col_offset, origin=method,
-                hint="iterate the collection and combine values with an "
-                     "order-insensitive reduction instead of indexing",
-            )
+            sites.append(("laundered_index", node, None))
 
     # Order-sensitive accumulation inside loops over the collection.
+    # Both operand orders are accumulation: ``acc = acc - x`` and the
+    # swapped ``acc = x - acc`` each fold the loop-carried value
+    # through a non-commutative operator.
     for loop in ast.walk(fn_ast):
         if not isinstance(loop, (ast.For, ast.While)):
             continue
@@ -91,17 +112,50 @@ def _check_merge(fn_ast: ast.FunctionDef, method: str,
             if isinstance(node, ast.AugAssign) and isinstance(
                 node.op, _ORDER_SENSITIVE_OPS
             ):
-                _flag_accumulation(sink, method, collection_param,
-                                   node, node.op)
+                sites.append(("accumulation", node, node.op))
             elif (
                 isinstance(node, ast.Assign)
                 and len(node.targets) == 1
                 and isinstance(node.value, ast.BinOp)
                 and isinstance(node.value.op, _ORDER_SENSITIVE_OPS)
-                and _same_target(node.targets[0], node.value.left)
+                and (
+                    _same_target(node.targets[0], node.value.left)
+                    or _same_target(node.targets[0], node.value.right)
+                )
             ):
-                _flag_accumulation(sink, method, collection_param,
-                                   node, node.value.op)
+                sites.append(("accumulation", node, node.value.op))
+    return sites
+
+
+def _check_merge(fn_ast: ast.FunctionDef, method: str,
+                 collection_param: str, sink: DiagnosticSink) -> None:
+    for kind, node, op in order_sensitive_sites(fn_ast, collection_param):
+        if kind == "index":
+            sink.emit(
+                "SDG302",
+                f"merge method {method!r} indexes the gathered "
+                f"collection {collection_param!r} by position; the "
+                f"gather order of partial values is not deterministic, "
+                f"so position selects an arbitrary replica",
+                lineno=node.lineno, col=node.col_offset, origin=method,
+                hint="iterate the collection and combine values with an "
+                     "order-insensitive reduction instead of indexing",
+            )
+        elif kind == "laundered_index":
+            sink.emit(
+                "SDG302",
+                f"merge method {method!r} indexes a transform of the "
+                f"gathered collection {collection_param!r} by position "
+                f"({ast.unparse(node.value)!r}); sorting or reshaping "
+                f"the collection launders but does not remove the "
+                f"dependence on the arbitrary gather order",
+                lineno=node.lineno, col=node.col_offset, origin=method,
+                hint="combine the gathered values with an "
+                     "order-insensitive reduction instead of selecting "
+                     "one by position",
+            )
+        else:
+            _flag_accumulation(sink, method, collection_param, node, op)
 
 
 def _flag_accumulation(sink: DiagnosticSink, method: str,

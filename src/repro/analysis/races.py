@@ -55,21 +55,34 @@ def run(model: ProgramModel, sink: DiagnosticSink) -> None:
                          ir.method, sink)
 
 
-def _check_block(block, field: str, partial_fields: set[str],
-                 live_out: set[str], method: str,
-                 sink: DiagnosticSink) -> None:
+def block_taints(
+    block, field: str, partial_fields: set[str],
+) -> tuple[bool, bool, set[str], dict[str, ast.stmt]]:
+    """Taint facts for one block's access to a partial ``field``.
+
+    Returns ``(writes, reads, tainted, taint_site)``: whether the block
+    writes / reads the field, the set of variables derived (directly or
+    transitively) from a read of it, and the statement that first
+    tainted each. Shared between the SDG301 warning pass (which reports
+    tainted names that are live out) and the capability certifier
+    (which certifies a read-modify-write block as ``BATCHABLE_RMW``
+    exactly when *no* tainted name escapes).
+    """
     writes = False
+    reads = False
     tainted: set[str] = set()
     taint_site: dict[str, ast.stmt] = {}
     for stmt in block.statements:
         for _field, call_method, _node in field_method_calls(
             stmt, partial_fields
         ):
-            if _field == field and (
-                call_method in WRITE_METHODS
-                or call_method not in READ_METHODS
-            ):
+            if _field != field:
+                continue
+            if (call_method in WRITE_METHODS
+                    or call_method not in READ_METHODS):
                 writes = True
+            if call_method in READ_METHODS:
+                reads = True
         stmt_uses, stmt_defs = uses_defs(stmt)
         derived = (
             stmt_reads_field(stmt, field, partial_fields)
@@ -79,6 +92,15 @@ def _check_block(block, field: str, partial_fields: set[str],
             for name in stmt_defs:
                 tainted.add(name)
                 taint_site.setdefault(name, stmt)
+    return writes, reads, tainted, taint_site
+
+
+def _check_block(block, field: str, partial_fields: set[str],
+                 live_out: set[str], method: str,
+                 sink: DiagnosticSink) -> None:
+    writes, _reads, tainted, taint_site = block_taints(
+        block, field, partial_fields
+    )
     if not writes:
         return
     for name in sorted(tainted & live_out):

@@ -86,6 +86,50 @@ def _lint_reports(args) -> list:
     return reports
 
 
+def _capability_reports(args) -> list[dict]:
+    """Certify each lint target; the optimizer's view of the program."""
+    from repro.analysis.capabilities import certify
+    from repro.analysis.engine import bundled_objects
+
+    bundled = bundled_objects()
+    certs = []
+    if args.all:
+        for name, load in bundled.items():
+            target, _origin = load()
+            certs.append(certify(target, name=name).to_dict())
+        return certs
+    for spec in args.targets:
+        if spec in bundled:
+            target, _origin = bundled[spec]()
+            certs.append(certify(target, name=spec).to_dict())
+        else:
+            certs.append(certify(_load_class(spec), name=spec).to_dict())
+    return certs
+
+
+def _render_capabilities(cert: dict) -> str:
+    lines = [f"capabilities for {cert['target']}:"]
+    flags = ", ".join(cert["flags"]) if cert["flags"] else "(none)"
+    lines.append(f"  flags: {flags}")
+    rows = [
+        ("commutative merges", cert["commutative_merges"]),
+        ("foldable merges", cert["foldable_merges"]),
+        ("batchable RMW", cert["batchable_rmw"]),
+        ("coalescible entries", cert["coalescible_entries"]),
+        ("coalescible edges",
+         [f"{src} -> {dst}" for src, dst in cert["coalescible_edges"]]),
+        ("batch-state TEs", cert["batch_state_tes"]),
+    ]
+    for label, values in rows:
+        if values:
+            lines.append(f"  {label}: {', '.join(values)}")
+    if cert["refusals"]:
+        lines.append("  refused (baseline path):")
+        for refusal in cert["refusals"]:
+            lines.append(f"    - {refusal}")
+    return "\n".join(lines)
+
+
 def _run_lint(args) -> int:
     reports = _lint_reports(args)
     if not reports:
@@ -101,11 +145,16 @@ def _run_lint(args) -> int:
             "warnings": sum(len(r.warnings) for r in reports),
         },
     }
+    if args.capabilities:
+        payload["capabilities"] = _capability_reports(args)
     if args.format == "json":
         print(json.dumps(payload, indent=2))
     else:
         for report in reports:
             print(report.render_text())
+        for cert in payload.get("capabilities", ()):
+            print(_render_capabilities(cert))
+            print()
         total_errors = payload["summary"]["errors"]
         total_warnings = payload["summary"]["warnings"]
         print(f"sdglint: {len(reports)} target(s), "
@@ -237,14 +286,20 @@ def _plain_run(args) -> int:
         se_instances={se_name: args.se_instances},
         substrate=args.substrate,
         workers=args.workers,
+        optimize=args.optimize,
     )
     runtime = Runtime(sdg, config).deploy()
     try:
         start = time.perf_counter()
         for payload in payloads:
             runtime.inject(entry, payload)
-        processed = runtime.run_until_idle()
+        runtime.run_until_idle()
         wall = time.perf_counter() - start
+        # Logical items, not envelope pops: a coalesced batch serves
+        # many items in one step, so the step count under-reports.
+        processed = int(
+            runtime.merged_metrics().total("engine_items_processed_total")
+        )
         fingerprint = state_fingerprint(runtime)
     finally:
         runtime.close()
@@ -305,6 +360,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_lint.add_argument("--all", action="store_true",
                         help="lint every bundled application")
+    p_lint.add_argument("--capabilities", action="store_true",
+                        help="also run the capability certifier and "
+                             "report the optimizer certificates "
+                             "(commutative/foldable merges, batchable "
+                             "RMWs, coalescible dispatch) per target")
     p_lint.add_argument("--format", choices=["text", "json"],
                         default="text", help="report format on stdout")
     p_lint.add_argument("--output", metavar="PATH",
@@ -324,6 +384,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="disable per-envelope causal tracing")
     p_obs.add_argument("--no-chaos", action="store_true",
                        help="skip the mid-run KillNode fault")
+    p_obs.add_argument("--optimize", action="store_true",
+                       help="deploy with capability-driven dispatch "
+                            "(certified coalescing/folds/RMW batching)")
     p_obs.add_argument("--events", metavar="PATH",
                        help="also write the event bus as JSON lines")
 
@@ -342,6 +405,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--workers", type=int, default=None,
                        help="worker processes for "
                             "--substrate multiprocess (default 2)")
+    p_run.add_argument("--optimize", action="store_true",
+                       help="plain runs only: deploy with "
+                            "capability-driven dispatch")
     p_run.add_argument("--items", type=int, default=400,
                        help="items to inject in a plain run")
     p_run.add_argument("--app", choices=["kvstore", "wordcount"],
@@ -405,7 +471,8 @@ def main(argv: list[str] | None = None) -> int:
 
             run = run_workload(args.app, args.items,
                                trace=not args.no_trace,
-                               chaos=not args.no_chaos)
+                               chaos=not args.no_chaos,
+                               optimize=args.optimize)
             print(render_report(run))
             if args.events:
                 with open(args.events, "w", encoding="utf-8") as fh:
@@ -419,6 +486,11 @@ def main(argv: list[str] | None = None) -> int:
                     "durable runs pin the in-process substrate "
                     "(deterministic replay is its contract); drop "
                     "--substrate/--workers or drop --durable"
+                )
+            if args.optimize:
+                raise SDGError(
+                    "durable runs replay deterministically from their "
+                    "manifest; --optimize applies to plain runs only"
                 )
             from repro.durability import DurableRunner
 

@@ -224,6 +224,23 @@ class MetricsRegistry:
     def collect(self) -> list[_Metric]:
         return [self._metrics[name] for name in self.names()]
 
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of one metric's label set, 0.0 if absent.
+
+        With no labels this reads the unlabelled child — convenient
+        for the engine/transport counters that pre-bind ``.labels()``.
+        """
+        metric = self._metrics.get(name)
+        return 0.0 if metric is None else metric.value(**labels)
+
+    def total(self, name: str) -> float:
+        """Sum of every child of one metric (0.0 when unregistered)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        return sum(getattr(child, "value", 0.0)
+                   for _labels, child in metric.samples())
+
     # -- sharding (multiprocess substrate) -----------------------------
 
     def reset(self) -> None:
@@ -433,6 +450,12 @@ class NullRegistry:
 
     def collect(self) -> list:
         return []
+
+    def value(self, name: str, **labels: str) -> float:
+        return 0.0
+
+    def total(self, name: str) -> float:
+        return 0.0
 
     def to_dict(self) -> dict:
         return {}

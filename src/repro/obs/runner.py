@@ -54,17 +54,19 @@ class ObsRun:
     scheduler: CheckpointScheduler
 
 
-def _deploy(app: str, trace: bool) -> Runtime:
+def _deploy(app: str, trace: bool, optimize: bool = False) -> Runtime:
     if app == "wordcount":
         from repro.apps.wordcount import build_wordcount_sdg
 
         sdg = build_wordcount_sdg(window_size=10)
-        config = RuntimeConfig(se_instances={"counts": 2}, trace=trace)
+        config = RuntimeConfig(se_instances={"counts": 2}, trace=trace,
+                               optimize=optimize)
     elif app == "kvstore":
         from repro.testing import build_kv_sdg
 
         sdg = build_kv_sdg()
-        config = RuntimeConfig(se_instances={"table": 2}, trace=trace)
+        config = RuntimeConfig(se_instances={"table": 2}, trace=trace,
+                               optimize=optimize)
     else:
         raise SDGError(
             f"unknown obs app {app!r}; choose wordcount or kvstore"
@@ -95,16 +97,20 @@ def _queries(runtime: Runtime, app: str, count: int) -> None:
 
 
 def run_workload(app: str = "wordcount", items: int = 120, *,
-                 trace: bool = True, chaos: bool = True) -> ObsRun:
+                 trace: bool = True, chaos: bool = True,
+                 optimize: bool = False) -> ObsRun:
     """Run one fully instrumented, supervised, optionally chaotic pass.
 
     Injects ``items`` workload items in two halves; with ``chaos`` a
     :class:`KillNode` fault lands between them and the run keeps
-    pumping until the supervisor has restored the victim.
+    pumping until the supervisor has restored the victim. With
+    ``optimize`` the runtime deploys capability-driven dispatch (note
+    the tracer keeps transport coalescing off, so pair ``optimize``
+    with ``trace=False`` to see batched deliveries in the digest).
     """
     if items < 2:
         raise SDGError(f"obs run needs at least 2 items, got {items}")
-    runtime = _deploy(app, trace)
+    runtime = _deploy(app, trace, optimize)
     store = BackupStore(m_targets=2)
     # trim_input_log=False keeps the supervisor's log-replay rung sound.
     manager = CheckpointManager(runtime, store, trim_input_log=False)
@@ -169,8 +175,20 @@ def render_report(run: ObsRun, *, trace_limit: int = 8) -> str:
         f"-- metrics ({len(names)} series) --",
         metrics.to_prometheus_text().rstrip("\n"),
         "",
-        f"-- events ({len(runtime.events)} published) --",
+        "-- optimizer --",
     ]
+    caps = runtime.capabilities
+    lines.append(f"  capabilities: "
+                 f"{', '.join(caps.flags) if caps and caps.flags else '(none)'}"
+                 f"{'' if caps is not None else ' [optimize off]'}")
+    for counter in ("dispatch_coalesced_total",
+                    "merge_early_completions_total",
+                    "state_rmw_batches_total"):
+        lines.append(f"  {counter}: {metrics.total(counter):.0f}")
+    lines.extend([
+        "",
+        f"-- events ({len(runtime.events)} published) --",
+    ])
     for kind, count in sorted(runtime.events.counts_by_kind().items()):
         lines.append(f"  {kind}: {count}")
     cycles = run.supervisor.cycles()

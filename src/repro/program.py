@@ -49,6 +49,15 @@ class SDGProgram:
         if se_instances:
             config = config or RuntimeConfig()
             config.se_instances.update(se_instances)
+        if config is not None and config.optimize \
+                and config.capabilities is None:
+            # Certify from the *class* (source-level proofs see the
+            # original method bodies, where the SDG path would have to
+            # re-derive them from compiled block functions) and hand
+            # the certificate to the runtime through the config.
+            from repro.analysis.capabilities import certify
+            config.capabilities = certify(cls)
+            result.capabilities = config.capabilities
         runtime = Runtime(result.sdg, config).deploy()
         return BoundProgram(result, runtime)
 

@@ -88,6 +88,10 @@ class Topology:
         #: Stateless fallback partitioners for keyed dispatch into TEs
         #: without a partitioned SE, cached per fan-out.
         self._fallbacks: dict[int, HashPartitioner] = {}
+        #: Certified ProgramCapabilities, attached by the runtime when
+        #: deploying with ``optimize=True`` (``None`` otherwise). Lives
+        #: on the topology so forked substrate workers inherit it.
+        self.capabilities = None
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -373,6 +377,7 @@ class Topology:
             for te_inst in self.te_instances(te.name):
                 while te_inst.inbox:
                     pending.append(te_inst.inbox.popleft())
+                te_inst.queued_items = 0
 
         for index in range(n_new):
             part = merged.extract_partition(partitioner, index)

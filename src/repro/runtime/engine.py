@@ -41,8 +41,10 @@ from repro.runtime.dispatcher import Dispatcher
 from repro.runtime.envelope import (
     INPUT_EDGE,
     NO_RESPONSE,
+    Batch,
     ChannelId,
     Envelope,
+    envelope_weight,
 )
 from repro.runtime.instances import (
     GatherState,
@@ -131,6 +133,22 @@ class RuntimeConfig:
     #: ``substrate="multiprocess"``; setting it for the in-process
     #: substrate is a deploy-time error.
     workers: int | None = None
+    #: Capability-driven optimization (the sdglint-as-optimizer seam).
+    #: When on, the runtime consults a
+    #: :class:`~repro.analysis.capabilities.ProgramCapabilities`
+    #: certificate and arms three relaxed paths *only* where the
+    #: analyzer produced a positive proof: transport-level envelope
+    #: coalescing on ``COALESCIBLE_DISPATCH`` channels, eager gather
+    #: folds for ``COMMUTATIVE_MERGE`` TEs, and journal-batched RMWs
+    #: on ``BATCHABLE_RMW`` state. Uncertified programs take the exact
+    #: baseline path even with this flag set.
+    optimize: bool = False
+    #: Pre-certified capabilities to deploy with (e.g. attached by
+    #: ``SDGProgram.launch``). ``None`` with ``optimize=True`` makes
+    #: the runtime certify its SDG itself at deploy time.
+    capabilities: Any = None
+    #: Upper bound on payloads coalesced into one batched delivery.
+    optimize_batch_max: int = 64
 
     def validate(self, sdg: "SDG") -> None:
         """Reject malformed deployment knobs before they misbehave.
@@ -190,6 +208,27 @@ class RuntimeConfig:
                 raise RuntimeExecutionError(
                     "trace=True requires the in-process substrate: "
                     "causal tracing is not yet merged across workers"
+                )
+        if not isinstance(self.optimize, bool):
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.optimize must be a bool, "
+                f"got {self.optimize!r}"
+            )
+        if self.optimize:
+            if self.auto_scale:
+                # Repartitioning re-keys queued payloads one by one;
+                # reactive scale-out racing the coalescer is not a
+                # combination worth the complexity — refuse it.
+                raise RuntimeExecutionError(
+                    "optimize=True is incompatible with auto_scale: "
+                    "disable one of the two"
+                )
+            batch_max = self.optimize_batch_max
+            if not isinstance(batch_max, int) or isinstance(batch_max, bool) \
+                    or batch_max < 2:
+                raise RuntimeExecutionError(
+                    f"RuntimeConfig.optimize_batch_max must be an integer "
+                    f">= 2, got {batch_max!r}"
                 )
         # Raises on unknown substrate names / non-substrate objects.
         resolve_substrate(self.substrate, self)
@@ -283,6 +322,13 @@ class Runtime:
         self._deployed = False
         self._scale_events: list[tuple[int, str, int]] = []
         self._detector: BottleneckDetector | None = None
+        #: Resolved ProgramCapabilities when ``config.optimize`` is on
+        #: (``None`` otherwise — and every relaxed path stays off).
+        self.capabilities: Any = None
+        #: Merge TE name -> MergeFold for certified-foldable merges.
+        self._merge_folds: dict[str, Any] = {}
+        #: TEs licensed to journal-batch their state writes.
+        self._batch_state_tes: frozenset[str] = frozenset()
 
     # ------------------------------------------------------------------
     # Deployment
@@ -323,12 +369,48 @@ class Runtime:
         for te_name in self.sdg.tasks:
             if not self.dispatcher.successors(te_name):
                 self.results.setdefault(te_name, [])
+        if self.config.optimize:
+            self._enable_optimizations()
         self._deployed = True
         self._refresh_instance_gauges()
         # Bind last: a distributed substrate forks its workers here and
-        # they must inherit the fully deployed topology.
+        # they must inherit the fully deployed topology (including the
+        # resolved capabilities — synthesised fold closures are not
+        # picklable, so workers must get them through the fork).
         self.substrate.bind(self)
         return self
+
+    def _enable_optimizations(self) -> None:
+        """Resolve the capability certificate and arm the relaxed paths.
+
+        Certification is positive-only: a capability the analyzer could
+        not prove simply is not in the certificate, and the matching
+        relaxed path stays disarmed — an uncertified program runs the
+        exact baseline even with ``optimize=True``.
+        """
+        caps = self.config.capabilities
+        if caps is None:
+            from repro.analysis.capabilities import certify
+            caps = certify(self.sdg)
+        self.capabilities = caps
+        self.topology.capabilities = caps
+        self._merge_folds = dict(getattr(caps, "merge_folds", None) or {})
+        self._batch_state_tes = frozenset(
+            getattr(caps, "batch_state_tes", None) or ())
+        entries = frozenset(
+            getattr(caps, "coalescible_entries", None) or ())
+        edge_pairs = set(getattr(caps, "coalescible_edges", None) or ())
+        edge_indexes = frozenset(
+            i for i, edge in enumerate(self.sdg.dataflows)
+            if (edge.src, edge.dst) in edge_pairs
+        )
+        # The tracer records one hop span per envelope; a batch would
+        # fold N logical hops into one span, so tracing keeps transport
+        # coalescing off (folds and RMW batching are unaffected).
+        if self.tracer is None and (edge_indexes or entries):
+            self.transport.enable_coalescing(
+                edge_indexes, entries, self.config.optimize_batch_max
+            )
 
     def _bind_metrics(self) -> None:
         """Pre-bind metric children so hot-path updates skip label lookup."""
@@ -348,6 +430,14 @@ class Runtime:
         ).labels()
         self._c_scale_outs = m.counter(
             "engine_scale_outs_total", "reactive/explicit scale-up actions"
+        ).labels()
+        self._c_merge_early = m.counter(
+            "merge_early_completions_total",
+            "gather barriers completed via a certified eager fold"
+        ).labels()
+        self._c_rmw_batches = m.counter(
+            "state_rmw_batches_total",
+            "journal write batches applied under a BATCHABLE_RMW licence"
         ).labels()
         injected = m.counter(
             "engine_items_injected_total",
@@ -510,6 +600,8 @@ class Runtime:
             return False
         self._c_picks.inc()
         envelope = instance.inbox.popleft()
+        weight = envelope_weight(envelope)
+        instance.queued_items -= weight
         self.transport.inbox_gauge(instance.name).dec()
         try:
             self.substrate.process(instance, envelope)
@@ -524,6 +616,13 @@ class Runtime:
                 self.fail_node(instance.node_id)
             for handler in list(self._crash_handlers):
                 handler(self, instance, envelope, exc)
+        if weight > 1:
+            # A coalesced batch served N items in a step the scheduler
+            # admitted one item for; charge the straggler credit so
+            # batching cannot smuggle work past a throttled node.
+            charge = getattr(self.scheduler, "charge", None)
+            if charge is not None:
+                charge(nodes[instance.node_id], weight - 1)
         self._tick()
         return True
 
@@ -614,6 +713,9 @@ class Runtime:
 
     def _process_item(self, instance: TEInstance, envelope: Envelope) -> None:
         spec = instance.spec
+        if type(envelope.payload) is Batch:
+            self._process_batch(instance, envelope)
+            return
         if spec.is_merge and envelope.request_id is not None:
             self._process_gather(instance, envelope)
             return
@@ -624,6 +726,49 @@ class Runtime:
         instance.processed_count += 1
         self._c_processed[instance.name].inc()
 
+    def _process_batch(self, instance: TEInstance,
+                       envelope: Envelope) -> None:
+        """Serve every payload of a coalesced batch in one step.
+
+        The whole-batch dedup check in :meth:`_process` uses the
+        *newest* item's timestamp and is therefore conservative; each
+        item re-checks ``last_seen`` individually here, so a crash
+        replay that re-delivers an already-processed prefix drops
+        exactly that prefix. When the TE holds a ``BATCHABLE_RMW``
+        licence its state journal defers per-item ops to one batch
+        flush; a mid-batch task crash still flushes the processed
+        prefix (those items' ``last_seen`` marks already advanced, so
+        their state must be checkpointable).
+        """
+        key = stream_key(envelope.channel)
+        element = None
+        if (
+            instance.name in self._batch_state_tes
+            and instance.se_instance is not None
+        ):
+            element = instance.se_instance.element
+            element.begin_rmw_batch()
+        processed = 0
+        try:
+            for ts, payload in envelope.payload.items:
+                if ts <= instance.last_seen.get(key, 0):
+                    continue
+                item = Envelope(payload=payload, ts=ts,
+                                channel=envelope.channel,
+                                trace_id=envelope.trace_id)
+                outputs = self._invoke(instance, payload)
+                instance.mark_processed(item)
+                self._dispatch(instance, outputs, item)
+                processed += 1
+        finally:
+            if element is not None:
+                element.end_rmw_batch()
+                self._c_rmw_batches.inc()
+        if processed:
+            self.nodes[instance.node_id].items_processed += processed
+            instance.processed_count += processed
+            self._c_processed[instance.name].inc(processed)
+
     def _process_gather(self, instance: TEInstance,
                         envelope: Envelope) -> None:
         """Accumulate responses behind the merge barrier (§3.2/§4.2)."""
@@ -632,14 +777,32 @@ class Runtime:
         gather = instance.pending_gathers.setdefault(
             request_id, GatherState(expected=expected)
         )
+        fold = self._merge_folds.get(instance.name)
         if envelope.payload is not NO_RESPONSE:
-            gather.payloads.append(envelope.payload)
+            if fold is not None:
+                # Certified-foldable merge: fold each replica value in
+                # as it arrives instead of buffering it behind the
+                # barrier — the merge body then sees a single
+                # pre-reduced value, in whatever order replicas landed.
+                if not gather.folded:
+                    gather.accumulator = fold.init()
+                    gather.folded = True
+                gather.accumulator = fold.step(gather.accumulator,
+                                               envelope.payload)
+            else:
+                gather.payloads.append(envelope.payload)
         gather.received += 1
         instance.mark_processed(envelope)
         if not gather.complete:
             return
         del instance.pending_gathers[request_id]
-        outputs = self._invoke(instance, gather.payloads)
+        if fold is not None:
+            self._c_merge_early.inc()
+            outputs = self._invoke(
+                instance, [gather.accumulator] if gather.folded else []
+            )
+        else:
+            outputs = self._invoke(instance, gather.payloads)
         self._dispatch(instance, outputs, envelope)
         self.nodes[instance.node_id].items_processed += 1
         instance.processed_count += 1
@@ -945,6 +1108,18 @@ class Runtime:
         duplicate. The stale copy is removed from the producer-side
         replay buffer to keep recovery consistent.
         """
+        if type(envelope.payload) is Batch:
+            # A coalesced batch never lives in a replay buffer (buffers
+            # keep the original per-item envelopes), so unbundle and
+            # re-route each payload on its own; the recursive calls
+            # find and drop the per-item stale copies.
+            for ts, payload in envelope.payload.items:
+                self._resend_after_reroute(
+                    Envelope(payload=payload, ts=ts,
+                             channel=envelope.channel,
+                             trace_id=envelope.trace_id)
+                )
+            return
         channel = envelope.channel
         spec = self.sdg.task(channel.dst_te)
         if channel.edge_index == INPUT_EDGE:

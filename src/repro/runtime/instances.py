@@ -29,11 +29,22 @@ def stream_key(channel: ChannelId) -> StreamKey:
 
 @dataclass
 class GatherState:
-    """Accumulates responses for one global-access request (§3.2)."""
+    """Accumulates responses for one global-access request (§3.2).
+
+    With a certified-foldable merge (``RuntimeConfig(optimize=True)``)
+    the barrier folds each replica value into ``accumulator`` as it
+    arrives instead of buffering it in ``payloads`` — the merge then
+    completes out-of-order with respect to replica delivery, touching
+    each value exactly once.
+    """
 
     expected: int
     payloads: list[Any] = field(default_factory=list)
     received: int = 0
+    #: Eager-fold accumulator (only used when the merge is foldable).
+    accumulator: Any = None
+    #: Whether at least one replica value was folded into it.
+    folded: bool = False
 
     @property
     def complete(self) -> bool:
@@ -78,6 +89,12 @@ class TEInstance:
         self.se_instance = se_instance
         self.node_id: int | None = None
         self.inbox: deque[Envelope] = deque()
+        #: Logical items queued, counting each payload inside a
+        #: coalesced :class:`~repro.runtime.envelope.Batch`. Equals
+        #: ``len(inbox)`` whenever coalescing is off; the queue-depth
+        #: scheduler and backpressure read this so a 50-item batch
+        #: weighs 50, not 1.
+        self.queued_items = 0
         #: Highest timestamp *processed* per input stream (not delivered:
         #: advancing on delivery would let a crash lose acknowledged items).
         self.last_seen: dict[StreamKey, int] = {}

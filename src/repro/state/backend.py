@@ -59,6 +59,10 @@ class StateBackend(abc.ABC):
     def __init__(self) -> None:
         self._written: set[Hashable] = set()
         self._deleted: set[Hashable] = set()
+        #: Deferred journal ops ``(is_write, key)`` while a write batch
+        #: is open (``None`` = batching off, the default). Storage
+        #: writes are never deferred — only the journal bookkeeping.
+        self._batch_ops: list[tuple[bool, Hashable]] | None = None
 
     # -- storage hooks (subclass responsibility) -----------------------
 
@@ -94,34 +98,94 @@ class StateBackend(abc.ABC):
 
     def set(self, key: Hashable, value: Any) -> None:
         self._do_set(key, value)
+        if self._batch_ops is not None:
+            self._batch_ops.append((True, key))
+            return
         self._written.add(key)
         self._deleted.discard(key)
 
     def delete(self, key: Hashable) -> None:
         self._do_delete(key)
+        if self._batch_ops is not None:
+            self._batch_ops.append((False, key))
+            return
         self._deleted.add(key)
         self._written.discard(key)
 
     def clear(self) -> None:
+        self._flush_batch()
         for key, _value in list(self.items()):
             self._deleted.add(key)
             self._written.discard(key)
         self._do_clear()
 
+    # -- batched journal bookkeeping -----------------------------------
+
+    def begin_batch(self) -> None:
+        """Defer journal bookkeeping until :meth:`end_batch`.
+
+        Inside a batch, :meth:`set`/:meth:`delete` apply to storage
+        immediately — reads always see the latest value — but their
+        per-key journal set mutations are queued and folded in at
+        batch end (one pass, set-bulk operations for the common
+        write-only case). The fold replays ops in order, so the
+        journal invariants (write-then-delete = tombstone only,
+        delete-then-rewrite = write only) hold exactly as if each op
+        had journalled eagerly. Idempotent; journal reads and
+        ``clear`` flush the pending ops first, so batching is never
+        observable in a :class:`MutationJournal`.
+        """
+        if self._batch_ops is None:
+            self._batch_ops = []
+
+    def end_batch(self) -> None:
+        """Fold the deferred ops into the journal and close the batch."""
+        ops = self._batch_ops
+        self._batch_ops = None
+        if ops:
+            self._apply_batch_ops(ops)
+
+    def _flush_batch(self) -> None:
+        """Fold pending ops without closing an open batch."""
+        ops = self._batch_ops
+        if ops:
+            self._batch_ops = []
+            self._apply_batch_ops(ops)
+
+    def _apply_batch_ops(self, ops: list[tuple[bool, Hashable]]) -> None:
+        if all(is_write for is_write, _key in ops):
+            # The certified-RMW case: writes only, fold as bulk set ops.
+            keys = {key for _is_write, key in ops}
+            self._written.update(keys)
+            self._deleted.difference_update(keys)
+            return
+        for is_write, key in ops:
+            if is_write:
+                self._written.add(key)
+                self._deleted.discard(key)
+            else:
+                self._deleted.add(key)
+                self._written.discard(key)
+
     # -- journal -------------------------------------------------------
 
     def journal(self) -> MutationJournal:
         """Snapshot of the keys mutated since the last ``mark_clean``."""
+        self._flush_batch()
         return MutationJournal(written=frozenset(self._written),
                                deleted=frozenset(self._deleted))
 
     def mark_clean(self) -> None:
         """Reset the journal — called once a checkpoint has persisted."""
+        if self._batch_ops:
+            # Pending ops predate the clean point: drop them with it.
+            self._batch_ops = []
         self._written.clear()
         self._deleted.clear()
 
     @property
     def journal_size(self) -> int:
+        self._flush_batch()
         return len(self._written) + len(self._deleted)
 
 
@@ -282,6 +346,7 @@ class DenseGridBackend(StateBackend):
     def clear(self) -> None:
         # Dense clear = zero every cell; the cells still exist, so they
         # journal as writes, not deletions.
+        self._flush_batch()
         self._do_clear()
         for row in range(self.n_rows):
             for col in range(self.n_cols):

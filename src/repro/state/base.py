@@ -328,6 +328,23 @@ class StateElement(abc.ABC):
         """Reset the mutation journal (a checkpoint has persisted)."""
         self._backend.mark_clean()
 
+    def begin_rmw_batch(self) -> None:
+        """Open a journal write batch (``BATCHABLE_RMW`` fast path).
+
+        The engine brackets a coalesced run of certified non-escaping
+        read-modify-writes with ``begin_rmw_batch``/``end_rmw_batch``:
+        storage writes stay immediate (reads see every update), while
+        per-key journal bookkeeping is deferred to one bulk fold at
+        batch end. Safe only because the certificate proves the batch
+        cannot observe its own journal mid-run — and the backend
+        flushes pending ops on any journal read regardless.
+        """
+        self._backend.begin_batch()
+
+    def end_rmw_batch(self) -> None:
+        """Close the write batch, folding deferred ops into the journal."""
+        self._backend.end_batch()
+
     # ------------------------------------------------------------------
     # Partitioning and merging (§3.2)
     # ------------------------------------------------------------------

@@ -86,6 +86,10 @@ class TranslationResult:
     method_asts: dict[str, ast.FunctionDef] = field(default_factory=dict)
     #: Annotated state-field descriptors by name.
     fields: dict[str, StateField] = field(default_factory=dict)
+    #: Certified :class:`~repro.analysis.capabilities.
+    #: ProgramCapabilities`, attached by ``SDGProgram.launch`` when the
+    #: runtime is asked to optimize (``None`` otherwise).
+    capabilities: Any = None
 
     def entry_info(self, method: str) -> EntryInfo:
         if method not in self.entries:

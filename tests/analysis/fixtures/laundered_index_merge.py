@@ -1,0 +1,30 @@
+"""SDG302 (regression): positional pick laundered through a call.
+
+Sorting the gathered collection before indexing it looks principled,
+but with a key that doesn't totally order the values the tie-break is
+the input order — the arbitrary gather order — so the pick is still
+order-sensitive. The pass originally only caught direct
+``all_scores[0]`` indexing; this fixture pins indexing of a *call
+over* the collection.
+"""
+
+from repro.annotations import Partial, Partitioned, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import Matrix
+
+
+class LaunderedIndexMerge(SDGProgram):
+    """Order-dependent merge hiding behind a sorted() transform."""
+
+    ratings = Partitioned(Matrix, key="user")
+    co_occ = Partial(Matrix)
+
+    @entry
+    def recommend(self, user):
+        row = self.ratings.get_row(user)
+        scores = global_(self.co_occ).multiply(row)
+        best = self.top_pick(collection(scores))
+        return best
+
+    def top_pick(self, all_scores):
+        return sorted(all_scores, key=lambda s: s.shape())[0]

@@ -1,0 +1,32 @@
+"""SDG302 (regression): operand-swapped non-commutative accumulation.
+
+Assigning ``current - accumulator`` folds the loop-carried value
+through ``-`` just as the usual ``accumulator - current`` shape does —
+only the operand order differs — so the result still depends on the
+replica delivery order. The pass originally matched only the
+accumulator-on-the-left shape; this fixture pins the swapped form.
+"""
+
+from repro.annotations import Partial, Partitioned, collection, entry, global_
+from repro.program import SDGProgram
+from repro.state import Matrix
+
+
+class OperandSwapMerge(SDGProgram):
+    """Order-dependent merge hiding behind swapped operands."""
+
+    ratings = Partitioned(Matrix, key="user")
+    co_occ = Partial(Matrix)
+
+    @entry
+    def recommend(self, user):
+        row = self.ratings.get_row(user)
+        scores = global_(self.co_occ).multiply(row)
+        best = self.alternating(collection(scores))
+        return best
+
+    def alternating(self, all_scores):
+        acc = 0
+        for cur in all_scores:
+            acc = cur - acc
+        return acc

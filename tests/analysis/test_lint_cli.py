@@ -93,3 +93,52 @@ class TestSubprocess:
         completed = run_cli("lint", RACE)
         assert completed.returncode == 1
         assert "SDG301" in completed.stdout
+
+
+SWAP = "tests.analysis.fixtures.operand_swap_merge:OperandSwapMerge"
+
+
+class TestCapabilities:
+    def test_certified_app_lists_its_grants(self, capsys):
+        assert main(["lint", "cf", "--capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "capabilities for cf:" in out
+        assert "flags: COMMUTATIVE_MERGE, BATCHABLE_RMW" in out
+        assert "foldable merges: merge" in out
+        assert "refused (baseline path):" in out
+
+    def test_uncertified_app_shows_none_and_the_reason(self, capsys):
+        assert main(["lint", "kvstore", "--capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "flags: (none)" in out
+        assert "non-commutative writes" in out
+
+    def test_edges_render_as_arrows(self, capsys):
+        assert main(["lint", "wordcount", "--capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "coalescible edges: split -> count" in out
+
+    def test_fixture_target_is_refused_with_its_merge(self, capsys):
+        main(["lint", SWAP, "--capabilities"])
+        out = capsys.readouterr().out
+        assert "COMMUTATIVE_MERGE" not in out
+        assert "alternating" in out
+
+    def test_json_payload_carries_certificates(self, capsys):
+        assert main(["lint", "wordcount", "--capabilities",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        [cert] = payload["capabilities"]
+        assert cert["target"] == "wordcount"
+        assert cert["flags"] == ["COALESCIBLE_DISPATCH"]
+        assert cert["coalescible_edges"] == [["split", "count"]]
+        assert cert["batch_state_tes"] == ["count"]
+
+    def test_json_payload_omits_certificates_by_default(self, capsys):
+        assert main(["lint", "wordcount", "--format", "json"]) == 0
+        assert "capabilities" not in json.loads(capsys.readouterr().out)
+
+    def test_all_bundled_targets_certify(self, capsys):
+        assert main(["lint", "--all", "--capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("capabilities for ") == 7

@@ -23,6 +23,8 @@ from tests.analysis.fixtures import (
     env_access,
     graphs,
     key_mismatch,
+    laundered_index_merge,
+    operand_swap_merge,
     order_sensitive_merge,
     partial_race,
 )
@@ -43,6 +45,10 @@ PROGRAM_CASES = [
      "self.counters.increment"),
     (order_sensitive_merge, order_sensitive_merge.OrderSensitiveMerge,
      "SDG302", "all_scores[0]"),
+    (operand_swap_merge, operand_swap_merge.OperandSwapMerge,
+     "SDG302", "acc = cur - acc"),
+    (laundered_index_merge, laundered_index_merge.LaunderedIndexMerge,
+     "SDG302", "sorted(all_scores"),
     (backend_bypass, backend_bypass.BackendBypass, "SDG303",
      "self.table._backend"),
     (key_mismatch, key_mismatch.KeyDrift, "SDG304", "self.table.delete"),

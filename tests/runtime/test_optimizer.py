@@ -1,0 +1,260 @@
+"""Tests for capability-driven dispatch (``RuntimeConfig(optimize=True)``).
+
+The optimizer's contract has two halves, and the suite pins both:
+
+*Soundness* — every relaxed path is gated on a certificate. Uncertified
+programs deployed with ``optimize=True`` take the exact baseline path:
+coalescing never switches on, no fold is installed, no journal batch
+opens, and the differentials below prove ``state_fingerprint``
+equality between optimized and baseline runs on both substrates.
+
+*Liveness* — certified programs actually take the relaxed paths: the
+transport forms :class:`Batch` payloads and counts them, the gather
+barrier folds replica values as they arrive, and the backend batches
+RMW journal bookkeeping, each observable through its counter.
+"""
+
+import pytest
+
+from repro.apps import CollaborativeFiltering, KeyValueStore
+from repro.apps.wordcount import build_wordcount_sdg
+from repro.durability.manifest import state_fingerprint
+from repro.errors import RuntimeExecutionError
+from repro.runtime import Runtime, RuntimeConfig
+from repro.runtime.envelope import Batch, envelope_weight
+from repro.testing import build_iterative_sdg, build_kv_sdg
+
+CORPUS = (
+    "state is made explicit and managed by the runtime",
+    "the quick brown fox jumps over the lazy dog",
+    "every envelope carries a trace id across the dataflow",
+)
+
+
+def feed(runtime, app, items):
+    if app == "kvstore":
+        for i in range(items):
+            runtime.inject("serve", ("put", i % 7, i))
+        for i in range(items // 4):
+            runtime.inject("serve", ("get", i % 7, None))
+    elif app == "wordcount":
+        for i in range(items):
+            runtime.inject("split", (i, CORPUS[i % len(CORPUS)]))
+    else:  # loop
+        for i in range(items):
+            runtime.inject("stepA", 3 + i % 4)
+
+
+BUILDERS = {
+    "kvstore": (build_kv_sdg, {"table": 2}),
+    "wordcount": (lambda: build_wordcount_sdg(window_size=8),
+                  {"counts": 2}),
+    "loop": (build_iterative_sdg, {"modelA": 2, "modelB": 2}),
+}
+
+
+def run_once(app, substrate, optimize, items=120):
+    builder, se_instances = BUILDERS[app]
+    config = RuntimeConfig(se_instances=se_instances, substrate=substrate,
+                           workers=2 if substrate == "multiprocess" else None,
+                           optimize=optimize)
+    runtime = Runtime(builder(), config).deploy()
+    try:
+        feed(runtime, app, items)
+        runtime.run_until_idle()
+        fingerprint = state_fingerprint(runtime)
+        metrics = runtime.merged_metrics()
+        counters = {
+            name: metrics.total(name)
+            for name in ("dispatch_coalesced_total",
+                         "merge_early_completions_total",
+                         "state_rmw_batches_total",
+                         "engine_items_processed_total")
+        }
+    finally:
+        runtime.close()
+    return fingerprint, counters
+
+
+# ---------------------------------------------------------------------------
+# Differentials: optimized state == baseline state, both substrates
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentials:
+    @pytest.mark.parametrize("substrate", ["inprocess", "multiprocess"])
+    @pytest.mark.parametrize("app", sorted(BUILDERS))
+    def test_optimized_state_matches_baseline(self, app, substrate):
+        base_fp, base_counters = run_once(app, substrate, optimize=False)
+        opt_fp, opt_counters = run_once(app, substrate, optimize=True)
+        assert opt_fp == base_fp
+        # Same logical work, independent of how deliveries were framed.
+        assert (opt_counters["engine_items_processed_total"]
+                == base_counters["engine_items_processed_total"])
+        # Baseline never coalesces; the optimized certified runs do.
+        assert base_counters["dispatch_coalesced_total"] == 0
+        assert opt_counters["dispatch_coalesced_total"] > 0
+
+    def test_wordcount_batches_rmw_journals(self):
+        _, counters = run_once("wordcount", "inprocess", optimize=True)
+        assert counters["state_rmw_batches_total"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Soundness: uncertified programs never take a relaxed path
+# ---------------------------------------------------------------------------
+
+
+class TestUncertifiedNeverRelaxed:
+    def test_kvstore_program_takes_the_exact_baseline_path(self):
+        app = KeyValueStore.launch(RuntimeConfig(optimize=True), table=2)
+        runtime = app.runtime
+        # The certificate granted nothing the dispatch layer may use.
+        assert "COALESCIBLE_DISPATCH" not in runtime.capabilities.flags
+        assert runtime.transport._coalesce_edges is None
+        assert not runtime._merge_folds
+
+        seen_batches = []
+        original = runtime.substrate.process
+
+        def watch(instance, envelope):
+            if type(envelope.payload) is Batch:
+                seen_batches.append(envelope)
+            original(instance, envelope)
+
+        runtime.substrate.process = watch
+        for i in range(60):
+            app.put(i % 9, i)
+            app.bump(i % 9, 1)
+        app.run()
+        for i in range(9):
+            app.get(i)
+        app.run()
+        assert seen_batches == []
+        metrics = runtime.merged_metrics()
+        assert metrics.total("dispatch_coalesced_total") == 0
+        assert metrics.total("merge_early_completions_total") == 0
+        sequential = KeyValueStore()
+        for i in range(60):
+            sequential.put(i % 9, i)
+            sequential.bump(i % 9, 1)
+        expected = [sequential.get(i) for i in range(9)]
+        assert app.results("get") == expected
+
+    def test_uncertified_program_matches_unoptimized_run(self):
+        def run(optimize):
+            app = KeyValueStore.launch(
+                RuntimeConfig(optimize=optimize), table=2)
+            for i in range(40):
+                app.put(i % 5, i)
+                app.bump(i % 5, 1)
+            app.run()
+            return state_fingerprint(app.runtime)
+
+        assert run(True) == run(False)
+
+
+# ---------------------------------------------------------------------------
+# Liveness: certified paths really engage
+# ---------------------------------------------------------------------------
+
+
+class TestCertifiedPathsEngage:
+    def test_coalescing_forms_batches_on_certified_edges(self):
+        config = RuntimeConfig(se_instances={"table": 2}, optimize=True)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        for i in range(50):
+            runtime.inject("serve", ("put", i % 3, i))
+        # Before draining, the entry inboxes hold coalesced batches
+        # whose logical depth the queued_items counter tracks.
+        batches = 0
+        for instance in runtime.te_instances("serve"):
+            weights = [envelope_weight(env) for env in instance.inbox]
+            batches += sum(1 for env in instance.inbox
+                           if type(env.payload) is Batch)
+            assert instance.queued_items == sum(weights)
+        assert batches > 0
+        runtime.run_until_idle()
+        metrics = runtime.merged_metrics()
+        assert metrics.total("dispatch_coalesced_total") > 0
+        assert metrics.total("engine_items_processed_total") == 50
+
+    def test_batch_respects_the_configured_ceiling(self):
+        config = RuntimeConfig(se_instances={"table": 1}, optimize=True,
+                               optimize_batch_max=4)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        for i in range(40):
+            runtime.inject("serve", ("put", 0, i))
+        for instance in runtime.te_instances("serve"):
+            for env in instance.inbox:
+                assert envelope_weight(env) <= 4
+        runtime.run_until_idle()
+        assert state_fingerprint(runtime) is not None
+
+    def test_gather_folds_eagerly_and_counts_completions(self):
+        def run(optimize):
+            app = CollaborativeFiltering.launch(
+                RuntimeConfig(optimize=optimize), user_item=2, co_occ=3)
+            for user, item, rating in [(0, 1, 5), (0, 2, 3), (1, 1, 4),
+                                       (1, 3, 2), (2, 2, 1)]:
+                app.add_rating(user, item, rating)
+            app.run()
+            app.get_rec(0)
+            app.run()
+            folds = app.runtime.merged_metrics().total(
+                "merge_early_completions_total")
+            return app.results("get_rec")[0].to_list(), folds
+
+        base_rec, base_folds = run(False)
+        opt_rec, opt_folds = run(True)
+        assert base_folds == 0
+        assert opt_folds > 0
+        assert opt_rec == base_rec
+
+
+# ---------------------------------------------------------------------------
+# Gates: configuration and tracer interactions
+# ---------------------------------------------------------------------------
+
+
+class TestGates:
+    def test_optimize_defaults_off(self):
+        runtime = Runtime(build_kv_sdg()).deploy()
+        assert runtime.capabilities is None
+        assert runtime.transport._coalesce_edges is None
+
+    def test_optimize_rejects_auto_scale(self):
+        config = RuntimeConfig(optimize=True, auto_scale=True)
+        with pytest.raises(RuntimeExecutionError, match="auto_scale"):
+            Runtime(build_kv_sdg(), config).deploy()
+
+    @pytest.mark.parametrize("bad", [1, True, 0, -3])
+    def test_batch_max_must_be_a_real_ceiling(self, bad):
+        with pytest.raises(RuntimeExecutionError):
+            Runtime(build_kv_sdg(),
+                    RuntimeConfig(optimize=True,
+                                  optimize_batch_max=bad)).deploy()
+
+    def test_tracer_keeps_transport_coalescing_off(self):
+        config = RuntimeConfig(se_instances={"table": 2}, optimize=True,
+                               trace=True)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        # The certificate is still computed and attached...
+        assert "COALESCIBLE_DISPATCH" in runtime.capabilities.flags
+        # ...but per-envelope tracing wins over batched delivery.
+        assert runtime.transport._coalesce_edges is None
+        for i in range(30):
+            runtime.inject("serve", ("put", i % 3, i))
+        runtime.run_until_idle()
+        assert runtime.merged_metrics().total(
+            "dispatch_coalesced_total") == 0
+
+    def test_explicit_capabilities_are_honoured_verbatim(self):
+        from repro.analysis.capabilities import ProgramCapabilities
+
+        caps = ProgramCapabilities(target="handmade")  # grants nothing
+        config = RuntimeConfig(se_instances={"table": 2}, optimize=True,
+                               capabilities=caps)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        assert runtime.capabilities is caps
+        assert runtime.transport._coalesce_edges is None

@@ -1,0 +1,142 @@
+"""Journal-batching windows (the ``BATCHABLE_RMW`` licence).
+
+``begin_batch``/``end_batch`` let the backend defer per-mutation
+journal *bookkeeping* — never the storage writes themselves — across a
+delivery batch. The invariant under test: for any mutation sequence,
+the journal observable after the window closes is identical to the
+journal of the same sequence applied unbatched, including the
+write-then-delete and delete-then-rewrite collapses, and every reader
+of the journal (snapshot, size, clear) sees a flushed view.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.state import DenseGridBackend, DictBackend, KeyValueMap
+
+
+def apply_ops(backend, ops):
+    for op, key in ops:
+        if op == "set":
+            backend.set(key, f"v{key}")
+        else:
+            if backend.contains(key):
+                backend.delete(key)
+
+
+class TestBatchedJournalEquivalence:
+    def test_batched_window_matches_unbatched_journal(self):
+        ops = [("set", "a"), ("set", "b"), ("del", "a"),
+               ("set", "c"), ("del", "b"), ("set", "a")]
+        plain = DictBackend()
+        apply_ops(plain, ops)
+        batched = DictBackend()
+        batched.begin_batch()
+        apply_ops(batched, ops)
+        batched.end_batch()
+        assert batched.journal().written == plain.journal().written
+        assert batched.journal().deleted == plain.journal().deleted
+
+    def test_storage_writes_are_never_deferred(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.set("a", 1)
+        # Mid-window the value is live even though the journal isn't.
+        assert backend.get("a") == 1
+        backend.end_batch()
+        assert backend.journal().written == {"a"}
+
+    def test_write_then_delete_collapses_inside_the_window(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.set("a", 1)
+        backend.delete("a")
+        backend.end_batch()
+        journal = backend.journal()
+        assert journal.deleted == {"a"} and not journal.written
+
+    def test_delete_then_rewrite_collapses_inside_the_window(self):
+        backend = DictBackend()
+        backend.set("a", 1)
+        backend.mark_clean()
+        backend.begin_batch()
+        backend.delete("a")
+        backend.set("a", 2)
+        backend.end_batch()
+        journal = backend.journal()
+        assert journal.written == {"a"} and not journal.deleted
+
+    def test_journal_read_flushes_an_open_window(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.set("a", 1)
+        # Checkpoint-style readers must never see a stale journal,
+        # even if a crash interrupts the window before end_batch.
+        assert backend.journal().written == {"a"}
+        assert backend.journal_size == 1
+        backend.end_batch()
+
+    def test_mark_clean_drops_pending_ops(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.set("a", 1)
+        backend.mark_clean()
+        backend.end_batch()
+        assert backend.journal().empty
+
+    def test_clear_flushes_first(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.set("a", 1)
+        backend.set("b", 2)
+        backend.clear()
+        backend.end_batch()
+        assert backend.journal().deleted == {"a", "b"}
+
+    def test_begin_batch_is_idempotent(self):
+        backend = DictBackend()
+        backend.begin_batch()
+        backend.begin_batch()
+        backend.set("a", 1)
+        backend.end_batch()
+        assert backend.journal().written == {"a"}
+
+    def test_dense_grid_clear_flushes_open_window(self):
+        backend = DenseGridBackend(2, 2)
+        backend.begin_batch()
+        backend.set((0, 0), 5.0)
+        backend.clear()
+        backend.end_batch()
+        # clear() on the grid journals every cell as a write of 0.
+        assert (0, 0) in backend.journal().written
+
+    def test_element_layer_delegates(self):
+        element = KeyValueMap()
+        element.begin_rmw_batch()
+        element.put("k", 1)
+        element.put("j", 2)
+        element.end_rmw_batch()
+        journal = element._backend.journal()
+        assert journal.written == {"k", "j"}
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["set", "del"]), st.integers(0, 5)),
+    min_size=0, max_size=30,
+)
+
+
+@given(ops=ops_strategy, boundary=st.integers(0, 30))
+@settings(max_examples=50, deadline=None)
+def test_any_sequence_is_journal_equivalent(ops, boundary):
+    """Batched-prefix + unbatched-suffix equals fully unbatched."""
+    plain = DictBackend()
+    apply_ops(plain, ops)
+    mixed = DictBackend()
+    mixed.begin_batch()
+    apply_ops(mixed, ops[:boundary])
+    mixed.end_batch()
+    apply_ops(mixed, ops[boundary:])
+    assert mixed.journal().written == plain.journal().written
+    assert mixed.journal().deleted == plain.journal().deleted
+    assert dict(mixed.items()) == dict(plain.items())

@@ -134,3 +134,37 @@ class TestDurableCommands:
     def test_resume_of_non_run_dir_errors(self, capsys, tmp_path):
         assert main(["resume", str(tmp_path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestOptimizeFlags:
+    def test_run_optimize_matches_baseline_state_hash(self, capsys):
+        assert main(["run", "--app", "kvstore", "--items", "80"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["run", "--app", "kvstore", "--items", "80",
+                     "--optimize"]) == 0
+        optimized = capsys.readouterr().out
+        assert "processed=80" in optimized
+        assert (optimized.split("state_hash=")[-1]
+                == baseline.split("state_hash=")[-1])
+
+    def test_durable_run_rejects_optimize(self, capsys, tmp_path):
+        assert main(["run", "--durable", str(tmp_path / "run"),
+                     "--optimize"]) == 1
+        assert "plain runs only" in capsys.readouterr().err
+
+    def test_obs_optimize_reports_the_optimizer_section(self, capsys):
+        assert main(["obs", "--app", "kvstore", "--items", "40",
+                     "--no-trace", "--no-chaos", "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "-- optimizer --" in out
+        assert "capabilities: COALESCIBLE_DISPATCH" in out
+        coalesced = int(next(
+            line.split(":")[1] for line in out.splitlines()
+            if line.strip().startswith("dispatch_coalesced_total:")))
+        assert coalesced > 0
+
+    def test_obs_without_optimize_reports_it_off(self, capsys):
+        assert main(["obs", "--app", "kvstore", "--items", "20",
+                     "--no-trace", "--no-chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "capabilities: (none) [optimize off]" in out
