@@ -1,0 +1,135 @@
+"""Overhead guard and breakdown report for the wall-clock profiler.
+
+Two enforced properties, mirroring ``test_obs_overhead.py``:
+
+* **Profiling off is free.** A runtime with the profiler *and* flight
+  recorder disabled (the default) must process items within 3% of the
+  :data:`~repro.obs.NULL_REGISTRY` baseline — i.e. the new hooks add
+  nothing beyond the already-enforced metrics bar. Off-path cost is a
+  single ``is None`` check per item in ``step`` and ``_dispatch``.
+* **Profiling on accounts the run.** With ``profile=True`` every item
+  lands in the ``process`` and ``dispatch`` phases, and on the
+  multiprocess substrate the worker shards merge with the
+  coordinator's wire phases.
+
+The second half profiles the multiprocess substrate at 1/2/4 workers
+and writes ``BENCH_obs_profile.json`` — the per-phase wall-clock
+breakdown the paper's operational story reads (where the time goes as
+the fleet widens: task code shrinks per worker, serialize/wire_wait
+move to the coordinator).
+"""
+
+import json
+import os
+import time
+
+from repro.obs import NULL_REGISTRY, PHASES
+from repro.runtime import Runtime, RuntimeConfig
+from repro.testing import build_kv_sdg
+
+_ITEMS = 2_000
+_TRIALS = 5
+_ATTEMPTS = 3
+_MAX_RATIO = 1.03
+
+#: Items per fleet width in the breakdown report.
+_REPORT_ITEMS = 1_500
+_REPORT_PATH = os.path.join(os.path.dirname(__file__),
+                            "BENCH_obs_profile.json")
+
+
+def _deploy(metrics=None, profile=False, substrate="inprocess",
+            workers=None):
+    config = RuntimeConfig(se_instances={"table": 2}, profile=profile,
+                           substrate=substrate, workers=workers)
+    if metrics is not None:
+        config.metrics = metrics
+    return Runtime(build_kv_sdg(), config).deploy()
+
+
+def _run_batch(runtime, start, items=_ITEMS):
+    for i in range(start, start + items):
+        runtime.inject("serve", ("put", i % 64, i))
+    runtime.run_until_idle()
+
+
+def _time_batch(runtime, start):
+    t0 = time.perf_counter()
+    _run_batch(runtime, start)
+    return time.perf_counter() - t0
+
+
+def test_profile_off_overhead_under_3_percent():
+    for attempt in range(1, _ATTEMPTS + 1):
+        baseline = _deploy(metrics=NULL_REGISTRY)
+        candidate = _deploy()  # default registry, profile+flight off
+        assert candidate.profiler is None
+        assert candidate.flight is None
+        _run_batch(baseline, 0)
+        _run_batch(candidate, 0)
+        best_base = min(
+            _time_batch(baseline, (1 + t) * _ITEMS)
+            for t in range(_TRIALS)
+        )
+        best_cand = min(
+            _time_batch(candidate, (1 + t) * _ITEMS)
+            for t in range(_TRIALS)
+        )
+        ratio = best_cand / best_base
+        print(f"\nprofile-off overhead attempt {attempt}: baseline "
+              f"{best_base * 1e3:.2f}ms candidate "
+              f"{best_cand * 1e3:.2f}ms ratio {ratio:.4f}")
+        if ratio < _MAX_RATIO:
+            break
+    assert ratio < _MAX_RATIO, (
+        f"profile-off runtime is {ratio:.4f}x the no-registry "
+        f"baseline after {_ATTEMPTS} attempts (bound {_MAX_RATIO}x)"
+    )
+
+
+def test_profile_on_accounts_every_item():
+    runtime = _deploy(profile=True)
+    _run_batch(runtime, 0, items=300)
+    profile = runtime.merged_profile()
+    assert profile.count("process") == 300
+    assert profile.count("dispatch") == 300
+    # Dispatch nests inside the process span, so it can never exceed it.
+    assert profile.seconds("dispatch") <= profile.seconds("process")
+
+
+def test_breakdown_report_across_fleet_widths():
+    """Profile 1/2/4-worker fleets and write BENCH_obs_profile.json."""
+    report = {
+        "items": _REPORT_ITEMS,
+        "phases": list(PHASES),
+        "runs": [],
+    }
+    for workers in (1, 2, 4):
+        runtime = _deploy(profile=True, substrate="multiprocess",
+                          workers=workers)
+        try:
+            t0 = time.perf_counter()
+            _run_batch(runtime, 0, items=_REPORT_ITEMS)
+            wall = time.perf_counter() - t0
+            profile = runtime.merged_profile()
+            breakdown = profile.breakdown()
+            # Every item was served exactly once, fleet-wide.
+            assert breakdown["process"]["count"] == _REPORT_ITEMS
+            assert breakdown["dispatch"]["count"] == _REPORT_ITEMS
+            # The coordinator contributed its wire phases.
+            assert breakdown["serialize"]["count"] > 0
+            report["runs"].append({
+                "substrate": "multiprocess",
+                "workers": workers,
+                "wall_seconds": wall,
+                "throughput_items_per_s": _REPORT_ITEMS / wall,
+                "breakdown": breakdown,
+            })
+            print(f"\nworkers={workers} wall={wall:.3f}s")
+            print(profile.render())
+        finally:
+            runtime.close()
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {_REPORT_PATH}")

@@ -20,6 +20,10 @@ its Python counterpart, invoked as ``python -m repro``:
 * ``obs`` — run an instrumented benchmark workload (checkpoints,
   failure detection, supervised recovery, optional fault injection)
   and dump the observability report: metrics, events, traces.
+* ``top`` — run a demo workload and render the live telemetry
+  dashboard (merged metrics, wire counters, wall-clock profile,
+  flight-recorder tail) once after the drain, or repeatedly while the
+  workload drains with ``--watch``. Works on both substrates.
 * ``run`` — execute a workload. Plain runs pick an execution substrate
   (``--substrate inprocess`` or ``--substrate multiprocess --workers
   N``) and print wall time, throughput and the final state hash. With
@@ -390,6 +394,31 @@ def main(argv: list[str] | None = None) -> int:
     p_obs.add_argument("--events", metavar="PATH",
                        help="also write the event bus as JSON lines")
 
+    p_top = sub.add_parser(
+        "top", help="run a demo workload and render the telemetry "
+                    "dashboard (metrics, wire, profile, flight tail)"
+    )
+    p_top.add_argument("--app", choices=["kvstore", "wordcount"],
+                       default="kvstore", help="workload to run")
+    p_top.add_argument("--items", type=int, default=200,
+                       help="workload items to inject")
+    p_top.add_argument("--substrate",
+                       choices=["inprocess", "multiprocess"],
+                       default="inprocess",
+                       help="execution substrate to dashboard")
+    p_top.add_argument("--workers", type=int, default=None,
+                       help="worker processes for "
+                            "--substrate multiprocess (default 2)")
+    mode = p_top.add_mutually_exclusive_group()
+    mode.add_argument("--once", action="store_true",
+                      help="render one frame after the drain (default)")
+    mode.add_argument("--watch", action="store_true",
+                      help="render frames while the workload drains")
+    p_top.add_argument("--frames", type=int, default=5,
+                       help="frames to render in --watch mode")
+    p_top.add_argument("--interval", type=float, default=0.2,
+                       help="seconds between --watch frames")
+
     p_run = sub.add_parser(
         "run", help="execute a workload (plain, or durable with "
                     "--durable DIR)"
@@ -478,6 +507,15 @@ def main(argv: list[str] | None = None) -> int:
                 with open(args.events, "w", encoding="utf-8") as fh:
                     fh.write(run.runtime.events.to_jsonl())
                 print(f"\nevents written to {args.events}")
+        elif args.command == "top":
+            from repro.obs.top import run_top
+
+            return run_top(
+                app=args.app, items=args.items,
+                substrate=args.substrate, workers=args.workers,
+                watch=args.watch, frames=args.frames,
+                interval=args.interval,
+            )
         elif args.command == "run":
             if args.durable is None:
                 return _plain_run(args)

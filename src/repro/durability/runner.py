@@ -38,6 +38,7 @@ experiments without copying untouched checkpoint data.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import time
@@ -55,6 +56,7 @@ from repro.durability.manifest import (
 from repro.durability.workload import DurableWorkload, RunSpec
 from repro.errors import DurabilityError, RecoveryError
 from repro.obs import JsonlExporter
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.recovery import (
     CheckpointManager,
     DiskBackupStore,
@@ -65,6 +67,12 @@ from repro.runtime import FailureDetector
 
 BACKUPS_DIR = "backups"
 EVENTS_NAME = "events.jsonl"
+FLIGHT_NAME = "flight.json"
+
+#: Steps between periodic flight-recorder flushes inside an epoch: the
+#: SIGKILL post-mortem window is at most this many steps stale (plus
+#: whatever the last epoch fence wrote).
+_FLIGHT_FLUSH_STEPS = 2_000
 
 #: Probe-pump rounds allowed per epoch before declaring the run stuck.
 _MAX_PUMP_ROUNDS = 500
@@ -174,6 +182,32 @@ class DurableRunner:
         self.exporter = JsonlExporter(
             os.path.join(self.run_dir, EVENTS_NAME),
             start_offset=events_offset)
+        # Durable runs always carry a flight recorder: after a SIGKILL,
+        # ``<run_dir>/flight.json`` shows the last envelopes the run
+        # served, at most ``_FLIGHT_FLUSH_STEPS`` steps stale. An
+        # explicitly configured recorder (flight_recorder=N) is kept.
+        if self.runtime.flight is None:
+            self.runtime.flight = FlightRecorder(DEFAULT_CAPACITY)
+        self._flight_flushed_at = self.runtime.total_steps
+        self.runtime.add_step_hook(self._flight_hook)
+
+    def _flight_hook(self, runtime) -> None:
+        if runtime.total_steps - self._flight_flushed_at \
+                >= _FLIGHT_FLUSH_STEPS:
+            self._write_flight()
+
+    def _write_flight(self) -> None:
+        """Atomically persist the flight ring next to the manifest."""
+        flight = self.runtime.flight
+        if flight is None:
+            return
+        path = os.path.join(self.run_dir, FLIGHT_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump({"total_steps": self.runtime.total_steps,
+                       "entries": flight.dump()}, fh, indent=2)
+        os.replace(tmp, path)
+        self._flight_flushed_at = self.runtime.total_steps
 
     def _wipe_backups(self) -> None:
         path = os.path.join(self.run_dir, BACKUPS_DIR)
@@ -311,6 +345,7 @@ class DurableRunner:
         if commit:
             self.manifest.epochs.append(record)
             write_manifest(self.run_dir, self.manifest)
+        self._write_flight()
         return record
 
     def _settle(self, epoch: int) -> None:

@@ -1,27 +1,41 @@
-"""Unified observability: metrics registry, causal tracing, event bus.
+"""Unified observability: metrics, tracing, events, profiling, flight.
 
-Three pillars, wired through every layer behind the existing
-step-hook/facade seams:
+Four pillars plus the event bus, wired through every layer behind the
+existing step-hook/facade seams:
 
 * :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
   primitives in an injectable :class:`MetricsRegistry` with a
   Prometheus text exporter.  Histogram buckets are *logical steps*;
   nothing in the registry touches the wall clock, so the deterministic
-  core (§4.1) stays deterministic.
+  core (§4.1) stays deterministic. On the multiprocess substrate each
+  worker's registry shard streams back to the coordinator piggybacked
+  on idle frames, so ``runtime.merged_metrics()`` is fresh *between*
+  barriers, not only at them.
 * :mod:`repro.obs.trace` — optional per-envelope causal tracing
   (``RuntimeConfig(trace=True)``): each envelope carries a trace id and
   the :class:`Tracer` reconstructs its hop list (TE, instance,
   queue-wait and service spans in logical steps, ``replayed`` marks).
+  Works across process boundaries: workers record hops locally and
+  ship shards the coordinator merges into one causal view.
+* :mod:`repro.obs.profile` — opt-in wall-clock phase timers
+  (``RuntimeConfig(profile=True)``): process, dispatch, serialize,
+  wire wait, checkpoint, recovery. Layered *beside* the logical-time
+  registry; never feeds back into execution.
+* :mod:`repro.obs.flight` — a bounded per-process ring buffer of
+  recent envelope digests, shipped in crash frames and persisted next
+  to durable-run manifests for SIGKILL post-mortems.
 * :mod:`repro.obs.events` — a typed, structured :class:`EventBus` that
   the engine, checkpoint manager, recovery supervisor, failure
   detector and chaos injector publish to instead of private logs,
   with JSON-lines export.
 
 ``repro obs`` (see :mod:`repro.obs.runner`) runs a workload with the
-full stack enabled and renders metrics + traces + events.
+full stack enabled and renders metrics + traces + events; ``repro
+top`` (see :mod:`repro.obs.top`) renders the live dashboard view.
 """
 
 from repro.obs.events import Event, EventBus, JsonlExporter
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder, render_dump
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -30,12 +44,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.trace import Hop, Trace, Tracer
+from repro.obs.profile import PHASES, ProfileRegistry, profile_span
+from repro.obs.trace import DEFAULT_SERVED_LIMIT, Hop, Trace, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_SERVED_LIMIT",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Hop",
@@ -43,6 +61,10 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "PHASES",
+    "ProfileRegistry",
     "Trace",
     "Tracer",
+    "profile_span",
+    "render_dump",
 ]

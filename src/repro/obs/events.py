@@ -35,6 +35,7 @@ class KIND:
     FAILURE_DETECTED = "failure-detected"
     FAULT_INJECTED = "fault-injected"
     QUARANTINED = "quarantined"
+    WORKER_RESTART = "worker-restart"
 
 
 @dataclass(frozen=True)

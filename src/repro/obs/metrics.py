@@ -359,7 +359,9 @@ class MetricsRegistry:
         lines: list[str] = []
         for metric in self.collect():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for labels, child in metric.samples():
                 if metric.kind == "histogram":
@@ -383,11 +385,27 @@ def _fmt(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote and newline must be escaped, in that order
+    (backslash first, or the other escapes would be double-escaped)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes are legal)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict[str, str], **extra: str) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in sorted(merged.items()))
     return "{" + inner + "}"
 
 

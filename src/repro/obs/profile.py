@@ -1,0 +1,167 @@
+"""Wall-clock phase profiling beside the logical-time registry.
+
+The metrics registry (:mod:`repro.obs.metrics`) is deliberately
+deterministic: everything it counts is denominated in logical steps or
+entry counts, never seconds. That keeps the replayable core honest but
+leaves a visibility gap the paper's operational story (§5–§6) needs
+closed: *where does the wall clock actually go* — task code, dispatch,
+frame serialisation, waiting on a pipe, checkpointing, recovery?
+
+:class:`ProfileRegistry` answers that as a separate, opt-in layer
+(``RuntimeConfig(profile=True)``) of named phase timers. It never
+feeds back into scheduling or dispatch decisions, so determinism is
+untouched; it is also shard-mergeable the same way the metrics
+registry is, so the multiprocess substrate can ship each worker's
+phase breakdown back to the coordinator piggybacked on idle frames.
+
+Cost discipline mirrors tracing: with profiling off the engine's hot
+path pays one ``is None`` check per item and nothing else
+(``benchmarks/test_obs_profile.py`` enforces the same <3% bar as the
+metrics layer); with profiling on, each instrumented phase pays two
+``perf_counter()`` calls.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PHASES", "ProfileRegistry", "profile_span"]
+
+#: The canonical phase vocabulary. ``phase()`` accepts any name — these
+#: are the ones the runtime itself populates:
+#:
+#: * ``process``    — task invocation + per-item bookkeeping (engine);
+#: * ``dispatch``   — routing outputs through the dispatch layer;
+#: * ``serialize``  — pickling outbound wire frames (multiprocess);
+#: * ``wire_wait``  — blocked in ``select`` on pipe readiness;
+#: * ``checkpoint`` — begin/complete spans of checkpoint cycles;
+#: * ``recovery``   — node restore (checkpoint load + replay).
+PHASES = ("process", "dispatch", "serialize", "wire_wait",
+          "checkpoint", "recovery")
+
+
+class _PhaseTimer:
+    """Accumulated wall-clock seconds and sample count for one phase.
+
+    Pre-bind the instance (``registry.phase("process")``) outside any
+    hot loop; :meth:`add` is two attribute updates.
+    """
+
+    __slots__ = ("seconds", "count")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.seconds / self.count if self.count else 0.0
+
+
+class ProfileRegistry:
+    """Named wall-clock phase timers with snapshot/merge sharding."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, _PhaseTimer] = {}
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """Get-or-create the timer for ``name`` (pre-bindable)."""
+        timer = self._phases.get(name)
+        if timer is None:
+            timer = self._phases[name] = _PhaseTimer()
+        return timer
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phase(name).add(seconds)
+
+    def seconds(self, name: str) -> float:
+        timer = self._phases.get(name)
+        return 0.0 if timer is None else timer.seconds
+
+    def count(self, name: str) -> int:
+        timer = self._phases.get(name)
+        return 0 if timer is None else timer.count
+
+    def names(self) -> list[str]:
+        return sorted(self._phases)
+
+    # -- sharding (multiprocess substrate) -----------------------------
+
+    def reset(self) -> None:
+        """Zero every timer in place; pre-bound timers stay valid."""
+        for timer in self._phases.values():
+            timer.seconds = 0.0
+            timer.count = 0
+
+    def snapshot(self) -> dict[str, tuple[float, int]]:
+        """Picklable shard: ``{phase: (seconds, count)}``."""
+        return {name: (timer.seconds, timer.count)
+                for name, timer in self._phases.items()}
+
+    def merge_snapshot(self, snap: dict[str, tuple[float, int]]) -> None:
+        for name, (seconds, count) in snap.items():
+            timer = self.phase(name)
+            timer.seconds += seconds
+            timer.count += count
+
+    def merged_with(self, shards: list[dict]) -> "ProfileRegistry":
+        """Fresh registry = this one + all shards (non-destructive,
+        so repeated calls with cumulative shards never double-count)."""
+        merged = ProfileRegistry()
+        merged.merge_snapshot(self.snapshot())
+        for shard in shards:
+            merged.merge_snapshot(shard)
+        return merged
+
+    # -- read side -----------------------------------------------------
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly ``{phase: {seconds, count, mean_ms}}``."""
+        return {
+            name: {
+                "seconds": timer.seconds,
+                "count": timer.count,
+                "mean_ms": timer.mean * 1e3,
+            }
+            for name, timer in sorted(self._phases.items())
+        }
+
+    def render(self) -> str:
+        """A fixed-width phase table for CLI output."""
+        rows = [(name, timer) for name, timer in
+                sorted(self._phases.items(),
+                       key=lambda kv: -kv[1].seconds)]
+        if not rows:
+            return "(no phases recorded)"
+        lines = [f"{'phase':<12} {'seconds':>10} {'calls':>9} "
+                 f"{'mean':>10}"]
+        for name, timer in rows:
+            lines.append(
+                f"{name:<12} {timer.seconds:>10.4f} {timer.count:>9d} "
+                f"{timer.mean * 1e3:>8.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile_span(profiler: ProfileRegistry | None,
+                 phase: str) -> Iterator[None]:
+    """Time a cold-path block into ``phase``; no-op when profiler is None.
+
+    For hot paths, pre-bind ``registry.phase(name)`` and call ``add``
+    directly instead — a context manager per item is not free.
+    """
+    if profiler is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.add(phase, time.perf_counter() - t0)

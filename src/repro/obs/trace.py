@@ -13,17 +13,37 @@ Everything is denominated in logical steps; the tracer never reads the
 wall clock.  With tracing off the engine's hot path does a single
 ``is None`` check and nothing else — see
 ``benchmarks/test_obs_overhead.py`` for the enforced bound.
+
+Across the **multiprocess substrate** each worker records hops with
+its own local :class:`Tracer` (forked from the coordinator's), stamps
+them with its worker id, and ships completed hops back as *shards*
+(:meth:`Tracer.drain_shard`) piggybacked on the wire protocol's idle
+frames. The coordinator folds every shard into its own tracer
+(:meth:`Tracer.merge_shard`), re-running replay detection against the
+fleet-wide served-set — so ``runtime.tracer`` shows one merged causal
+view no matter which process served each hop. Worker-local step
+numbers are process-local logical clocks: queue-wait and service spans
+stay meaningful per hop, while cross-process step arithmetic is not
+(compare hop *sets*, not step stamps, across substrates).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports obs)
     from repro.runtime.envelope import Envelope
 
-__all__ = ["Hop", "Trace", "Tracer"]
+__all__ = ["DEFAULT_SERVED_LIMIT", "Hop", "Trace", "Tracer"]
+
+#: Default bound on the replay served-set (and the enqueue-step map).
+#: Long chaos soaks replay the same items across many crash cycles;
+#: without a bound those books grow with the item count forever.
+#: Eviction is FIFO: a key evicted here can, at worst, mis-report a
+#: *very* old replay as fresh — never the reverse.
+DEFAULT_SERVED_LIMIT = 1 << 16
 
 
 @dataclass
@@ -36,6 +56,11 @@ class Hop:
     entry_step: int
     exit_step: int = -1
     replayed: bool = False
+    #: Worker that served the hop (None = coordinator / in-process).
+    worker: int | None = None
+    #: Replay-identity key; rides shards so the coordinator can re-run
+    #: replay detection fleet-wide. Not part of equality/rendering.
+    key: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def queue_wait(self) -> int:
@@ -113,13 +138,40 @@ class Tracer:
     recovery re-executes work on a replacement instance.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, served_limit: int = DEFAULT_SERVED_LIMIT) -> None:
+        if served_limit < 1:
+            raise ValueError(
+                f"served_limit must be >= 1, got {served_limit}"
+            )
         self._next_id = 1
         self._traces: dict[int, Trace] = {}
+        #: Bound on the replay books below (FIFO eviction).
+        self.served_limit = served_limit
         # (trace_id, channel, ts) -> step the envelope entered the inbox
-        self._enqueued: dict[tuple, int] = {}
-        # (trace_id, dst_te, stream_key, ts) seen served at least once
-        self._served: set[tuple] = set()
+        self._enqueued: OrderedDict[tuple, int] = OrderedDict()
+        # (trace_id, dst_te, stream_key, ts) seen served at least once;
+        # an OrderedDict-as-set so the oldest key can be evicted.
+        self._served: OrderedDict[tuple, None] = OrderedDict()
+        #: Worker id stamped on recorded hops (multiprocess workers).
+        self.worker: int | None = None
+        #: When shard recording is on, every begun hop is also queued
+        #: for :meth:`drain_shard` (workers ship these to the
+        #: coordinator). Off by default so the in-process tracer never
+        #: accumulates an undrained pending list.
+        self._record_shard = False
+        self._pending_shard: list[tuple[int, Hop]] = []
+
+    def record_shards(self, worker: int) -> None:
+        """Switch this tracer into worker mode: stamp ``worker`` on new
+        hops and queue them for :meth:`drain_shard`."""
+        self.worker = worker
+        self._record_shard = True
+
+    def _remember_served(self, item_key: tuple) -> None:
+        served = self._served
+        served[item_key] = None
+        if len(served) > self.served_limit:
+            served.popitem(last=False)
 
     # -- trace lifecycle -------------------------------------------------
 
@@ -133,6 +185,8 @@ class Tracer:
         if envelope.trace_id is None:
             return
         self._enqueued[(envelope.trace_id, envelope.channel, envelope.ts)] = step
+        if len(self._enqueued) > self.served_limit:
+            self._enqueued.popitem(last=False)
 
     def begin_hop(self, envelope: "Envelope", te: str, instance_name: str, step: int) -> Hop | None:
         trace_id = envelope.trace_id
@@ -146,19 +200,57 @@ class Tracer:
         enqueue = self._enqueued.pop((trace_id, envelope.channel, envelope.ts), step)
         item_key = (trace_id, te, _stream_key(envelope.channel), envelope.ts)
         replayed = item_key in self._served
-        self._served.add(item_key)
+        self._remember_served(item_key)
         hop = Hop(
             te=te,
             instance=instance_name,
             enqueue_step=enqueue,
             entry_step=step,
             replayed=replayed,
+            worker=self.worker,
+            key=item_key,
         )
         trace.hops.append(hop)
+        if self._record_shard:
+            self._pending_shard.append((trace_id, hop))
         return hop
 
     def end_hop(self, hop: Hop, step: int) -> None:
         hop.exit_step = step
+
+    # -- cross-process sharding (multiprocess substrate) -----------------
+
+    def drain_shard(self) -> list[tuple[int, Hop]]:
+        """Hops recorded since the last drain, as picklable
+        ``(trace_id, Hop)`` pairs; clears the pending queue.
+
+        Only populated after :meth:`record_shards`. A hop still in
+        flight when the shard ships keeps ``exit_step == -1``.
+        """
+        shard, self._pending_shard = self._pending_shard, []
+        return shard
+
+    def merge_shard(self, shard: list[tuple[int, Hop]]) -> None:
+        """Fold one worker's drained shard into this (coordinator)
+        tracer's view.
+
+        Replay detection is re-run against *this* tracer's served-set:
+        a worker that re-executes an item another (crashed) worker
+        already served could not know locally, but the coordinator —
+        which merged the first execution's shard — marks the second
+        hop ``replayed``.
+        """
+        for trace_id, hop in shard:
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                trace = self._traces[trace_id] = Trace(
+                    trace_id=trace_id, start_step=hop.enqueue_step
+                )
+            if hop.key is not None:
+                if not hop.replayed and hop.key in self._served:
+                    hop.replayed = True
+                self._remember_served(hop.key)
+            trace.hops.append(hop)
 
     # -- read side -------------------------------------------------------
 

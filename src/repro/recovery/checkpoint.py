@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import RecoveryError
 from repro.obs.events import KIND
+from repro.obs.profile import profile_span
 from repro.recovery.policy import CheckpointPolicy
 from repro.runtime.envelope import INPUT_EDGE, ChannelId, Envelope
 from repro.runtime.instances import GatherState, StreamKey
@@ -168,6 +169,11 @@ class CheckpointManager:
 
     def begin(self, node_id: int) -> PendingCheckpoint:
         """Step 1: flag SEs dirty and freeze TE bookkeeping."""
+        with profile_span(getattr(self.runtime, "profiler", None),
+                          "checkpoint"):
+            return self._begin(node_id)
+
+    def _begin(self, node_id: int) -> PendingCheckpoint:
         node = self.runtime.nodes[node_id]
         if not node.alive:
             raise RecoveryError(f"cannot checkpoint dead node {node_id}")
@@ -216,6 +222,12 @@ class CheckpointManager:
         Returns ``None`` (and discards the checkpoint) if the node died
         while the checkpoint was in progress.
         """
+        with profile_span(getattr(self.runtime, "profiler", None),
+                          "checkpoint"):
+            return self._complete(pending)
+
+    def _complete(self, pending: PendingCheckpoint) \
+            -> NodeCheckpoint | None:
         self._pending.pop(pending.node_id, None)
         node = self.runtime.nodes[pending.node_id]
         if not node.alive:

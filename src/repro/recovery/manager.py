@@ -30,6 +30,7 @@ from repro.errors import (
     StaleCheckpointError,
 )
 from repro.obs.events import KIND
+from repro.obs.profile import profile_span
 from repro.recovery.checkpoint import NodeCheckpoint, TEMeta
 from repro.runtime.instances import SEInstance, TEInstance
 from repro.runtime.node import PhysicalNode
@@ -87,6 +88,14 @@ class RecoveryManager:
         under a stale partitioning epoch — instances restart empty and
         the entire input history is replayed (pure log-based recovery).
         """
+        with profile_span(getattr(self.runtime, "profiler", None),
+                          "recovery"):
+            return self._recover_node(node_id, n_new, use_checkpoint,
+                                      use_deltas)
+
+    def _recover_node(self, node_id: int, n_new: int,
+                      use_checkpoint: bool,
+                      use_deltas: bool) -> list[PhysicalNode]:
         failed = self.runtime.nodes[node_id]
         if failed.alive:
             raise RecoveryError(f"node {node_id} has not failed")

@@ -27,6 +27,7 @@ the same contract by processing instances in a fixed rotor order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -34,7 +35,9 @@ from repro.core.elements import AccessMode, StateKind, TaskContext
 from repro.core.graph import SDG
 from repro.errors import RuntimeExecutionError
 from repro.obs.events import KIND, EventBus
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileRegistry
 from repro.obs.trace import Tracer
 from repro.runtime.deployment import Topology
 from repro.runtime.dispatcher import Dispatcher
@@ -120,8 +123,28 @@ class RuntimeConfig:
     #: Every injected item gets a trace id that survives dispatch
     #: fan-out, repartition and replay; hop/queue-wait spans are
     #: recorded on ``runtime.tracer``. Off by default — the disabled
-    #: hot path is a single ``is None`` check.
+    #: hot path is a single ``is None`` check. Works on every
+    #: substrate: multiprocess workers record hops locally and the
+    #: coordinator merges their shards into one causal view.
     trace: bool = False
+    #: Enable wall-clock phase profiling (:mod:`repro.obs.profile`):
+    #: process/dispatch/serialize/wire-wait/checkpoint/recovery timers
+    #: on ``runtime.profiler``, merged across workers via
+    #: :meth:`Runtime.merged_profile`. Off by default — the disabled
+    #: hot path is a single ``is None`` check (the same bar as
+    #: tracing; see ``benchmarks/test_obs_profile.py``).
+    profile: bool = False
+    #: Flight-recorder ring capacity (:mod:`repro.obs.flight`): keep
+    #: the digests of the last N served envelopes per process for
+    #: post-mortems (crash frames, durable-run dumps, ``repro top``).
+    #: ``0`` (the default) disables recording entirely.
+    flight_recorder: int = 0
+    #: Fleet-restart budget for the multiprocess substrate: how many
+    #: worker crashes are absorbed by re-forking the fleet from the
+    #: last barrier (replaying the inputs delivered since) before one
+    #: propagates as an error. ``0`` (the default) propagates the
+    #: first crash. Requires ``substrate="multiprocess"``.
+    worker_restarts: int = 0
     #: Execution substrate: ``"inprocess"`` (the deterministic
     #: single-threaded logical-time loop — the default and the
     #: testing/repro baseline), ``"multiprocess"`` (shared-nothing
@@ -180,6 +203,31 @@ class RuntimeConfig:
             raise RuntimeExecutionError(
                 f"RuntimeConfig.trace must be a bool, got {self.trace!r}"
             )
+        if not isinstance(self.profile, bool):
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.profile must be a bool, "
+                f"got {self.profile!r}"
+            )
+        capacity_knob = self.flight_recorder
+        if not isinstance(capacity_knob, int) \
+                or isinstance(capacity_knob, bool) or capacity_knob < 0:
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.flight_recorder must be an integer >= 0 "
+                f"(ring capacity, 0 = off), got {capacity_knob!r}"
+            )
+        restarts = self.worker_restarts
+        if not isinstance(restarts, int) or isinstance(restarts, bool) \
+                or restarts < 0:
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.worker_restarts must be an integer >= 0, "
+                f"got {restarts!r}"
+            )
+        if restarts and self.substrate != "multiprocess":
+            raise RuntimeExecutionError(
+                "RuntimeConfig.worker_restarts requires "
+                "substrate='multiprocess'; the in-process substrate has "
+                "no worker fleet to restart"
+            )
         workers = self.workers
         if workers is not None:
             if not isinstance(workers, int) or isinstance(workers, bool) \
@@ -195,19 +243,16 @@ class RuntimeConfig:
                     "is single-process by definition"
                 )
         if self.substrate == "multiprocess":
-            # Structural mutations (scale-out, repartition) and the
-            # per-envelope tracer are not yet wired through the
-            # control plane; fail at deploy instead of mid-run.
+            # Structural mutations (scale-out, repartition) are not yet
+            # wired through the control plane; fail at deploy instead
+            # of mid-run. (Tracing, metrics, profiling and the flight
+            # recorder all work cross-process — workers ship shards the
+            # coordinator merges.)
             if self.auto_scale:
                 raise RuntimeExecutionError(
                     "auto_scale requires the in-process substrate: "
                     "reactive scale-out is not yet a multiprocess "
                     "control-plane action"
-                )
-            if self.trace:
-                raise RuntimeExecutionError(
-                    "trace=True requires the in-process substrate: "
-                    "causal tracing is not yet merged across workers"
                 )
         if not isinstance(self.optimize, bool):
             raise RuntimeExecutionError(
@@ -308,6 +353,25 @@ class Runtime:
         self.events = EventBus()
         #: Causal tracer, or None when ``config.trace`` is off.
         self.tracer: Tracer | None = Tracer() if self.config.trace else None
+        #: Wall-clock phase profiler, or None when ``config.profile``
+        #: is off (:meth:`merged_profile` folds worker shards in).
+        self.profiler: ProfileRegistry | None = (
+            ProfileRegistry() if self.config.profile else None
+        )
+        #: Flight recorder, or None when ``config.flight_recorder`` is
+        #: 0. Not pre-bound on the hot path (checked directly) so the
+        #: durable runner can attach one to an already-built runtime.
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(self.config.flight_recorder)
+            if self.config.flight_recorder else None
+        )
+        #: Pre-bound phase timers (None when profiling is off): the
+        #: per-item cost of disabled profiling is these `is None`
+        #: checks, nothing more.
+        self._p_process = (self.profiler.phase("process")
+                           if self.profiler is not None else None)
+        self._p_dispatch = (self.profiler.phase("dispatch")
+                            if self.profiler is not None else None)
         #: Collected payloads of TEs without outgoing dataflows.
         self.results: dict[str, list[Any]] = {}
         self.total_steps = 0
@@ -603,6 +667,11 @@ class Runtime:
         weight = envelope_weight(envelope)
         instance.queued_items -= weight
         self.transport.inbox_gauge(instance.name).dec()
+        if self.flight is not None:
+            self.flight.record_envelope(self.total_steps, instance,
+                                        envelope)
+        t0 = (time.perf_counter()
+              if self._p_process is not None else 0.0)
         try:
             self.substrate.process(instance, envelope)
         except RuntimeExecutionError as exc:
@@ -616,6 +685,9 @@ class Runtime:
                 self.fail_node(instance.node_id)
             for handler in list(self._crash_handlers):
                 handler(self, instance, envelope, exc)
+        finally:
+            if self._p_process is not None:
+                self._p_process.add(time.perf_counter() - t0)
         if weight > 1:
             # A coalesced batch served N items in a step the scheduler
             # admitted one item for; charge the straggler credit so
@@ -693,6 +765,37 @@ class Runtime:
         if not shards:
             return self.metrics
         return self.metrics.merged_with(list(shards))
+
+    def merged_profile(self) -> ProfileRegistry | None:
+        """The wall-clock phase profile with worker shards folded in.
+
+        ``None`` when profiling is off. On the multiprocess substrate
+        each worker ships its phase shard beside the metrics shard;
+        this merges the coordinator's (serialize / wire-wait /
+        checkpoint) spans with every worker's (process / dispatch /
+        ...) spans into one fresh registry.
+        """
+        if self.profiler is None:
+            return None
+        shards = getattr(self.substrate, "profile_shards", None)
+        if not shards:
+            return self.profiler
+        return self.profiler.merged_with(list(shards))
+
+    def poll_telemetry(self, timeout: float = 0.0) -> None:
+        """Service substrate telemetry without waiting for a barrier.
+
+        On the multiprocess substrate this pumps the coordinator's
+        wire once, absorbing piggybacked metric/profile shards and
+        trace shards from idle reports — which is what keeps
+        :meth:`merged_metrics` fresh while work is still in flight
+        (``repro top --watch`` calls this in its loop). A no-op on
+        substrates without a ``poll`` hook (in-process telemetry is
+        always current).
+        """
+        poll = getattr(self.substrate, "poll", None)
+        if poll is not None:
+            poll(timeout)
 
     def _process(self, instance: TEInstance, envelope: Envelope) -> None:
         if instance.is_duplicate(envelope):
@@ -841,10 +944,18 @@ class Runtime:
 
     def _dispatch(self, instance: TEInstance, outputs: list[Any],
                   cause: Envelope) -> None:
-        if not self.dispatcher.successors(instance.name):
-            self._collect_result(instance, outputs, cause)
-            return
-        self.dispatcher.dispatch(instance, outputs, cause)
+        # The dispatch span nests inside the process span: "process"
+        # is the whole per-item service, "dispatch" the routing slice.
+        t0 = (time.perf_counter()
+              if self._p_dispatch is not None else 0.0)
+        try:
+            if not self.dispatcher.successors(instance.name):
+                self._collect_result(instance, outputs, cause)
+                return
+            self.dispatcher.dispatch(instance, outputs, cause)
+        finally:
+            if self._p_dispatch is not None:
+                self._p_dispatch.add(time.perf_counter() - t0)
 
     def _collect_result(self, instance: TEInstance, outputs: list[Any],
                         cause: Envelope) -> None:
@@ -888,6 +999,9 @@ class Runtime:
                 "engine", KIND.NODE_FAILED, self.total_steps,
                 node_id=node_id, lost_envelopes=lost,
             )
+            if self.flight is not None:
+                self.flight.record(self.total_steps, "node_failed",
+                                   node=node_id, lost=lost)
 
     def install_replacement(
         self,

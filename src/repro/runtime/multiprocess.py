@@ -35,6 +35,33 @@ sync (``MSG_SNAPSHOT``): workers ship SE elements, terminal results
 and their metrics shard back, and the coordinator installs them — so
 after the call, coordinator-side state inspection (fingerprints,
 checkpoints, reports) is substrate-agnostic.
+
+Observability rides the same pipes (no side channels):
+
+* **live metrics** — idle reports piggyback the worker's cumulative
+  registry snapshot, so :meth:`Runtime.merged_metrics` is fresh
+  *between* barriers (drive the wire with :meth:`poll` /
+  :meth:`Runtime.poll_telemetry` while a drain is in flight);
+* **causal tracing** — workers record hops with their forked tracer
+  and ship shards (``MSG_TRACE`` + the barrier reply) the coordinator
+  merges into one fleet-wide causal view;
+* **profiling** — each worker's wall-clock phase shard travels beside
+  the metrics shard when ``RuntimeConfig(profile=True)``;
+* **flight recorder** — a crashing worker ships its ring-buffer dump
+  inside ``MSG_CRASH``, and the coordinator appends the rendered tail
+  to the raised error.
+
+Fleet restart (``RuntimeConfig(worker_restarts=N)``): a worker crash
+normally aborts the run. With restarts budgeted, the coordinator
+instead retires the dead fleet's barrier-fenced telemetry, tears every
+worker down, re-forks a fresh fleet from its own (barrier-consistent)
+state, and replays the input envelopes delivered since the last
+barrier — deterministic tasks then reproduce exactly the lost work.
+Metric shards fenced at the last barrier are retired so the merged
+totals never double-count a crashed worker's replayed items; post-
+barrier live shards are discarded (the replay re-counts that work
+exactly once). Wall-clock profile shards of the dead fleet are
+dropped, not retired — an accepted loss for a non-correctness signal.
 """
 
 from __future__ import annotations
@@ -43,13 +70,21 @@ import itertools
 import multiprocessing
 import os
 import select
+import time
 import traceback
 import weakref
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import RuntimeExecutionError
-from repro.runtime.envelope import WIRE_EDGE, ChannelId, Envelope
+from repro.obs.events import KIND
+from repro.obs.flight import render_dump
+from repro.runtime.envelope import (
+    INPUT_EDGE,
+    WIRE_EDGE,
+    ChannelId,
+    Envelope,
+)
 from repro.runtime.substrate import InProcessSubstrate
 from repro.runtime.wire import (
     MSG_CRASH,
@@ -60,8 +95,10 @@ from repro.runtime.wire import (
     MSG_SHUTDOWN,
     MSG_SNAPSHOT,
     MSG_STATE,
+    MSG_TRACE,
     FrameBuffer,
     encode_frame,
+    write_bytes,
     write_frame,
 )
 
@@ -79,6 +116,22 @@ WORKER_DRAIN_LIMIT = 10_000_000
 #: Read size for both sides of the pipe.
 _READ_CHUNK = 1 << 16
 
+#: Flight-recorder tail length appended to a fatal crash error.
+_CRASH_TAIL = 20
+
+
+class _WorkerFailure(Exception):
+    """Internal control-flow: one worker died; the pump loop must stop
+    touching its (now stale) descriptors before anyone decides whether
+    the failure is fatal or absorbed by a fleet restart."""
+
+    def __init__(self, link: "_Link", detail: str,
+                 extra: dict | None = None) -> None:
+        super().__init__(detail)
+        self.link = link
+        self.detail = detail
+        self.extra = extra or {}
+
 
 class _Link:
     """Coordinator-side view of one worker: process, pipes, counters."""
@@ -86,7 +139,8 @@ class _Link:
     __slots__ = (
         "worker_id", "process", "send_fd", "recv_fd", "buffer", "outbox",
         "sent", "consumed", "emitted", "received_out", "processed",
-        "state_reply",
+        "state_reply", "live_shard", "fenced_shard", "fenced_processed",
+        "profile_shard",
     )
 
     def __init__(self, worker_id: int, process, send_fd: int,
@@ -108,6 +162,15 @@ class _Link:
         #: MSG_OUT frames read *from* this worker.
         self.received_out = 0
         self.state_reply: dict | None = None
+        #: Freshest cumulative metrics snapshot (idle piggyback or
+        #: barrier reply) — what ``merged_metrics()`` reads live.
+        self.live_shard: dict | None = None
+        #: Snapshot as of the last *barrier* — what survives into
+        #: ``_retired_shards`` if this worker's fleet is restarted.
+        self.fenced_shard: dict | None = None
+        self.fenced_processed = 0
+        #: Freshest wall-clock profile shard (``profile=True`` only).
+        self.profile_shard: dict | None = None
 
 
 def _release(links: list) -> None:
@@ -145,19 +208,31 @@ class MultiprocessSubstrate:
     #: transport's defensive payload deepcopy is redundant.
     isolates_payloads = True
 
-    def __init__(self, workers: int = 2,
-                 capacity: int | None = None) -> None:
+    def __init__(self, workers: int = 2, capacity: int | None = None,
+                 restarts: int = 0) -> None:
         self.workers = int(workers)
         self.capacity = capacity
+        #: Fleet-restart budget (``RuntimeConfig(worker_restarts=N)``):
+        #: how many worker crashes are absorbed by re-forking before
+        #: one propagates as an error.
+        self.restarts = int(restarts)
         self.runtime: "Runtime | None" = None
         self.placement: "WorkerPlacement | None" = None
-        #: Latest per-worker metrics snapshots (set at each barrier);
-        #: consumed by :meth:`Runtime.merged_metrics`.
-        self.metric_shards: list[dict] = []
         self._links: list[_Link] = []
         self._routed = 0
         self._processed_base = 0
         self._finalizer = None
+        self._restarts_left = self.restarts
+        #: Barrier-fenced metric shards of fleets that were restarted.
+        self._retired_shards: list[dict] = []
+        self._retired_processed = 0
+        #: Terminal results as of the barrier preceding the last
+        #: restart (the re-forked fleet re-collects only newer work).
+        self._retired_results: dict[str, list] = {}
+        #: Input envelopes delivered since the last barrier — the
+        #: replay source for a fleet restart. Only kept when restarts
+        #: are budgeted.
+        self._replay_log: list[Envelope] = []
 
     # ------------------------------------------------------------------
     # Deploy: fork the fleet
@@ -172,6 +247,56 @@ class MultiprocessSubstrate:
         """
         self.runtime = runtime
         self.placement = runtime.topology.plan_workers(self.workers)
+        # Coordinator and workers each mint request ids in a disjoint
+        # residue class mod (workers + 1): two workers broadcasting
+        # concurrently must never collide at a merge barrier.
+        stride = self.workers + 1
+        runtime.dispatcher._request_ids = itertools.count(stride, stride)
+        self._bind_obs()
+        self._fork_fleet()
+
+    def _bind_obs(self) -> None:
+        """Pre-bind the coordinator's wire metrics and profile phases."""
+        m = self.runtime.metrics
+        frames = m.counter(
+            "wire_frames_total",
+            "frames crossing the pipe star, by direction and role")
+        nbytes = m.counter(
+            "wire_bytes_total",
+            "bytes crossing the pipe star, by direction and role")
+        self._m_frames_send = frames.labels(direction="send",
+                                            role="coordinator")
+        self._m_frames_recv = frames.labels(direction="recv",
+                                            role="coordinator")
+        self._m_bytes_send = nbytes.labels(direction="send",
+                                           role="coordinator")
+        self._m_bytes_recv = nbytes.labels(direction="recv",
+                                           role="coordinator")
+        self._m_serialize = m.counter(
+            "wire_serialize_seconds_total",
+            "wall-clock seconds spent pickling outbound frames",
+        ).labels(role="coordinator")
+        outbox = m.gauge(
+            "wire_outbox_depth",
+            "frames queued towards each worker, awaiting pipe capacity")
+        self._g_outbox = {
+            wid: outbox.labels(worker=str(wid))
+            for wid in range(self.workers)
+        }
+        profiler = getattr(self.runtime, "profiler", None)
+        self._p_serialize = (profiler.phase("serialize")
+                             if profiler is not None else None)
+        self._p_wire_wait = (profiler.phase("wire_wait")
+                             if profiler is not None else None)
+
+    def _fork_fleet(self) -> None:
+        """Fork one worker per placement group and open its pipes.
+
+        Called at bind time and again on every fleet restart — the
+        children always inherit the coordinator's *current* (barrier-
+        consistent) state.
+        """
+        runtime = self.runtime
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX
@@ -179,11 +304,6 @@ class MultiprocessSubstrate:
                 "the multiprocess substrate requires the fork start "
                 "method (POSIX); this platform does not support it"
             ) from exc
-        # Coordinator and workers each mint request ids in a disjoint
-        # residue class mod (workers + 1): two workers broadcasting
-        # concurrently must never collide at a merge barrier.
-        stride = self.workers + 1
-        runtime.dispatcher._request_ids = itertools.count(stride, stride)
         pipes = []  # (c2w_read, c2w_write, w2c_read, w2c_write)
         for _ in range(self.workers):
             c2w_r, c2w_w = os.pipe()
@@ -225,6 +345,16 @@ class MultiprocessSubstrate:
             envelope.channel.dst_te, envelope.channel.dst_instance
         )
         self._routed += 1
+        if self.restarts and envelope.channel.edge_index == INPUT_EDGE:
+            # Log first: if the send trips over a dead worker, the
+            # restart's replay re-delivers this envelope too, so the
+            # handler below must not retry it itself.
+            self._replay_log.append(envelope)
+            try:
+                self._send(self._links[owner], (MSG_DELIVER, envelope))
+            except _WorkerFailure as failure:
+                self._handle_failure(failure)
+            return True
         self._send(self._links[owner], (MSG_DELIVER, envelope))
         return True
 
@@ -243,14 +373,35 @@ class MultiprocessSubstrate:
     def run_until_idle(self, max_steps: int) -> int:
         """Pump the star until quiescent, then barrier-sync state back."""
         routed_start = self._routed
-        while not self._quiet():
-            if self._routed - routed_start > max_steps:
-                raise RuntimeExecutionError(
-                    f"pipeline did not become idle within {max_steps} "
-                    f"steps"
-                )
-            self._pump(0.1)
-        return self._sync()
+        while True:
+            try:
+                while not self._quiet():
+                    if self._routed - routed_start > max_steps:
+                        raise RuntimeExecutionError(
+                            f"pipeline did not become idle within "
+                            f"{max_steps} steps"
+                        )
+                    self._pump(0.1)
+                return self._sync()
+            except _WorkerFailure as failure:
+                self._handle_failure(failure)
+
+    def poll(self, timeout: float = 0.0) -> None:
+        """Service the wire once without waiting for quiescence.
+
+        Drains whatever worker frames are ready — idle reports carrying
+        live metric/profile shards, trace shards, relayed envelopes —
+        and flushes pending writes. This is what keeps
+        :meth:`Runtime.merged_metrics` fresh *between* barriers
+        (``repro top --watch`` drives it); the coordinator otherwise
+        only touches the pipes inside :meth:`run_until_idle`.
+        """
+        if not self._links:
+            return
+        try:
+            self._pump(timeout)
+        except _WorkerFailure as failure:
+            self._handle_failure(failure)
 
     def blocked_channels(self) -> "list[ChannelId]":
         """Wire edges whose in-flight frame count exceeds capacity.
@@ -280,37 +431,76 @@ class MultiprocessSubstrate:
         _release(links)
 
     # ------------------------------------------------------------------
+    # Telemetry shards
+    # ------------------------------------------------------------------
+
+    @property
+    def metric_shards(self) -> list[dict]:
+        """Per-worker registry snapshots: retired fleets' barrier-fenced
+        shards plus the live fleet's freshest reports. Consumed by
+        :meth:`Runtime.merged_metrics`; updated live as idle frames
+        arrive, not only at barriers."""
+        shards = list(self._retired_shards)
+        shards.extend(link.live_shard for link in self._links
+                      if link.live_shard is not None)
+        return shards
+
+    @property
+    def profile_shards(self) -> list[dict]:
+        """Per-worker wall-clock phase shards (``profile=True`` only)."""
+        return [link.profile_shard for link in self._links
+                if link.profile_shard is not None]
+
+    # ------------------------------------------------------------------
     # Coordinator event loop
     # ------------------------------------------------------------------
 
     def _send(self, link: _Link, message: Any) -> None:
-        link.outbox.append(encode_frame(message))
+        t0 = time.perf_counter()
+        data = encode_frame(message)
+        elapsed = time.perf_counter() - t0
+        self._m_serialize.inc(elapsed)
+        if self._p_serialize is not None:
+            self._p_serialize.add(elapsed)
+        self._m_frames_send.inc()
+        self._m_bytes_send.inc(len(data))
+        link.outbox.append(data)
         link.sent += 1
         self._flush(link)
 
     def _flush(self, link: _Link) -> None:
         """Write queued frames without ever blocking."""
-        while link.outbox:
-            head = link.outbox[0]
-            try:
-                written = os.write(link.send_fd, head)
-            except BlockingIOError:
-                return
-            except BrokenPipeError:
-                self._worker_died(link)
-            if written < len(head):
-                link.outbox[0] = head[written:]
-                return
-            link.outbox.popleft()
+        try:
+            while link.outbox:
+                head = link.outbox[0]
+                try:
+                    written = os.write(link.send_fd, head)
+                except BlockingIOError:
+                    return
+                except BrokenPipeError:
+                    self._worker_died(link)
+                if written < len(head):
+                    link.outbox[0] = head[written:]
+                    return
+                link.outbox.popleft()
+        finally:
+            self._g_outbox[link.worker_id].set(len(link.outbox))
 
     def _pump(self, timeout: float) -> None:
         """One select round: drain worker frames, flush pending writes."""
         rlist = {link.recv_fd: link for link in self._links}
         wlist = {link.send_fd: link
                  for link in self._links if link.outbox}
-        readable, writable, _ = select.select(
-            list(rlist), list(wlist), [], timeout
-        )
+        if self._p_wire_wait is not None:
+            t0 = time.perf_counter()
+            readable, writable, _ = select.select(
+                list(rlist), list(wlist), [], timeout
+            )
+            self._p_wire_wait.add(time.perf_counter() - t0)
+        else:
+            readable, writable, _ = select.select(
+                list(rlist), list(wlist), [], timeout
+            )
         for fd in writable:
             self._flush(wlist[fd])
         for fd in readable:
@@ -321,7 +511,9 @@ class MultiprocessSubstrate:
                 continue
             if not data:
                 self._worker_died(link)
+            self._m_bytes_recv.inc(len(data))
             for message in link.buffer.feed(data):
+                self._m_frames_recv.inc()
                 self._handle(link, message)
 
     def _handle(self, link: _Link, message: tuple) -> None:
@@ -330,22 +522,46 @@ class MultiprocessSubstrate:
             link.received_out += 1
             self.deliver(message[1])
         elif tag == MSG_IDLE:
-            _, link.consumed, link.emitted, link.processed = message
+            _, link.consumed, link.emitted, link.processed, obs = message
+            if obs:
+                self._absorb_obs(link, obs)
+        elif tag == MSG_TRACE:
+            tracer = self.runtime.tracer
+            if tracer is not None:
+                tracer.merge_shard(message[1])
         elif tag == MSG_STATE:
             reply = message[1]
             link.consumed = reply["consumed"]
             link.emitted = reply["emitted"]
             link.processed = reply["processed"]
+            link.live_shard = reply["metrics"]
+            if reply.get("profile") is not None:
+                link.profile_shard = reply["profile"]
+            trace_shard = reply.get("trace")
+            if trace_shard and self.runtime.tracer is not None:
+                self.runtime.tracer.merge_shard(trace_shard)
             link.state_reply = reply
         elif tag == MSG_CRASH:
-            raise RuntimeExecutionError(
-                f"worker {link.worker_id} crashed:\n{message[1]}"
+            extra = message[2] if len(message) > 2 else {}
+            raise _WorkerFailure(
+                link,
+                f"worker {link.worker_id} crashed:\n{message[1]}",
+                extra,
             )
         else:  # pragma: no cover - protocol violation
             raise RuntimeExecutionError(
                 f"unexpected frame tag {tag!r} from worker "
                 f"{link.worker_id}"
             )
+
+    def _absorb_obs(self, link: _Link, obs: dict) -> None:
+        """Install a piggybacked telemetry report (cumulative shards)."""
+        metrics = obs.get("metrics")
+        if metrics is not None:
+            link.live_shard = metrics
+        profile = obs.get("profile")
+        if profile is not None:
+            link.profile_shard = profile
 
     def _quiet(self) -> bool:
         """Nothing queued, nothing unconsumed, nothing unread."""
@@ -357,10 +573,68 @@ class MultiprocessSubstrate:
         )
 
     def _worker_died(self, link: _Link) -> None:
-        raise RuntimeExecutionError(
+        raise _WorkerFailure(
+            link,
             f"worker {link.worker_id} exited unexpectedly "
-            f"(exitcode {link.process.exitcode})"
+            f"(exitcode {link.process.exitcode})",
         )
+
+    # ------------------------------------------------------------------
+    # Fleet restart
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, failure: _WorkerFailure) -> None:
+        """Absorb one worker death by restarting the fleet, or give up.
+
+        Without restart budget the failure propagates, with the dead
+        worker's flight-recorder tail (when it shipped one) appended to
+        the error. With budget: retire the fleet's barrier-fenced
+        telemetry, tear every worker down, re-fork from the
+        coordinator's barrier-consistent state, and replay the input
+        envelopes delivered since that barrier.
+        """
+        runtime = self.runtime
+        flight_dump = failure.extra.get("flight")
+        if self._restarts_left <= 0:
+            detail = failure.detail
+            if flight_dump:
+                detail += (
+                    f"\nworker {failure.link.worker_id} flight recorder "
+                    f"(last {min(len(flight_dump), _CRASH_TAIL)} of "
+                    f"{len(flight_dump)} events):\n"
+                    + render_dump(flight_dump, limit=_CRASH_TAIL)
+                )
+            raise RuntimeExecutionError(detail) from None
+        self._restarts_left -= 1
+        # Retire what the last barrier fenced; everything after it is
+        # recomputed by the replay and must not be counted twice.
+        for link in self._links:
+            if link.fenced_shard is not None:
+                self._retired_shards.append(link.fenced_shard)
+            self._retired_processed += link.fenced_processed
+        self._retired_results = {te: list(items)
+                                 for te, items in runtime.results.items()}
+        runtime.events.publish(
+            "substrate", KIND.WORKER_RESTART, runtime.total_steps,
+            worker=failure.link.worker_id,
+            restarts_left=self._restarts_left,
+            replayed=len(self._replay_log),
+        )
+        if runtime.flight is not None:
+            runtime.flight.record(
+                runtime.total_steps, "worker_restart",
+                worker=failure.link.worker_id,
+                detail=failure.detail.splitlines()[0],
+            )
+        links, self._links = self._links, []
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _release(links)
+        self._fork_fleet()
+        log, self._replay_log = self._replay_log, []
+        for envelope in log:
+            self.deliver(envelope)
 
     # ------------------------------------------------------------------
     # Barrier sync
@@ -371,7 +645,8 @@ class MultiprocessSubstrate:
 
         After this barrier the coordinator's topology holds every SE
         element, ``runtime.results`` holds the merged terminal outputs
-        (in worker order — deterministic for a fixed placement), and
+        (retired fleets' results first, then the live fleet in worker
+        order — deterministic for a fixed placement), and
         ``metric_shards`` holds each worker's registry snapshot.
         Returns the items processed since the previous barrier.
         """
@@ -382,8 +657,9 @@ class MultiprocessSubstrate:
         while any(link.state_reply is None for link in self._links):
             self._pump(0.1)
         results: dict[str, list] = {te: [] for te in runtime.results}
-        processed_total = 0
-        shards: list[dict] = []
+        for te, items in self._retired_results.items():
+            results.setdefault(te, []).extend(items)
+        processed_total = self._retired_processed
         for link in self._links:
             reply = link.state_reply
             for (se_name, index), element in reply["se"].items():
@@ -392,11 +668,18 @@ class MultiprocessSubstrate:
                     inst.element = element
             for te, items in reply["results"].items():
                 results.setdefault(te, []).extend(items)
-            shards.append(reply["metrics"])
+            link.live_shard = reply["metrics"]
+            link.fenced_shard = reply["metrics"]
+            link.fenced_processed = reply["processed"]
+            if reply.get("profile") is not None:
+                link.profile_shard = reply["profile"]
+            trace_shard = reply.get("trace")
+            if trace_shard and runtime.tracer is not None:
+                runtime.tracer.merge_shard(trace_shard)
             processed_total += reply["processed"]
         runtime.results.clear()
         runtime.results.update(results)
-        self.metric_shards = shards
+        self._replay_log.clear()
         delta = processed_total - self._processed_base
         self._processed_base = processed_total
         return delta
@@ -443,8 +726,14 @@ def _worker_main(runtime: "Runtime", worker_id: int, placement,
         # Coordinator went away: nothing left to serve.
         pass
     except BaseException:
+        extra: dict = {"worker": worker_id,
+                       "steps": getattr(runtime, "total_steps", 0)}
+        flight = getattr(runtime, "flight", None)
+        if flight is not None:
+            extra["flight"] = flight.dump()
         try:
-            write_frame(send_fd, (MSG_CRASH, traceback.format_exc()))
+            write_frame(send_fd, (MSG_CRASH, traceback.format_exc(),
+                                  extra))
         except OSError:
             pass
         os._exit(1)
@@ -463,10 +752,6 @@ def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
         inherited._links = []
     counters = {"consumed": 0, "emitted": 0, "processed": 0}
 
-    def remote_send(envelope: "Envelope") -> None:
-        write_frame(send_fd, (MSG_OUT, envelope))
-        counters["emitted"] += 1
-
     owned = set(placement.instances_of(worker_id))
     substrate = _WorkerSubstrate(owned)
     substrate.bind(runtime)
@@ -475,6 +760,59 @@ def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
     # values; zero it so this worker's shard is purely its own work
     # and the barrier merge never double-counts.
     runtime.metrics.reset()
+    # The inherited results hold whatever the coordinator merged at its
+    # last barrier (non-empty after a fleet restart); zero them so this
+    # worker ships only work it performed itself.
+    for te in list(runtime.results):
+        runtime.results[te] = []
+    tracer = runtime.tracer
+    if tracer is not None:
+        # Keep the inherited trace books (the served-set makes local
+        # replay detection work after a restart) but switch to worker
+        # mode: new hops are stamped and queued for shard shipping.
+        tracer.record_shards(worker_id)
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        profiler.reset()
+    p_wire_wait = (profiler.phase("wire_wait")
+                   if profiler is not None else None)
+    p_serialize = (profiler.phase("serialize")
+                   if profiler is not None else None)
+    flight = getattr(runtime, "flight", None)
+    if flight is not None:
+        flight.reset()
+        flight.worker = worker_id
+    m = runtime.metrics
+    frames = m.counter(
+        "wire_frames_total",
+        "frames crossing the pipe star, by direction and role")
+    nbytes = m.counter(
+        "wire_bytes_total",
+        "bytes crossing the pipe star, by direction and role")
+    w_frames_send = frames.labels(direction="send", role="worker")
+    w_frames_recv = frames.labels(direction="recv", role="worker")
+    w_bytes_send = nbytes.labels(direction="send", role="worker")
+    w_bytes_recv = nbytes.labels(direction="recv", role="worker")
+    w_serialize = m.counter(
+        "wire_serialize_seconds_total",
+        "wall-clock seconds spent pickling outbound frames",
+    ).labels(role="worker")
+
+    def ship(message: Any) -> None:
+        t0 = time.perf_counter()
+        data = encode_frame(message)
+        elapsed = time.perf_counter() - t0
+        w_serialize.inc(elapsed)
+        if p_serialize is not None:
+            p_serialize.add(elapsed)
+        write_bytes(send_fd, data)
+        w_frames_send.inc()
+        w_bytes_send.inc(len(data))
+
+    def remote_send(envelope: "Envelope") -> None:
+        ship((MSG_OUT, envelope))
+        counters["emitted"] += 1
+
     runtime.transport.enable_worker_routing(placement, worker_id,
                                             remote_send)
     # Disjoint request-id residue class (see bind()).
@@ -496,11 +834,19 @@ def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
             if data == b"":
                 raise EOFError("coordinator closed the control pipe")
             if data:
-                pending.extend(buffer.feed(data))
+                w_bytes_recv.inc(len(data))
+                for message in buffer.feed(data):
+                    w_frames_recv.inc()
+                    pending.append(message)
                 continue
             if pending or not block:
                 return
-            select.select([recv_fd], [], [])
+            if p_wire_wait is not None:
+                t0 = time.perf_counter()
+                select.select([recv_fd], [], [])
+                p_wire_wait.add(time.perf_counter() - t0)
+            else:
+                select.select([recv_fd], [], [])
 
     reported = None
     drained = 0
@@ -520,7 +866,18 @@ def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
             report = (counters["consumed"], counters["emitted"],
                       counters["processed"])
             if report != reported:
-                write_frame(send_fd, (MSG_IDLE,) + report)
+                # Trace hops first (FIFO pipe: the coordinator merges
+                # them before it can observe this progress report),
+                # then the counters with the telemetry shards
+                # piggybacked.
+                if tracer is not None:
+                    shard = tracer.drain_shard()
+                    if shard:
+                        ship((MSG_TRACE, shard))
+                obs: dict = {"metrics": runtime.metrics.snapshot()}
+                if profiler is not None:
+                    obs["profile"] = profiler.snapshot()
+                ship((MSG_IDLE,) + report + (obs,))
                 reported = report
             poll(block=True)
             continue
@@ -530,7 +887,7 @@ def _serve(runtime: "Runtime", worker_id: int, placement, recv_fd: int,
         if tag == MSG_DELIVER:
             runtime.transport.deliver(message[1])
         elif tag == MSG_SNAPSHOT:
-            write_frame(send_fd, (MSG_STATE, _snapshot(
+            ship((MSG_STATE, _snapshot(
                 runtime, worker_id, placement, counters)))
         elif tag == MSG_HELLO:
             _check_hello(runtime, message, worker_id, placement)
@@ -567,13 +924,13 @@ def _check_hello(runtime: "Runtime", message: tuple, worker_id: int,
 
 def _snapshot(runtime: "Runtime", worker_id: int, placement,
               counters: dict) -> dict:  # pragma: no cover - subprocess
-    """This worker's barrier payload: SE elements, results, metrics."""
+    """This worker's barrier payload: SE elements, results, telemetry."""
     elements = {}
     for se_name in runtime.sdg.states:
         for inst in runtime.topology.se_instances(se_name):
             if placement.worker_of_node(inst.node_id) == worker_id:
                 elements[inst.key] = inst.element
-    return {
+    reply = {
         "worker": worker_id,
         "consumed": counters["consumed"],
         "emitted": counters["emitted"],
@@ -584,3 +941,13 @@ def _snapshot(runtime: "Runtime", worker_id: int, placement,
         "metrics": runtime.metrics.snapshot(),
         "steps": runtime.total_steps,
     }
+    tracer = runtime.tracer
+    if tracer is not None:
+        reply["trace"] = tracer.drain_shard()
+    profiler = getattr(runtime, "profiler", None)
+    if profiler is not None:
+        reply["profile"] = profiler.snapshot()
+    flight = getattr(runtime, "flight", None)
+    if flight is not None:
+        reply["flight"] = flight.dump()
+    return reply

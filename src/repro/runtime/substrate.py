@@ -174,7 +174,8 @@ def resolve_substrate(spec, config) -> "ExecutionSubstrate":
 
             workers = config.workers if config.workers is not None else 2
             return MultiprocessSubstrate(
-                workers=workers, capacity=config.channel_capacity
+                workers=workers, capacity=config.channel_capacity,
+                restarts=getattr(config, "worker_restarts", 0),
             )
         raise RuntimeExecutionError(
             f"unknown substrate {spec!r}; available substrates: "

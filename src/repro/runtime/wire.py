@@ -136,13 +136,22 @@ def read_frame(fd: int) -> Any:
     return decode_frame(_read_exact(fd, length))
 
 
-def write_frame(fd: int, message: Any) -> None:
-    """Blockingly write one frame to ``fd`` (handles short writes)."""
-    data = encode_frame(message)
+def write_bytes(fd: int, data: bytes) -> None:
+    """Blockingly write pre-encoded frame bytes (handles short writes).
+
+    Split out from :func:`write_frame` so callers that meter the wire
+    (frame/byte counters, serialize timers) can encode first, measure,
+    then ship.
+    """
     view = memoryview(data)
     while view:
         written = os.write(fd, view)
         view = view[written:]
+
+
+def write_frame(fd: int, message: Any) -> None:
+    """Blockingly write one frame to ``fd`` (handles short writes)."""
+    write_bytes(fd, encode_frame(message))
 
 
 # ----------------------------------------------------------------------
@@ -151,10 +160,14 @@ def write_frame(fd: int, message: Any) -> None:
 #
 # Every frame is a tuple whose first element is one of these tags. The
 # coordinator speaks MSG_HELLO/MSG_DELIVER/MSG_SNAPSHOT/MSG_SHUTDOWN;
-# workers answer with MSG_OUT/MSG_IDLE/MSG_STATE/MSG_CRASH. Structural
-# actions (scale-out, repartition, checkpoint) are control-plane
-# messages by design: MSG_SNAPSHOT is the first of them, and the tags
-# reserve the vocabulary for the follow-ups.
+# workers answer with MSG_OUT/MSG_IDLE/MSG_TRACE/MSG_STATE/MSG_CRASH.
+# Structural actions (scale-out, repartition, checkpoint) are
+# control-plane messages by design: MSG_SNAPSHOT is the first of them,
+# and the tags reserve the vocabulary for the follow-ups.
+#
+# Telemetry rides the same pipes: idle reports piggyback metric and
+# profile shards, MSG_TRACE ships causal-trace hops, and crash frames
+# carry the worker's flight-recorder dump — no side channels.
 
 #: coordinator -> worker: bootstrap (worker id, placement, successor
 #: index digest, capability flags); the worker verifies it against its
@@ -169,10 +182,23 @@ MSG_SHUTDOWN = "shutdown"
 
 #: worker -> coordinator: an envelope whose destination lives elsewhere.
 MSG_OUT = "out"
-#: worker -> coordinator: progress report — (consumed, emitted,
-#: processed) cumulative counters; doubles as the quiescence signal.
+#: worker -> coordinator: progress report — ``(tag, consumed, emitted,
+#: processed, obs)`` where the cumulative counters double as the
+#: quiescence signal and ``obs`` is either ``None`` or a dict of
+#: telemetry shards (``{"metrics": snapshot, "profile": snapshot}``)
+#: piggybacked so the coordinator's merged view stays fresh between
+#: barriers. Workers only attach ``obs`` when it changed since the
+#: last report.
 MSG_IDLE = "idle"
-#: worker -> coordinator: snapshot reply.
+#: worker -> coordinator: ``(tag, [(trace_id, Hop), ...])`` — causal
+#: trace hops recorded since the last drain. Pure telemetry: never
+#: counted in the consumed/emitted quiescence arithmetic.
+MSG_TRACE = "trace"
+#: worker -> coordinator: snapshot reply (SE elements, results, metrics
+#: shard; plus drained trace hops and the profile shard when enabled).
 MSG_STATE = "state"
-#: worker -> coordinator: the worker loop died; payload is a traceback.
+#: worker -> coordinator: the worker loop died — ``(tag, traceback,
+#: extra)`` where ``extra`` carries the worker id, step count and the
+#: flight-recorder dump. Older two-element frames (no ``extra``) are
+#: still accepted.
 MSG_CRASH = "crash"

@@ -1,0 +1,108 @@
+"""Tests for the flight recorder ring buffer."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_CAPACITY, FlightRecorder, render_dump
+from repro.runtime import Runtime, RuntimeConfig
+from repro.testing import build_kv_sdg
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        flight = FlightRecorder(capacity=4)
+        for step in range(10):
+            flight.record(step, "note", n=step)
+        assert len(flight) == 4
+        assert [e["n"] for e in flight.dump()] == [6, 7, 8, 9]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_tail_and_reset(self):
+        flight = FlightRecorder(capacity=8)
+        for step in range(5):
+            flight.record(step, "note")
+        assert [e["step"] for e in flight.tail(2)] == [3, 4]
+        assert flight.tail(0) == []
+        flight.reset()
+        assert len(flight) == 0
+
+    def test_dump_entries_are_copies(self):
+        flight = FlightRecorder(capacity=2)
+        flight.record(1, "note")
+        flight.dump()[0]["step"] = 999
+        assert flight.dump()[0]["step"] == 1
+
+
+class TestEnvelopeDigests:
+    def run_recorded(self, items=10, capacity=32):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               flight_recorder=capacity)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        for i in range(items):
+            runtime.inject("serve", ("put", f"k{i}", i))
+        runtime.run_until_idle()
+        return runtime
+
+    def test_engine_records_every_serve(self):
+        runtime = self.run_recorded(items=10)
+        dump = runtime.flight.dump()
+        serves = [e for e in dump if e["kind"] == "serve"]
+        assert len(serves) == 10
+        entry = serves[0]
+        assert entry["te"] == "serve"
+        assert entry["edge"] == -1  # external input
+        assert entry["src"].startswith("__input__")
+        assert "'k0'" in entry["payload"]
+
+    def test_dump_is_json_serializable(self):
+        runtime = self.run_recorded(items=5)
+        roundtrip = json.loads(json.dumps(runtime.flight.dump()))
+        assert len(roundtrip) == 5
+
+    def test_huge_payload_repr_is_truncated(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               flight_recorder=4)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        runtime.inject("serve", ("put", "big", "x" * 10_000))
+        runtime.run_until_idle()
+        payload = runtime.flight.dump()[-1]["payload"]
+        assert len(payload) <= 120
+        assert payload.endswith("...")
+
+    def test_node_failures_leave_a_note(self):
+        runtime = self.run_recorded(items=6)
+        victim = runtime.se_instance("table", 0).node_id
+        runtime.fail_node(victim)
+        notes = [e for e in runtime.flight.dump()
+                 if e["kind"] == "node_failed"]
+        assert len(notes) == 1
+        assert notes[0]["node"] == victim
+
+    def test_off_by_default(self):
+        runtime = Runtime(build_kv_sdg()).deploy()
+        assert runtime.flight is None
+
+
+class TestRendering:
+    def test_render_shows_serve_lines(self):
+        flight = FlightRecorder(capacity=4)
+        flight.record(3, "worker_restart", worker=1)
+        text = flight.render()
+        assert "worker_restart" in text and "worker=1" in text
+        assert FlightRecorder().render() == "(flight recorder empty)"
+
+    def test_render_dump_matches_render(self):
+        flight = FlightRecorder(capacity=8)
+        for step in range(5):
+            flight.record(step, "note", n=step)
+        assert render_dump(flight.dump()) == flight.render()
+        assert render_dump(flight.dump(), limit=2) \
+            == flight.render(limit=2)
+        assert render_dump([]) == "(flight recorder empty)"

@@ -113,6 +113,28 @@ class TestRegistry:
     def test_default_registry_is_shared(self):
         assert default_registry() is default_registry()
 
+    def test_label_values_are_escaped(self):
+        # Prometheus text format: backslash, double-quote and newline
+        # in a label value must be escaped or the line is unparseable.
+        reg = MetricsRegistry()
+        reg.counter("c").labels(path='a\\b"c\nd').inc()
+        text = reg.to_prometheus_text()
+        assert 'c{path="a\\\\b\\"c\\nd"} 1' in text
+        assert "\n\n" not in text.strip()  # no raw newline leaked
+
+    def test_escaping_does_not_double_escape(self):
+        # Backslash must be escaped first: a value that already looks
+        # escaped ('\\n') becomes '\\\\n', not a mangled '\\\\\\n'.
+        reg = MetricsRegistry()
+        reg.counter("c").labels(v="\\n").inc()
+        assert 'c{v="\\\\n"} 1' in reg.to_prometheus_text()
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "first line\nsecond \\ line").inc()
+        text = reg.to_prometheus_text()
+        assert "# HELP c first line\\nsecond \\\\ line" in text
+
 
 class TestNullRegistry:
     def test_everything_is_a_noop(self):

@@ -87,3 +87,73 @@ class TestTracing:
         assert "traces: 4" in summary
         assert "p50=" in summary and "queue wait" in summary
         assert "split/0" in summary
+
+
+class TestBoundedReplayBooks:
+    """Satellite: the served-set and enqueue map are FIFO-bounded, so
+    long chaos soaks (many crash-replay cycles over the same items)
+    keep tracer memory flat instead of growing with item count."""
+
+    def test_served_limit_is_enforced(self):
+        import pytest
+
+        from repro.obs.trace import DEFAULT_SERVED_LIMIT, Tracer
+
+        assert Tracer().served_limit == DEFAULT_SERVED_LIMIT
+        with pytest.raises(ValueError, match="served_limit"):
+            Tracer(served_limit=0)
+
+    def test_books_stay_flat_across_replay_cycles(self):
+        from repro.obs.trace import Tracer
+        from repro.runtime.envelope import ChannelId, Envelope
+
+        tracer = Tracer(served_limit=64)
+        channel = ChannelId(edge_index=0, src_te="a", src_instance=0,
+                            dst_te="b", dst_instance=0)
+        # 10 "crash cycles", each serving 100 distinct items: without
+        # the bound the served-set would hold 1000 keys.
+        for cycle in range(10):
+            for i in range(100):
+                trace_id = tracer.new_trace(step=i)
+                env = Envelope(channel=channel, ts=i, payload=i,
+                               trace_id=trace_id)
+                tracer.on_deliver(env, step=i)
+                hop = tracer.begin_hop(env, "b", "b/0", step=i + 1)
+                tracer.end_hop(hop, step=i + 2)
+        assert len(tracer._served) <= 64
+        assert len(tracer._enqueued) <= 64
+
+    def test_eviction_only_forgets_oldest(self):
+        from repro.obs.trace import Tracer
+        from repro.runtime.envelope import ChannelId, Envelope
+
+        tracer = Tracer(served_limit=8)
+
+        def serve(ts):
+            channel = ChannelId(edge_index=0, src_te="a",
+                                src_instance=0, dst_te="b",
+                                dst_instance=0)
+            trace_id = tracer.new_trace(step=ts)
+            env = Envelope(channel=channel, ts=ts, payload=ts,
+                           trace_id=trace_id)
+            return tracer.begin_hop(env, "b", "b/0", step=ts)
+
+        first = serve(0)
+        for ts in range(1, 9):  # push ts=0 out of the 8-slot book
+            serve(ts)
+        assert not first.replayed
+        # A re-execution of a *recent* item is still caught...
+        recent = tracer.begin_hop(
+            Envelope(channel=ChannelId(edge_index=0, src_te="a",
+                                       src_instance=0, dst_te="b",
+                                       dst_instance=0),
+                     ts=8, payload=8, trace_id=9), "b", "b/0", step=20)
+        assert recent.replayed
+        # ...while the evicted oldest item mis-reports as fresh (the
+        # documented, safe direction of the trade-off).
+        evicted = tracer.begin_hop(
+            Envelope(channel=ChannelId(edge_index=0, src_te="a",
+                                       src_instance=0, dst_te="b",
+                                       dst_instance=0),
+                     ts=0, payload=0, trace_id=1), "b", "b/0", step=21)
+        assert not evicted.replayed

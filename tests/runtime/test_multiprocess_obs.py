@@ -1,0 +1,315 @@
+"""Cross-substrate observability tests for the multiprocess substrate.
+
+The telemetry plane must be substrate-agnostic: tracing, metrics,
+profiling and the flight recorder have to report the *same facts* on
+the multiprocess substrate as in-process, modulo process-local logical
+clocks. These are differential tests — the in-process runtime is the
+oracle:
+
+* merged causal traces are hop-equivalent (same ``(te, instance)``
+  multiset per trace; worker-local step stamps are incomparable);
+* :meth:`Runtime.merged_metrics` streams live between barriers via
+  :meth:`Runtime.poll_telemetry`;
+* a worker crash + fleet restart neither loses nor double-counts
+  metrics, results or state;
+* a fatal crash carries the dead worker's flight-recorder tail.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.apps.wordcount import build_wordcount_sdg
+from repro.core import SDG
+from repro.core.elements import AccessMode, StateKind
+from repro.durability.manifest import state_fingerprint
+from repro.errors import RuntimeExecutionError
+from repro.obs.events import KIND
+from repro.runtime import Runtime, RuntimeConfig
+from repro.state import KeyValueMap
+from repro.testing import build_kv_sdg
+
+
+def hop_view(runtime):
+    """Per-trace multiset of ``(te, instance)`` hops.
+
+    Worker step numbers are process-local clocks, so step arithmetic
+    is not comparable across substrates — *which instance served which
+    traced item* is.
+    """
+    return {
+        trace.trace_id: sorted((hop.te, hop.instance)
+                               for hop in trace.hops)
+        for trace in runtime.tracer.traces()
+    }
+
+
+def traced_kv(substrate, workers=None):
+    config = RuntimeConfig(se_instances={"table": 4}, trace=True,
+                           substrate=substrate, workers=workers)
+    runtime = Runtime(build_kv_sdg(), config).deploy()
+    try:
+        for i in range(60):
+            runtime.inject("serve", ("put", f"k{i % 11}", i))
+        for i in range(7):
+            runtime.inject("serve", ("get", f"k{i}", None))
+        runtime.run_until_idle()
+        return hop_view(runtime)
+    finally:
+        runtime.close()
+
+
+def traced_wordcount(substrate, workers=None):
+    config = RuntimeConfig(se_instances={"counts": 4}, trace=True,
+                           substrate=substrate, workers=workers)
+    runtime = Runtime(build_wordcount_sdg(), config).deploy()
+    try:
+        text = ["the quick brown fox", "jumps over the lazy dog",
+                "the fox", "dog days of state"]
+        for i in range(40):
+            runtime.inject("split", (i, text[i % len(text)]))
+        runtime.run_until_idle()
+        return hop_view(runtime)
+    finally:
+        runtime.close()
+
+
+class TestDistributedTracing:
+    """Tentpole: merged cross-process traces == in-process traces."""
+
+    def test_kvstore_hop_graphs_identical(self):
+        assert traced_kv("multiprocess", workers=3) \
+            == traced_kv("inprocess")
+
+    def test_wordcount_fanout_hop_graphs_identical(self):
+        # split -> count fan-out: each traced line hops once on split
+        # and once per word on count, across the wire.
+        assert traced_wordcount("multiprocess", workers=4) \
+            == traced_wordcount("inprocess")
+
+    def test_hops_carry_worker_ids(self):
+        config = RuntimeConfig(se_instances={"table": 2}, trace=True,
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            for i in range(20):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            runtime.run_until_idle()
+            workers = {hop.worker for trace in runtime.tracer.traces()
+                       for hop in trace.hops}
+        finally:
+            runtime.close()
+        # Every hop was served by a real worker, never the coordinator.
+        assert workers and None not in workers
+        assert workers <= {0, 1}
+
+
+class TestLiveMetricStreaming:
+    """Tentpole: merged_metrics() is fresh between barriers."""
+
+    def test_poll_telemetry_streams_before_the_barrier(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            n = 50
+            for i in range(n):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            # No run_until_idle yet: workers drain autonomously and
+            # piggyback registry snapshots on their idle reports. Pump
+            # the coordinator wire until those shards land.
+            deadline = time.perf_counter() + 10.0
+            live = 0.0
+            while time.perf_counter() < deadline:
+                runtime.poll_telemetry(0.05)
+                live = runtime.merged_metrics().total(
+                    "engine_items_processed_total")
+                if live >= n:
+                    break
+            assert live == n, "live metrics never caught up pre-barrier"
+            # The barrier then agrees with the stream.
+            runtime.run_until_idle()
+            assert runtime.merged_metrics().total(
+                "engine_items_processed_total") == n
+        finally:
+            runtime.close()
+
+    def test_wire_metrics_account_both_directions(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            for i in range(30):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            runtime.run_until_idle()
+            metrics = runtime.merged_metrics()
+            frames = metrics.total("wire_frames_total")
+            sent = metrics.value("wire_frames_total",
+                                 direction="send", role="coordinator")
+            recv = metrics.value("wire_frames_total",
+                                 direction="recv", role="coordinator")
+            assert frames > 0 and sent > 0 and recv > 0
+            assert metrics.total("wire_bytes_total") > 0
+            assert metrics.total("wire_serialize_seconds_total") > 0
+        finally:
+            runtime.close()
+
+
+def build_crash_once_kv(flag_path):
+    """A KV app whose ``boom`` key crashes the owning worker exactly
+    once: the flag file survives the re-fork, the second service
+    succeeds. (Process memory resets on restart; disk does not.)"""
+    sdg = SDG("crashonce")
+    sdg.add_state("table", KeyValueMap, kind=StateKind.PARTITIONED,
+                  partition_by="key")
+
+    def serve(ctx, request):
+        op, key, value = request
+        if key == "boom" and not os.path.exists(flag_path):
+            with open(flag_path, "w") as fh:
+                fh.write("crashed")
+            os._exit(13)  # hard death: no MSG_CRASH, no cleanup
+        ctx.state.put(key, value)
+
+    sdg.add_task("serve", serve, state="table",
+                 access=AccessMode.PARTITIONED, is_entry=True,
+                 entry_key_fn=lambda r: r[1], entry_key_name="key")
+    return sdg
+
+
+class TestCrashRestartAccounting:
+    """Satellite: restart telemetry neither loses nor double-counts."""
+
+    def run_workload(self, sdg, substrate, workers=None, restarts=0):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate=substrate, workers=workers,
+                               worker_restarts=restarts)
+        runtime = Runtime(sdg, config).deploy()
+        try:
+            for i in range(24):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            runtime.inject("serve", ("put", "boom", 99))
+            runtime.run_until_idle()
+            metrics = runtime.merged_metrics().snapshot()
+            series = metrics["engine_items_processed_total"]["children"]
+            results = {te: sorted(map(repr, items))
+                       for te, items in runtime.results.items()}
+            events = runtime.events.events(kind=KIND.WORKER_RESTART)
+            return (series, results, state_fingerprint(runtime), events)
+        finally:
+            runtime.close()
+
+    def test_merged_metrics_survive_a_restart(self, tmp_path):
+        flag = str(tmp_path / "crashed.flag")
+        crashed = self.run_workload(build_crash_once_kv(flag),
+                                    "multiprocess", workers=2,
+                                    restarts=1)
+        # Oracle: the same program in-process, with the flag pre-set so
+        # it never crashes — the restart must be invisible in the
+        # merged series, the results and the final state.
+        oracle_flag = str(tmp_path / "preset.flag")
+        open(oracle_flag, "w").close()
+        clean = self.run_workload(build_crash_once_kv(oracle_flag),
+                                  "inprocess")
+        assert crashed[:3] == clean[:3]
+        assert os.path.exists(flag), "the crash never happened"
+        assert len(crashed[3]) == 1, "expected one worker-restart event"
+        assert clean[3] == []
+
+    def test_restart_budget_exhaustion_still_fails(self, tmp_path):
+        # Two crash sites, one restart: the second death propagates.
+        sdg = SDG("crashtwice")
+        sdg.add_state("table", KeyValueMap,
+                      kind=StateKind.PARTITIONED, partition_by="key")
+
+        def serve(ctx, request):
+            op, key, value = request
+            if key == "boom":
+                raise ValueError("always fatal")
+            ctx.state.put(key, value)
+
+        sdg.add_task("serve", serve, state="table",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda r: r[1], entry_key_name="key")
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2,
+                               worker_restarts=1)
+        runtime = Runtime(sdg, config).deploy()
+        try:
+            runtime.inject("serve", ("put", "boom", 1))
+            with pytest.raises(RuntimeExecutionError, match="crashed"):
+                runtime.run_until_idle()
+        finally:
+            runtime.close()
+
+
+class TestCrashFlightRecorder:
+    """Tentpole: a dying worker ships its last-N envelope digests."""
+
+    def test_fatal_error_carries_the_flight_tail(self):
+        sdg = SDG("blackbox")
+        sdg.add_state("table", KeyValueMap,
+                      kind=StateKind.PARTITIONED, partition_by="key")
+
+        def serve(ctx, request):
+            op, key, value = request
+            if key == "boom":
+                raise ValueError("injected task failure")
+            ctx.state.put(key, value)
+
+        sdg.add_task("serve", serve, state="table",
+                     access=AccessMode.PARTITIONED, is_entry=True,
+                     entry_key_fn=lambda r: r[1], entry_key_name="key")
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2,
+                               flight_recorder=32)
+        runtime = Runtime(sdg, config).deploy()
+        try:
+            for i in range(10):
+                runtime.inject("serve", ("put", "steady", i))
+            runtime.inject("serve", ("put", "boom", 1))
+            with pytest.raises(RuntimeExecutionError) as err:
+                runtime.run_until_idle()
+        finally:
+            runtime.close()
+        text = str(err.value)
+        assert "flight recorder" in text
+        # The ring shows the fatal envelope itself as its last entry.
+        assert "'boom'" in text
+        assert "serve" in text
+
+
+class TestMergedProfile:
+    """Tentpole: worker phase shards fold into one profile view."""
+
+    def test_profile_merges_worker_and_coordinator_phases(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2,
+                               profile=True)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            for i in range(30):
+                runtime.inject("serve", ("put", f"k{i}", i))
+            runtime.run_until_idle()
+            profile = runtime.merged_profile()
+            assert profile is not None
+            names = set(profile.names())
+            # Worker-side phases...
+            assert {"process", "dispatch"} <= names
+            # ...and coordinator wire phases, in one registry.
+            assert "serialize" in names
+            assert profile.count("process") == 30
+        finally:
+            runtime.close()
+
+    def test_profile_off_means_none(self):
+        config = RuntimeConfig(se_instances={"table": 2},
+                               substrate="multiprocess", workers=2)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            runtime.inject("serve", ("put", "a", 1))
+            runtime.run_until_idle()
+            assert runtime.merged_profile() is None
+        finally:
+            runtime.close()

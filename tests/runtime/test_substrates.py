@@ -347,9 +347,29 @@ class TestResolutionAndGates:
         with pytest.raises(RuntimeExecutionError, match="auto_scale"):
             config.validate(build_kv_sdg())
 
-    def test_trace_requires_inprocess(self):
-        config = RuntimeConfig(substrate="multiprocess", trace=True)
-        with pytest.raises(RuntimeExecutionError, match="trace"):
+    def test_trace_deploys_on_multiprocess(self):
+        # The trace gate is gone: workers record hops locally and the
+        # coordinator merges their shards (see test_multiprocess_obs).
+        config = RuntimeConfig(substrate="multiprocess", workers=2,
+                               trace=True)
+        runtime = Runtime(build_kv_sdg(), config).deploy()
+        try:
+            runtime.inject("serve", ("put", "k", 1))
+            runtime.run_until_idle()
+            assert runtime.tracer is not None
+        finally:
+            runtime.close()
+
+    def test_worker_restarts_require_multiprocess(self):
+        config = RuntimeConfig(worker_restarts=1)
+        with pytest.raises(RuntimeExecutionError,
+                           match="worker_restarts"):
+            config.validate(build_kv_sdg())
+
+    def test_bad_flight_recorder_capacity_rejected(self):
+        config = RuntimeConfig(flight_recorder=-1)
+        with pytest.raises(RuntimeExecutionError,
+                           match="flight_recorder"):
             config.validate(build_kv_sdg())
 
 

@@ -1,5 +1,6 @@
 """Tests for the py2sdg command-line tool."""
 
+import json
 import subprocess
 import sys
 
@@ -168,3 +169,44 @@ class TestOptimizeFlags:
                      "--no-trace", "--no-chaos"]) == 0
         out = capsys.readouterr().out
         assert "capabilities: (none) [optimize off]" in out
+
+
+class TestTopCommand:
+    def test_top_once_inprocess(self, capsys):
+        assert main(["top", "--once", "--app", "kvstore",
+                     "--items", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "items processed: 40" in out
+        assert "profile (wall-clock phases)" in out
+        assert "flight recorder" in out
+
+    def test_top_once_multiprocess_shows_wire(self, capsys):
+        assert main(["top", "--once", "--substrate", "multiprocess",
+                     "--workers", "2", "--app", "wordcount",
+                     "--items", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "substrate=multiprocess workers=2" in out
+        assert "wire: frames send=" in out
+        assert "coordinator outbox depth:" in out
+        # Worker phase shards merged into the coordinator's profile.
+        assert "process" in out and "serialize" in out
+
+    def test_top_watch_renders_frames(self, capsys):
+        assert main(["top", "--watch", "--frames", "2",
+                     "--interval", "0.05", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        # Two watch frames plus the final post-drain frame.
+        assert out.count("repro top") == 3
+
+    def test_top_durable_flight_dump(self, tmp_path, capsys):
+        # The durable runner writes the flight ring beside the manifest.
+        run_dir = str(tmp_path / "run")
+        assert main(["run", "--durable", run_dir, "--epochs", "1",
+                     "--items-per-epoch", "20"]) == 0
+        capsys.readouterr()
+        flight_path = tmp_path / "run" / "flight.json"
+        assert flight_path.exists()
+        dump = json.loads(flight_path.read_text())
+        assert dump["total_steps"] > 0
+        assert any(e["kind"] == "serve" for e in dump["entries"])
