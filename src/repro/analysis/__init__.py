@@ -18,7 +18,12 @@ Passes (see ``docs/analysis.md`` for the full diagnostic catalogue):
 * merge order-sensitivity (``SDG302``);
 * checkpoint safety — journal-bypassing state writes (``SDG303``);
 * key-consistency dataflow (``SDG304``);
-* dead-payload detection (``SDG305``).
+* dead-payload detection (``SDG305``);
+* interprocedural summaries — helper-/free-function-laundered
+  violations with call chains (chained ``SDG101``/``SDG102``/
+  ``SDG303``);
+* substrate safety (opt-in) — fork hazards for the multiprocess
+  substrate (``SDG401``/``SDG402``/``SDG403``).
 
 This ``__init__`` deliberately imports only the dependency-free
 diagnostics module: ``translate`` and ``core.validation`` emit through
@@ -47,13 +52,15 @@ __all__ = [
 ]
 
 
-def run(target, name: str | None = None) -> Report:
+def run(target, name: str | None = None,
+        substrate_safety: bool = False) -> Report:
     """Analyse ``target`` (program class, SDG, or SDG factory).
 
     Library entry point of ``repro lint``. Imported lazily to keep the
     diagnostics primitives importable from the translator without a
-    cycle.
+    cycle. ``substrate_safety`` additionally runs the SDG4xx
+    fork-hazard passes.
     """
     from repro.analysis.engine import analyze
 
-    return analyze(target, name=name)
+    return analyze(target, name=name, substrate_safety=substrate_safety)

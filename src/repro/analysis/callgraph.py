@@ -1,0 +1,310 @@
+"""Intra-class call-graph construction for interprocedural sdglint.
+
+Every value-level pass used to analyse one method body at a time,
+which made ``self._helper(...)`` an analysis boundary: a
+nondeterministic call, journal bypass or replica-tainted flow
+laundered through a helper was invisible. This module recovers the
+missing structure. It builds, per translated program class, a call
+graph over
+
+* the class's own methods (entries, helpers, merges) called as
+  ``self.helper(...)``,
+* staticmethods, reached as ``self.helper(...)``,
+  ``self.__class__.helper(...)`` or ``ClassName.helper(...)``,
+* module-level free functions of the class's module, called by bare
+  name (``sigmoid(z)``),
+
+and exposes the strongly connected components in reverse topological
+order so :mod:`repro.analysis.summaries` can compute per-function
+summaries to fixpoint (callees before callers; mutually recursive
+groups iterated together).
+
+Resolution is deliberately conservative: a bare name that is locally
+bound (parameter, assignment, comprehension target), import-aliased,
+or simply unknown does **not** resolve to a function node. Unknown
+call targets are recorded as *opaque* so the summary layer can degrade
+them to the conservative opaque summary instead of silently assuming
+purity.
+
+Line numbers of module-level functions are rebased into the same
+class-relative coordinate system the method ASTs use, so one
+``DiagnosticSink.line_base`` converts every site to an absolute file
+position.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.translate.restrictions import collect_import_aliases
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call from ``caller`` into ``callee``."""
+
+    caller: str
+    callee: str
+    lineno: int  # class-relative, like every method AST lineno
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One analysable function: a class method or a module-level def."""
+
+    name: str
+    fn_ast: ast.FunctionDef
+    #: ``"method"`` | ``"staticmethod"`` | ``"function"``.
+    kind: str
+
+    @property
+    def params(self) -> list[str]:
+        """Positional parameters, without the implicit ``self``."""
+        names = [arg.arg for arg in self.fn_ast.args.args]
+        if self.kind == "method" and names and names[0] == "self":
+            return names[1:]
+        return names
+
+
+def local_bindings(fn: ast.FunctionDef) -> set[str]:
+    """Names bound inside ``fn``: parameters, assignment targets, loop
+    and ``with``/``except`` targets, nested defs. A call through such a
+    name is a call through a *local value*, not the builtin or module
+    the bare name would otherwise denote.
+    """
+    bound: set[str] = set()
+    args = fn.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            bound.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+    bound.discard("self")
+    return bound
+
+
+def _is_staticmethod(fn: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(deco, ast.Name) and deco.id == "staticmethod"
+        for deco in fn.decorator_list
+    )
+
+
+def _is_self_class(node: ast.expr) -> bool:
+    """``self.__class__`` as an expression."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "__class__"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+@dataclass
+class CallGraph:
+    """The intra-class call graph plus its opaque frontier."""
+
+    class_name: str
+    nodes: dict[str, FunctionNode] = field(default_factory=dict)
+    #: caller name -> resolved call sites, in source order.
+    calls: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: caller name -> bare names of call targets that could not be
+    #: resolved to any function node (builtins, locals, module calls).
+    opaque: dict[str, set[str]] = field(default_factory=dict)
+    #: Import aliases in scope (module + class level), for resolution.
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: Per-function locally-bound names (cached for resolution).
+    _locals: dict[str, set[str]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> list[CallSite]:
+        return self.calls.get(name, [])
+
+    def resolve_call(self, caller: str, node: ast.Call) -> str | None:
+        """The function-node name a call resolves to, or ``None``.
+
+        ``None`` covers state-field calls, marker calls, module calls
+        and genuinely opaque targets alike — the caller distinguishes
+        those through :attr:`opaque` when it needs to.
+        """
+        func = node.func
+        caller_node = self.nodes.get(caller)
+        in_method = (caller_node is not None
+                     and caller_node.kind in ("method", "staticmethod"))
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            # self.helper(...)
+            if (
+                in_method
+                and isinstance(owner, ast.Name)
+                and owner.id == "self"
+                and func.attr in self.nodes
+                and self.nodes[func.attr].kind != "function"
+            ):
+                return func.attr
+            # self.__class__.helper(...) / ClassName.helper(...)
+            if (
+                (_is_self_class(owner)
+                 or (isinstance(owner, ast.Name)
+                     and owner.id == self.class_name))
+                and func.attr in self.nodes
+                and self.nodes[func.attr].kind != "function"
+            ):
+                return func.attr
+            return None
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self._locals.get(caller, set()):
+                return None
+            if name in self.aliases:
+                return None  # module call; the restriction scan owns it
+            target = self.nodes.get(name)
+            if target is not None and target.kind == "function":
+                return name
+        return None
+
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components, callees-first.
+
+        Iterative Tarjan; the returned order is reverse topological
+        over the condensation, which is exactly the order a summary
+        fixpoint wants (process a component only after everything it
+        calls outside itself is final).
+        """
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        result: list[list[str]] = []
+        counter = [0]
+
+        def edges(name: str) -> list[str]:
+            return [site.callee for site in self.callees(name)]
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            work = [(root, iter(edges(root)))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(edges(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(sorted(component))
+        return result
+
+
+def _module_functions(cls: type, line_base: int) -> dict[str,
+                                                         ast.FunctionDef]:
+    """Top-level ``def``s of the class's module, linenos rebased to the
+    class-relative coordinate system (``abs = line_base + rel - 1``)."""
+    module = sys.modules.get(cls.__module__)
+    if module is None:
+        return {}
+    try:
+        source = inspect.getsource(module)
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return {}
+    functions: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            ast.increment_lineno(node, 1 - line_base)
+            functions[node.name] = node
+    return functions
+
+
+def build_callgraph(
+    cls: type,
+    method_asts: dict[str, ast.FunctionDef],
+    line_base: int = 1,
+    module_aliases: dict[str, str] | None = None,
+) -> CallGraph:
+    """Build the call graph of one translated program class.
+
+    ``method_asts`` is the translator's captured class body
+    (:attr:`~repro.translate.builder.TranslationResult.method_asts`);
+    ``line_base`` is the class's absolute first source line, used to
+    rebase module-level function linenos into the same class-relative
+    coordinates.
+    """
+    graph = CallGraph(class_name=cls.__name__)
+    graph.aliases = dict(module_aliases or {})
+    for name, fn_ast in method_asts.items():
+        kind = "staticmethod" if _is_staticmethod(fn_ast) else "method"
+        graph.nodes[name] = FunctionNode(name=name, fn_ast=fn_ast,
+                                         kind=kind)
+    for name, fn_ast in _module_functions(cls, line_base).items():
+        if name in graph.nodes:
+            continue  # a method shadows a same-named module def
+        graph.nodes[name] = FunctionNode(name=name, fn_ast=fn_ast,
+                                         kind="function")
+    for name, node in graph.nodes.items():
+        graph._locals[name] = local_bindings(node.fn_ast)
+    for name, node in graph.nodes.items():
+        sites: list[CallSite] = []
+        unknown: set[str] = set()
+        for call in ast.walk(node.fn_ast):
+            if not isinstance(call, ast.Call):
+                continue
+            target = graph.resolve_call(name, call)
+            if target is not None:
+                sites.append(CallSite(
+                    caller=name, callee=target,
+                    lineno=call.lineno, col=call.col_offset,
+                ))
+                continue
+            func = call.func
+            if isinstance(func, ast.Name) and (
+                func.id not in graph.aliases
+                and func.id not in graph._locals[name]
+                and func.id not in ("global_", "collection")
+            ):
+                unknown.add(func.id)
+        graph.calls[name] = sites
+        if unknown:
+            graph.opaque[name] = unknown
+    return graph

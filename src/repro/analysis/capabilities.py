@@ -144,6 +144,11 @@ class ProgramCapabilities:
     merge_folds: dict = field(default_factory=dict)
     #: Human-readable reasons for every refused certificate.
     refusals: tuple[str, ...] = ()
+    #: No error-severity SDG4xx finding: safe to fork across processes.
+    substrate_safe: bool = False
+    #: The SDG4xx diagnostics found during certification (empty when
+    #: substrate-safe apart from warnings).
+    substrate_findings: tuple = ()
 
     @property
     def flags(self) -> list[str]:
@@ -155,6 +160,8 @@ class ProgramCapabilities:
             flags.append("BATCHABLE_RMW")
         if self.coalescible_edges or self.coalescible_entries:
             flags.append("COALESCIBLE_DISPATCH")
+        if self.substrate_safe:
+            flags.append("SUBSTRATE_SAFE")
         return flags
 
     def to_dict(self) -> dict:
@@ -171,6 +178,10 @@ class ProgramCapabilities:
             ),
             "batch_state_tes": sorted(self.batch_state_tes),
             "refusals": list(self.refusals),
+            "substrate_safe": self.substrate_safe,
+            "substrate_findings": [
+                d.to_dict() for d in self.substrate_findings
+            ],
         }
 
     @classmethod
@@ -656,6 +667,9 @@ def _certify_program(cls: type, name: str) -> ProgramCapabilities:
     entries, edges, coalesce_refusals = _coalescing(result.sdg, facts)
     refusals.extend(coalesce_refusals)
     batchable_tuple = tuple(sorted(batchable))
+    substrate_safe, substrate_findings = _substrate_certificate(
+        model=model, cls=cls
+    )
     return ProgramCapabilities(
         target=name,
         commutative_merges=tuple(commutative),
@@ -666,7 +680,27 @@ def _certify_program(cls: type, name: str) -> ProgramCapabilities:
         batch_state_tes=_batch_state_tes(facts, batchable_tuple),
         merge_folds=merge_folds,
         refusals=tuple(refusals),
+        substrate_safe=substrate_safe,
+        substrate_findings=substrate_findings,
     )
+
+
+def _substrate_certificate(model=None, cls=None, sdg=None):
+    """(substrate_safe, findings) via the SDG4xx passes."""
+    from repro.analysis import substrate
+    from repro.analysis.diagnostics import DiagnosticSink, Severity
+    from repro.analysis.model import source_location
+
+    if model is not None:
+        file, line_base = source_location(cls)
+        sink = DiagnosticSink(file=file, line_base=line_base)
+        substrate.run_program(model, sink)
+    else:
+        sink = DiagnosticSink()
+        substrate.run_graph(sdg, sink)
+    findings = tuple(sink.diagnostics)
+    safe = not any(d.severity is Severity.ERROR for d in findings)
+    return safe, findings
 
 
 # ----------------------------------------------------------------------
@@ -827,6 +861,7 @@ def _certify_sdg(sdg: SDG, name: str) -> ProgramCapabilities:
     entries, edges, coalesce_refusals = _coalescing(sdg, facts)
     refusals.extend(coalesce_refusals)
     batchable_tuple = tuple(sorted(batchable))
+    substrate_safe, substrate_findings = _substrate_certificate(sdg=sdg)
     return ProgramCapabilities(
         target=name,
         commutative_merges=tuple(commutative),
@@ -837,4 +872,6 @@ def _certify_sdg(sdg: SDG, name: str) -> ProgramCapabilities:
         batch_state_tes=_batch_state_tes(facts, batchable_tuple),
         merge_folds=merge_folds,
         refusals=tuple(refusals),
+        substrate_safe=substrate_safe,
+        substrate_findings=substrate_findings,
     )

@@ -117,7 +117,26 @@ CODES: dict[str, CodeInfo] = dict([
        "the variable carrying the partition key was redefined upstream"),
     _c("SDG305", "dead-payload", Severity.WARNING, "§4.2",
        "variable shipped on a dataflow edge but never read downstream"),
+    _c("SDG401", "unpicklable-payload", Severity.ERROR, "§6/fork",
+       "value stored in a state element or shipped on an edge that "
+       "cannot cross a process boundary (lambda, generator, handle, "
+       "lock)"),
+    _c("SDG402", "cross-process-nondeterminism", Severity.ERROR,
+       "§4.1/fork", "process-dependent value (hash randomization, "
+       "object address, set order) escapes onto an edge or into a "
+       "partition key"),
+    _c("SDG403", "shared-mutable-global", Severity.WARNING, "§6/fork",
+       "module global or shared class attribute mutated from a task "
+       "method — the write is invisible to other worker processes"),
 ])
+
+
+def render_chain(chain: tuple) -> str:
+    """``entry:120 → _helper:98`` for a tuple of (function, line)."""
+    return " → ".join(
+        f"{fn}:{line}" if line is not None else fn
+        for fn, line in chain
+    )
 
 
 @dataclass(frozen=True)
@@ -132,6 +151,10 @@ class Diagnostic:
     origin: str | None = None
     #: Actionable suggestion for fixing the program.
     hint: str | None = None
+    #: Interprocedural call chain from the reported method down to the
+    #: offending site: ``((function, absolute_line), ...)``. Empty for
+    #: direct findings.
+    chain: tuple = ()
 
     @property
     def name(self) -> str:
@@ -141,12 +164,14 @@ class Diagnostic:
     def render(self) -> str:
         head = (f"{self.span}: {self.code} {self.severity.value} "
                 f"[{self.name}] {self.message}")
+        if self.chain:
+            head += f"\n    call chain: {render_chain(self.chain)}"
         if self.hint:
             head += f"\n    hint: {self.hint}"
         return head
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "code": self.code,
             "name": self.name,
             "severity": self.severity.value,
@@ -157,6 +182,11 @@ class Diagnostic:
             "origin": self.origin,
             "hint": self.hint,
         }
+        if self.chain:
+            payload["chain"] = [
+                {"function": fn, "line": line} for fn, line in self.chain
+            ]
+        return payload
 
 
 class DiagnosticSink:
@@ -183,14 +213,25 @@ class DiagnosticSink:
     def emit(self, code: str, message: str, *,
              lineno: int | None = None, col: int | None = None,
              origin: str | None = None, hint: str | None = None,
-             severity: Severity | None = None) -> Diagnostic:
-        """Record one finding; line numbers are class-source-relative."""
+             severity: Severity | None = None,
+             chain: tuple = ()) -> Diagnostic:
+        """Record one finding; line numbers are class-source-relative.
+
+        ``chain`` is a tuple of ``(function, lineno)`` hops with
+        class-relative line numbers; they are rebased onto the file the
+        same way the primary line is.
+        """
         if severity is None:
             info = CODES.get(code)
             severity = info.severity if info else Severity.ERROR
+        rebased = tuple(
+            (fn, self.line_base + line - 1 if line is not None else None)
+            for fn, line in chain
+        )
         diagnostic = Diagnostic(
             code=code, severity=severity, message=message,
             span=self.span(lineno, col), origin=origin, hint=hint,
+            chain=rebased,
         )
         self.diagnostics.append(diagnostic)
         return diagnostic

@@ -20,7 +20,14 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.analysis import checkpoints, keyflow, merges, payload, races
+from repro.analysis import (
+    checkpoints,
+    interproc,
+    keyflow,
+    merges,
+    payload,
+    races,
+)
 from repro.analysis.diagnostics import DiagnosticSink, Report
 from repro.analysis.model import ProgramModel, source_location
 from repro.core.graph import SDG
@@ -32,29 +39,38 @@ PROGRAM_PASSES: list[tuple[str, Callable]] = [
     ("checkpoint-bypass", checkpoints.run),
     ("key-consistency", keyflow.run),
     ("dead-payload", payload.run),
+    ("interprocedural", interproc.run),
 ]
 
 
-def analyze(target, name: str | None = None) -> Report:
-    """Run the analyzer over ``target`` and return the full report."""
+def analyze(target, name: str | None = None,
+            substrate_safety: bool = False) -> Report:
+    """Run the analyzer over ``target`` and return the full report.
+
+    With ``substrate_safety`` the SDG4xx fork-hazard passes run too;
+    they are opt-in because substrate-unsafe code is valid in-process.
+    """
     from repro.program import SDGProgram
 
     if isinstance(target, SDG):
-        return _analyze_sdg(target, name or target.name)
+        return _analyze_sdg(target, name or target.name,
+                            substrate_safety)
     if isinstance(target, type) and issubclass(target, SDGProgram):
-        return _analyze_program(target, name or target.__name__)
+        return _analyze_program(target, name or target.__name__,
+                                substrate_safety)
     if callable(target):
         sdg = target()
         if isinstance(sdg, SDG):
             label = name or getattr(target, "__name__", sdg.name)
-            return _analyze_sdg(sdg, label)
+            return _analyze_sdg(sdg, label, substrate_safety)
     raise TypeError(
         f"cannot lint {target!r}: expected an SDGProgram subclass, an "
         f"SDG, or a zero-argument SDG factory"
     )
 
 
-def _analyze_program(cls: type, name: str) -> Report:
+def _analyze_program(cls: type, name: str,
+                     substrate_safety: bool = False) -> Report:
     from repro.translate.builder import translate
 
     file, line_base = source_location(cls)
@@ -63,19 +79,30 @@ def _analyze_program(cls: type, name: str) -> Report:
     model = ProgramModel.build(cls, result)
     for _pass_name, run in PROGRAM_PASSES:
         run(model, sink)
+    if substrate_safety:
+        from repro.analysis import substrate
+
+        substrate.run_program(model, sink)
     return Report(target=name, diagnostics=sink.diagnostics)
 
 
-def _analyze_sdg(sdg: SDG, name: str) -> Report:
+def _analyze_sdg(sdg: SDG, name: str,
+                 substrate_safety: bool = False) -> Report:
     from repro.core.validation import collect
 
     sink = DiagnosticSink()
     sink.extend(collect(sdg))
     checkpoints.run_graph(sdg, sink)
+    if substrate_safety:
+        from repro.analysis import substrate
+
+        substrate.run_graph(sdg, sink)
     return Report(target=name, diagnostics=sink.diagnostics)
 
 
-def bundled_targets() -> dict[str, Callable[[], Report]]:
+def bundled_targets(
+    substrate_safety: bool = False,
+) -> dict[str, Callable[[], Report]]:
     """Lintable bundled applications, by CLI name."""
     def program(path: str, cls_name: str):
         def load() -> Report:
@@ -83,7 +110,8 @@ def bundled_targets() -> dict[str, Callable[[], Report]]:
 
             module = importlib.import_module(path)
             return analyze(getattr(module, cls_name),
-                           name=f"{path}:{cls_name}")
+                           name=f"{path}:{cls_name}",
+                           substrate_safety=substrate_safety)
         return load
 
     def graph(path: str, builder: str):
@@ -92,7 +120,8 @@ def bundled_targets() -> dict[str, Callable[[], Report]]:
 
             module = importlib.import_module(path)
             return analyze(getattr(module, builder)(),
-                           name=f"{path}:{builder}")
+                           name=f"{path}:{builder}",
+                           substrate_safety=substrate_safety)
         return load
 
     return {

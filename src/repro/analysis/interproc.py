@@ -1,0 +1,146 @@
+"""Interprocedural pass — laundered §4.1 violations (``SDG101`` /
+``SDG102`` with call chains) and journal bypass through parameters
+(``SDG303``).
+
+The direct scans already report a violation *where it is written*: a
+``random.random()`` inside a helper method is flagged at the helper's
+definition when the translator scans it. What they cannot see is the
+*reachability* — which entry methods actually execute that helper —
+nor violations hiding in module-level free functions, which are not
+class methods and were never scanned at all.
+
+This pass walks the per-entry :class:`~repro.analysis.summaries.
+MethodSummary` objects and reports every transitively reachable
+restriction violation against the entry, with the full call chain
+(``entry:12 → _helper:48``) rendered in both text and JSON output. It
+also reports a journal bypass (``se._backend`` and friends) inside a
+callee that received the state element as an argument — the
+``self._launder(self.table)`` pattern the intra-procedural SDG303 scan
+cannot connect.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import replace
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.model import ProgramModel
+from repro.analysis.summaries import ChainHop, EffectSite
+from repro.translate.restrictions import (
+    _NONDETERMINISTIC_BUILTINS,
+)
+
+
+def diagnostic_chain(owner: str, effect: EffectSite) -> tuple:
+    """The ``((function, lineno), ...)`` frames of an effect reached
+    from ``owner``, ending at the offending site itself."""
+    functions = [owner] + [hop.fn for hop in effect.chain]
+    lines = [hop.lineno for hop in effect.chain] + [effect.lineno]
+    return tuple(zip(functions, lines))
+
+
+def run(model: ProgramModel, sink: DiagnosticSink) -> None:
+    interproc = model.interproc
+    graph = interproc.graph
+    for method, ir in model.entries.items():
+        summary = interproc.get(method)
+        for effect in summary.effects:
+            if not effect.chain:
+                continue  # direct sites are the restriction scan's job
+            _emit_restriction(method, effect, sink)
+        _check_param_bypass(model, method, ir.fn_ast, sink)
+
+
+def _emit_restriction(method: str, effect: EffectSite,
+                      sink: DiagnosticSink) -> None:
+    via = effect.chain[0]
+    path = " → ".join(hop.fn for hop in effect.chain)
+    if effect.kind == "nondet":
+        if effect.detail in _NONDETERMINISTIC_BUILTINS:
+            message = (
+                f"method {method!r} transitively calls the builtin "
+                f"{effect.detail!r} (through {path}): its result is "
+                f"process-dependent, so replay recovery and forked "
+                f"workers compute different values (§4.1)"
+            )
+            hint = ("derive keys and identities from the data itself, "
+                    "never from hash()/id()")
+        else:
+            message = (
+                f"method {method!r} transitively calls into "
+                f"{effect.detail!r} (through {path}): translated "
+                f"programs must be deterministic — recovery re-executes "
+                f"computation and filters duplicates by identity (§4.1)"
+            )
+            hint = ("pass the nondeterministic value in as an entry "
+                    "argument computed by the caller")
+        code = "SDG101"
+    else:
+        message = (
+            f"method {method!r} transitively calls into "
+            f"{effect.detail!r} (through {path}): translated programs "
+            f"must be location independent — TEs run on (and migrate "
+            f"between) arbitrary nodes (§4.1)"
+        )
+        hint = ("move environment interaction outside the program; "
+                "feed external data in through entry methods")
+        code = "SDG102"
+    sink.emit(
+        code, message, lineno=via.lineno, origin=method, hint=hint,
+        chain=diagnostic_chain(method, effect),
+    )
+
+
+def _check_param_bypass(model: ProgramModel, method: str,
+                        fn_ast: ast.FunctionDef,
+                        sink: DiagnosticSink) -> None:
+    """SDG303 for state elements handed to a callee that bypasses the
+    journalled API through the parameter."""
+    interproc = model.interproc
+    graph = interproc.graph
+    fields = set(model.result.fields)
+    for call in ast.walk(fn_ast):
+        if not isinstance(call, ast.Call):
+            continue
+        target = graph.resolve_call(method, call)
+        if target is None:
+            continue
+        callee = interproc.get(target)
+        for position, arg in enumerate(call.args):
+            bypass = callee.param_bypass.get(position)
+            if bypass is None:
+                continue
+            field = _state_field(arg, fields)
+            if field is None:
+                continue
+            effect = replace(
+                bypass,
+                chain=(ChainHop(fn=target, lineno=call.lineno),)
+                + bypass.chain,
+            )
+            path = " → ".join(hop.fn for hop in effect.chain)
+            sink.emit(
+                "SDG303",
+                f"method {method!r} passes state element {field!r} "
+                f"into {path}, which bypasses the journalled "
+                f"StateBackend API ({bypass.detail}); mutations made "
+                f"there are invisible to checkpoints and replay "
+                f"recovery (§5)",
+                lineno=call.lineno, col=call.col_offset,
+                origin=method,
+                hint="mutate state only through the journalled SE "
+                     "methods, on the field itself, inside the entry",
+                chain=diagnostic_chain(method, effect),
+            )
+
+
+def _state_field(node: ast.expr, fields: set[str]) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in fields
+    ):
+        return node.attr
+    return None

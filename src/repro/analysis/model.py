@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import ast
 import inspect
+import textwrap
 from dataclasses import dataclass, field
 
 from repro.core.elements import StateKind
@@ -52,6 +53,9 @@ class ProgramModel:
     result: TranslationResult
     partial_fields: set[str] = field(default_factory=set)
     partitioned_fields: set[str] = field(default_factory=set)
+    #: Intra-class call graph + per-function summaries; built lazily so
+    #: passes that never look through calls pay nothing.
+    _interproc: object = None
 
     @classmethod
     def build(cls, program_class: type,
@@ -67,6 +71,37 @@ class ProgramModel:
         return cls(program=program_class, result=result,
                    partial_fields=partial,
                    partitioned_fields=partitioned)
+
+    @property
+    def interproc(self):
+        """The :class:`~repro.analysis.summaries.ProgramSummaries` of
+        this program (call graph + per-function summaries)."""
+        if self._interproc is None:
+            from repro.analysis.callgraph import build_callgraph
+            from repro.analysis.summaries import compute_summaries
+            from repro.translate.builder import _module_aliases
+
+            _, line_base = source_location(self.program)
+            aliases = dict(_module_aliases(self.program))
+            try:
+                source = inspect.getsource(self.program)
+                body = ast.parse(textwrap.dedent(source))
+                class_def = body.body[0]
+                if isinstance(class_def, ast.ClassDef):
+                    from repro.translate.restrictions import (
+                        collect_import_aliases,
+                    )
+                    aliases.update(
+                        collect_import_aliases(class_def.body)
+                    )
+            except (OSError, TypeError, SyntaxError):
+                pass
+            graph = build_callgraph(
+                self.program, self.result.method_asts,
+                line_base=line_base, module_aliases=aliases,
+            )
+            self._interproc = compute_summaries(graph)
+        return self._interproc
 
     @property
     def entries(self) -> dict[str, MethodIR]:

@@ -52,11 +52,12 @@ def run(model: ProgramModel, sink: DiagnosticSink) -> None:
             if not live_out:
                 continue
             _check_block(block, field, model.partial_fields, live_out,
-                         ir.method, sink)
+                         ir.method, sink, interproc=model.interproc)
 
 
 def block_taints(
     block, field: str, partial_fields: set[str],
+    interproc=None, caller: str | None = None,
 ) -> tuple[bool, bool, set[str], dict[str, ast.stmt]]:
     """Taint facts for one block's access to a partial ``field``.
 
@@ -67,6 +68,15 @@ def block_taints(
     tainted names that are live out) and the capability certifier
     (which certifies a read-modify-write block as ``BATCHABLE_RMW``
     exactly when *no* tainted name escapes).
+
+    With ``interproc`` (a :class:`~repro.analysis.summaries.
+    ProgramSummaries`) and ``caller`` (the entry method name), taint
+    additionally flows through helper calls that mutate their
+    parameters: in a statement that touches tainted data,
+    ``self._stash(out, seen)`` taints ``out`` when the summary of
+    ``_stash`` proves it mutates its first parameter. The extension is
+    strictly additive — more taint, never less — so it can only
+    *remove* a ``BATCHABLE_RMW`` certificate, never forge one.
     """
     writes = False
     reads = False
@@ -92,14 +102,39 @@ def block_taints(
             for name in stmt_defs:
                 tainted.add(name)
                 taint_site.setdefault(name, stmt)
+            if interproc is not None:
+                for name in _mutated_call_args(stmt, interproc, caller):
+                    tainted.add(name)
+                    taint_site.setdefault(name, stmt)
     return writes, reads, tainted, taint_site
+
+
+def _mutated_call_args(stmt: ast.stmt, interproc,
+                       caller: str | None) -> set[str]:
+    """Names passed to known callees at parameter positions the callee
+    summary proves it mutates."""
+    mutated: set[str] = set()
+    for call in ast.walk(stmt):
+        if not isinstance(call, ast.Call):
+            continue
+        target = interproc.graph.resolve_call(caller or "", call)
+        if target is None:
+            continue
+        summary = interproc.get(target)
+        for position, arg in enumerate(call.args):
+            if position in summary.mutated_params and isinstance(
+                arg, ast.Name
+            ):
+                mutated.add(arg.id)
+    return mutated
 
 
 def _check_block(block, field: str, partial_fields: set[str],
                  live_out: set[str], method: str,
-                 sink: DiagnosticSink) -> None:
+                 sink: DiagnosticSink, interproc=None) -> None:
     writes, _reads, tainted, taint_site = block_taints(
-        block, field, partial_fields
+        block, field, partial_fields, interproc=interproc,
+        caller=method,
     )
     if not writes:
         return

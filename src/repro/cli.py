@@ -75,7 +75,8 @@ def _lint_reports(args) -> list:
     from repro.analysis import run
     from repro.analysis.engine import bundled_targets
 
-    bundled = bundled_targets()
+    substrate_safety = getattr(args, "substrate_safety", False)
+    bundled = bundled_targets(substrate_safety=substrate_safety)
     if args.all:
         return [load() for load in bundled.values()]
     reports = []
@@ -84,7 +85,8 @@ def _lint_reports(args) -> list:
             reports.append(bundled[spec]())
         else:
             try:
-                reports.append(run(_load_class(spec), name=spec))
+                reports.append(run(_load_class(spec), name=spec,
+                                   substrate_safety=substrate_safety))
             except TypeError as exc:
                 raise SDGError(str(exc))
     return reports
@@ -169,7 +171,12 @@ def _run_lint(args) -> int:
             fh.write("\n")
         if args.format != "json":
             print(f"report written to {args.output}")
-    return 1 if payload["summary"]["errors"] else 0
+    if payload["summary"]["errors"]:
+        return 1
+    if (getattr(args, "fail_on", "error") == "warning"
+            and payload["summary"]["warnings"]):
+        return 1
+    return 0
 
 
 def _describe(result) -> str:
@@ -369,6 +376,17 @@ def main(argv: list[str] | None = None) -> int:
                              "report the optimizer certificates "
                              "(commutative/foldable merges, batchable "
                              "RMWs, coalescible dispatch) per target")
+    p_lint.add_argument("--substrate-safety", action="store_true",
+                        dest="substrate_safety",
+                        help="also run the SDG4xx fork-hazard passes "
+                             "(unpicklable payloads, cross-process "
+                             "nondeterminism, shared mutable globals) "
+                             "— the same checks the multiprocess "
+                             "deploy gate enforces")
+    p_lint.add_argument("--fail-on", choices=["error", "warning"],
+                        dest="fail_on", default="error",
+                        help="severity threshold for a non-zero exit "
+                             "code (default: error)")
     p_lint.add_argument("--format", choices=["text", "json"],
                         default="text", help="report format on stdout")
     p_lint.add_argument("--output", metavar="PATH",

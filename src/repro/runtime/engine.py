@@ -156,6 +156,12 @@ class RuntimeConfig:
     #: ``substrate="multiprocess"``; setting it for the in-process
     #: substrate is a deploy-time error.
     workers: int | None = None
+    #: Deploy-time substrate-safety gate for payload-isolating
+    #: substrates (multiprocess): run the SDG4xx static passes and
+    #: ``"warn"`` about findings, ``"enforce"`` (refuse to deploy on
+    #: any error-severity finding, with the offending call chain in
+    #: the error), or ``"off"``. Ignored on the in-process substrate.
+    substrate_check: str = "warn"
     #: Capability-driven optimization (the sdglint-as-optimizer seam).
     #: When on, the runtime consults a
     #: :class:`~repro.analysis.capabilities.ProgramCapabilities`
@@ -275,6 +281,11 @@ class RuntimeConfig:
                     f"RuntimeConfig.optimize_batch_max must be an integer "
                     f">= 2, got {batch_max!r}"
                 )
+        if self.substrate_check not in ("warn", "enforce", "off"):
+            raise RuntimeExecutionError(
+                f"RuntimeConfig.substrate_check must be 'warn', "
+                f"'enforce' or 'off', got {self.substrate_check!r}"
+            )
         # Raises on unknown substrate names / non-substrate objects.
         resolve_substrate(self.substrate, self)
         if self.metrics is not None:
@@ -410,6 +421,10 @@ class Runtime:
         # deepcopy (the wire codec serialises every hand-off anyway).
         self.substrate = resolve_substrate(self.config.substrate,
                                            self.config)
+        # Static substrate-safety gate: a payload-isolating substrate
+        # refuses (or warns about) programs the SDG4xx passes prove
+        # unsafe to fork, before any worker exists.
+        self._check_substrate_safety()
         self.transport = Transport(
             self.topology,
             capacity=self.config.channel_capacity,
@@ -443,6 +458,52 @@ class Runtime:
         # picklable, so workers must get them through the fork).
         self.substrate.bind(self)
         return self
+
+    def _check_substrate_safety(self) -> None:
+        """Gate a payload-isolating deploy on the SDG4xx passes.
+
+        Reuses the certificate's findings when the deploy carries
+        pre-certified capabilities; otherwise runs the passes over the
+        SDG (through the attached source program when the graph came
+        from ``translate()``). ``"enforce"`` refuses on error-severity
+        findings with the offending call chains rendered in the error;
+        ``"warn"`` surfaces everything as a ``RuntimeWarning``.
+        """
+        mode = self.config.substrate_check
+        if mode == "off":
+            return
+        if not getattr(self.substrate, "isolates_payloads", False):
+            return
+        caps = self.config.capabilities
+        if caps is not None and hasattr(caps, "substrate_findings"):
+            findings = list(caps.substrate_findings)
+        else:
+            from repro.analysis.substrate import deploy_findings
+
+            findings = deploy_findings(self.sdg)
+        if not findings:
+            return
+        from repro.analysis.diagnostics import Severity
+
+        errors = [d for d in findings if d.severity is Severity.ERROR]
+        rendered = "\n".join(
+            "  " + d.render().replace("\n", "\n  ") for d in findings
+        )
+        if mode == "enforce" and errors:
+            raise RuntimeExecutionError(
+                f"substrate_check='enforce': refusing to deploy on the "
+                f"{self.substrate.name!r} substrate — "
+                f"{len(errors)} substrate-safety error(s):\n{rendered}"
+            )
+        import warnings
+
+        warnings.warn(
+            f"substrate-safety findings on the "
+            f"{self.substrate.name!r} substrate "
+            f"({len(findings)} finding(s)):\n{rendered}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def _enable_optimizations(self) -> None:
         """Resolve the capability certificate and arm the relaxed paths.

@@ -205,7 +205,13 @@ class MultiprocessSubstrate:
 
     name = "multiprocess"
     #: Every cross-worker hand-off crosses the pickle wire, so the
-    #: transport's defensive payload deepcopy is redundant.
+    #: transport's defensive payload deepcopy is redundant. The same
+    #: flag makes :meth:`Runtime.deploy` run the static SDG4xx
+    #: substrate-safety gate (``RuntimeConfig.substrate_check``):
+    #: programs that ship unpicklable payloads, leak process-dependent
+    #: values onto edges, or mutate shared globals are refused (or
+    #: warned about) *before* the fleet forks, with the offending call
+    #: chain in the error.
     isolates_payloads = True
 
     def __init__(self, workers: int = 2, capacity: int | None = None,

@@ -70,6 +70,16 @@ def _self_field(node: ast.expr) -> str | None:
     return None
 
 
+def _self_class(node: ast.expr) -> bool:
+    """``self.__class__`` as an expression."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "__class__"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
 class _AccessCollector(ast.NodeVisitor):
     """Walks one statement collecting classified state accesses."""
 
@@ -100,6 +110,18 @@ class _AccessCollector(ast.NodeVisitor):
                 self._handle_merge(node, field)
                 return
             self.helper_calls.append(field)
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+            return
+        # self.__class__.method(...) — staticmethod-style helper call.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and _self_class(node.func.value)
+            and node.func.attr not in self.fields
+        ):
+            self.helper_calls.append(node.func.attr)
             for arg in node.args:
                 self.visit(arg)
             for kw in node.keywords:
@@ -183,6 +205,10 @@ class _AccessCollector(ast.NodeVisitor):
         field = _self_field(node)
         if field is None:
             self.generic_visit(node)
+            return
+        if field == "__class__":
+            # ``self.__class__`` is the class object, not program state;
+            # codegen rewrites it to the class name.
             return
         if field not in self.fields:
             raise TranslationError(

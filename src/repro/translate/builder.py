@@ -264,9 +264,18 @@ def translate(cls: type,
             continue
         check_restrictions(method_asts[helper], helper,
                            module_aliases=aliases, sink=sink)
-        compile_helper(method_asts[helper], helper_names, namespace)
+        try:
+            compile_helper(method_asts[helper], helper_names, namespace,
+                           class_name=cls.__name__)
+        except TranslationError as exc:
+            if strict:
+                raise
+            sink.emit("SDG001", str(exc), origin=helper,
+                      lineno=exc.lineno)
+            continue
 
     sdg = SDG(cls.__name__)
+    sdg.source_program = cls
     for name, descriptor in fields.items():
         sdg.add_state(name, descriptor.factory, kind=descriptor.kind,
                       partition_by=descriptor.key)
@@ -327,7 +336,8 @@ def _translate_entry(sdg: SDG, fn_ast: ast.FunctionDef, method: str,
         live_in = lives[i]
         live_out = lives[i + 1] if i + 1 < len(blocks) else None
         fn = compile_block(block, te_names[i], live_in, live_out,
-                           namespace)
+                           namespace,
+                           class_name=result.program_class.__name__)
         is_entry = i == 0
         access = (
             block.access.mode if block.access is not None

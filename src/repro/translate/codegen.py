@@ -36,10 +36,12 @@ class _Rewriter(ast.NodeTransformer):
     """Rewrites one block's statements for execution inside a TE."""
 
     def __init__(self, se_field: str | None, helper_names: set[str],
-                 merge: MergeCall | None) -> None:
+                 merge: MergeCall | None,
+                 class_name: str | None = None) -> None:
         self.se_field = se_field
         self.helper_names = helper_names
         self.merge = merge
+        self.class_name = class_name
 
     def visit_Call(self, node: ast.Call):
         marker = _marker_name(node.func)
@@ -100,6 +102,12 @@ class _Rewriter(ast.NodeTransformer):
         field = _self_field(node)
         if field is None:
             return self.generic_visit(node)
+        if field == "__class__" and self.class_name is not None:
+            # ``self.__class__`` → the class name; the module namespace
+            # resolves it, preserving class-attribute semantics.
+            return ast.copy_location(
+                ast.Name(id=self.class_name, ctx=ast.Load()), node
+            )
         if field == self.se_field:
             return ast.copy_location(
                 ast.Name(id=_STATE, ctx=ast.Load()), node
@@ -205,6 +213,7 @@ def compile_block(
     live_in: list[str],
     live_out: list[str] | None,
     namespace: dict[str, Any],
+    class_name: str | None = None,
 ) -> Callable:
     """Compile one TE block into a task function ``fn(ctx, item)``.
 
@@ -219,7 +228,8 @@ def compile_block(
                              for name in namespace
                              if name.startswith(_HELPER_PREFIX)
                          },
-                         merge=block.merge)
+                         merge=block.merge,
+                         class_name=class_name)
     body: list[ast.stmt] = []
     if block.is_merge:
         body.extend(_merge_prologue(live_in, block.merge.collection_var))
@@ -256,24 +266,31 @@ def compile_block(
 
 
 def compile_helper(fn_ast: ast.FunctionDef, helper_names: set[str],
-                   namespace: dict[str, Any]) -> Callable:
+                   namespace: dict[str, Any],
+                   class_name: str | None = None) -> Callable:
     """Compile a state-free helper method to a plain function.
 
-    The ``self`` parameter is dropped; nested helper calls are
-    redirected; any state-field access is a translation error (helpers
-    run inside arbitrary TEs and have no state access edge).
+    The ``self`` parameter is dropped (staticmethods keep their
+    signature as-is); nested helper calls are redirected; any
+    state-field access is a translation error (helpers run inside
+    arbitrary TEs and have no state access edge).
     """
     rewriter = _Rewriter(se_field=None, helper_names=helper_names,
-                         merge=None)
+                         merge=None, class_name=class_name)
     args = fn_ast.args
-    if not args.args or args.args[0].arg != "self":
+    is_static = any(
+        isinstance(deco, ast.Name) and deco.id == "staticmethod"
+        for deco in fn_ast.decorator_list
+    )
+    if not is_static and (not args.args or args.args[0].arg != "self"):
         raise TranslationError(
-            f"helper method {fn_ast.name!r} must take self first",
+            f"helper method {fn_ast.name!r} must take self first "
+            f"(or be a @staticmethod)",
             lineno=fn_ast.lineno,
         )
     new_args = ast.arguments(
         posonlyargs=list(args.posonlyargs),
-        args=list(args.args[1:]),
+        args=list(args.args) if is_static else list(args.args[1:]),
         vararg=args.vararg,
         kwonlyargs=list(args.kwonlyargs),
         kw_defaults=list(args.kw_defaults),

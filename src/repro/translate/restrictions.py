@@ -15,8 +15,17 @@ calls into the offending modules/builtins. Import aliases are resolved
 first (``from time import time as now`` and ``import random as r`` do
 not evade the scan), both for aliases introduced inside the scanned
 method and for aliases passed in from the surrounding module/class
-scope. The checks are heuristic (Python cannot be fully sandboxed
-statically) but catch the realistic mistakes with actionable errors.
+scope. Local bindings are resolved too, in the opposite direction: a
+parameter or local variable that merely *shadows* a forbidden builtin
+(``def load(self, open)``) is a call through a local value, not the
+environment, and is not flagged. The checks are heuristic (Python
+cannot be fully sandboxed statically) but catch the realistic mistakes
+with actionable errors.
+
+:func:`restriction_sites` exposes the raw findings as structured
+sites; the interprocedural summary layer
+(:mod:`repro.analysis.summaries`) reuses them so helper- and
+free-function-laundered violations surface with their call chain.
 
 With a :class:`~repro.analysis.diagnostics.DiagnosticSink` the scan
 reports **every** violation as a structured diagnostic; without one it
@@ -27,6 +36,7 @@ the historical ``translate()`` behaviour.
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 
 from repro.analysis.diagnostics import DiagnosticSink
 from repro.errors import TranslationError
@@ -43,6 +53,12 @@ _ENVIRONMENT_MODULES = frozenset({
 
 #: Builtins that read the execution environment.
 _FORBIDDEN_BUILTINS = frozenset({"input", "open"})
+
+#: Builtins whose result is process-dependent: ``hash`` differs across
+#: interpreter runs and forked workers under hash randomization
+#: (PYTHONHASHSEED), and ``id`` is an address. Both break the §4.1
+#: determinism that replay recovery and duplicate filtering assume.
+_NONDETERMINISTIC_BUILTINS = frozenset({"hash", "id"})
 
 
 def _call_root(node: ast.Call) -> str | None:
@@ -81,6 +97,109 @@ def collect_import_aliases(nodes: list[ast.stmt]) -> dict[str, str]:
     return aliases
 
 
+@dataclass(frozen=True)
+class RestrictionSite:
+    """One raw §4.1 violation site, before message formatting."""
+
+    #: ``"nondet"`` (SDG101) or ``"env"`` (SDG102).
+    kind: str
+    #: The offending module root or builtin name, alias-resolved.
+    detail: str
+    #: The name as written at the call site (differs under an alias).
+    root: str
+    lineno: int
+    col: int
+
+
+def _fn_local_bindings(fn: ast.FunctionDef) -> set[str]:
+    # Imported lazily: callgraph imports this module for the alias
+    # collector, so the reverse import must not run at module load.
+    from repro.analysis.callgraph import local_bindings
+
+    return local_bindings(fn)
+
+
+def restriction_sites(
+    fn: ast.FunctionDef,
+    module_aliases: dict[str, str] | None = None,
+) -> list[RestrictionSite]:
+    """Every §4.1 violation site in one function, in walk order.
+
+    Alias-resolved (imports inside the function override the passed-in
+    module/class aliases) and shadow-aware: a call through a name the
+    function binds locally — a parameter or assignment shadowing
+    ``open``, ``time``, ``hash``... — never matches, because it calls
+    a local value, not the builtin or module.
+    """
+    aliases = dict(module_aliases or {})
+    fn_aliases = collect_import_aliases(fn.body)
+    aliases.update(fn_aliases)
+    shadowed = _fn_local_bindings(fn) - set(fn_aliases)
+    sites: list[RestrictionSite] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        root = _call_root(node)
+        if root is None or root in shadowed:
+            continue
+        resolved = aliases.get(root, root)
+        if resolved in _NONDETERMINISTIC_MODULES:
+            kind = "nondet"
+        elif resolved in _ENVIRONMENT_MODULES:
+            kind = "env"
+        elif (resolved in _FORBIDDEN_BUILTINS and root == resolved
+                and isinstance(node.func, ast.Name)):
+            kind = "env"
+        elif (resolved in _NONDETERMINISTIC_BUILTINS and root == resolved
+                and isinstance(node.func, ast.Name)):
+            kind = "nondet"
+        else:
+            continue
+        sites.append(RestrictionSite(
+            kind=kind, detail=resolved, root=root,
+            lineno=node.lineno, col=node.col_offset,
+        ))
+    return sites
+
+
+def site_message(site: RestrictionSite, method: str) -> tuple[str, str, str]:
+    """(code, message, hint) for one restriction site."""
+    alias_note = (f" (via the import alias {site.root!r})"
+                  if site.detail != site.root else "")
+    if site.kind == "nondet":
+        if site.detail in _NONDETERMINISTIC_BUILTINS:
+            return (
+                "SDG101",
+                f"method {method!r} calls the builtin {site.detail!r}: "
+                f"its result is process-dependent (hash randomization / "
+                f"object addresses), so replay recovery and forked "
+                f"workers compute different values (§4.1)",
+                "derive keys and identities from the data itself "
+                "(stable fields, explicit counters), never from "
+                "hash()/id()",
+            )
+        return (
+            "SDG101",
+            f"method {method!r} calls into {site.detail!r}{alias_note}: "
+            f"translated programs must be deterministic — recovery "
+            f"re-executes computation and filters duplicates by "
+            f"identity (§4.1); pass randomness/timestamps in as "
+            f"entry arguments instead",
+            "pass the nondeterministic value in as an entry "
+            "argument computed by the caller",
+        )
+    return (
+        "SDG102",
+        f"method {method!r} calls into {site.detail!r}{alias_note}: "
+        f"translated programs must be location independent — TEs "
+        f"run on (and migrate between) arbitrary nodes and cannot "
+        f"rely on local files, sockets or the OS environment "
+        f"(§4.1)",
+        "move environment interaction outside the program; "
+        "feed external data in through entry methods",
+    )
+
+
 def check_restrictions(
     fn: ast.FunctionDef,
     method: str,
@@ -92,48 +211,9 @@ def check_restrictions(
     Raises on the first violation, or — when ``sink`` is given —
     records every violation as a diagnostic and returns.
     """
-    aliases = dict(module_aliases or {})
-    aliases.update(collect_import_aliases(fn.body))
-    for node in ast.walk(fn):
-        if not isinstance(node, ast.Call):
-            continue
-        root = _call_root(node)
-        if root is None:
-            continue
-        resolved = aliases.get(root, root)
-        alias_note = (f" (via the import alias {root!r})"
-                      if resolved != root else "")
-        if resolved in _NONDETERMINISTIC_MODULES:
-            message = (
-                f"method {method!r} calls into {resolved!r}{alias_note}: "
-                f"translated programs must be deterministic — recovery "
-                f"re-executes computation and filters duplicates by "
-                f"identity (§4.1); pass randomness/timestamps in as "
-                f"entry arguments instead"
-            )
-            if sink is None:
-                raise TranslationError(message, lineno=node.lineno)
-            sink.emit(
-                "SDG101", message, lineno=node.lineno,
-                col=node.col_offset, origin=method,
-                hint="pass the nondeterministic value in as an entry "
-                     "argument computed by the caller",
-            )
-        elif resolved in _ENVIRONMENT_MODULES or (
-            resolved in _FORBIDDEN_BUILTINS and root == resolved
-        ):
-            message = (
-                f"method {method!r} calls into {resolved!r}{alias_note}: "
-                f"translated programs must be location independent — TEs "
-                f"run on (and migrate between) arbitrary nodes and cannot "
-                f"rely on local files, sockets or the OS environment "
-                f"(§4.1)"
-            )
-            if sink is None:
-                raise TranslationError(message, lineno=node.lineno)
-            sink.emit(
-                "SDG102", message, lineno=node.lineno,
-                col=node.col_offset, origin=method,
-                hint="move environment interaction outside the program; "
-                     "feed external data in through entry methods",
-            )
+    for site in restriction_sites(fn, module_aliases):
+        code, message, hint = site_message(site, method)
+        if sink is None:
+            raise TranslationError(message, lineno=site.lineno)
+        sink.emit(code, message, lineno=site.lineno, col=site.col,
+                  origin=method, hint=hint)

@@ -1,0 +1,28 @@
+"""SDG101 hiding in a module-level free function.
+
+Free functions are not class methods, so the per-method restriction
+scan never sees them — before the interprocedural summaries this
+program linted clean. The call-graph resolves the bare-name call,
+the summary carries the ``random.random()`` site upward, and the
+entry is flagged with the chain ``put_noisy → noise``.
+"""
+
+import random
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+def noise():
+    return random.random()
+
+
+class FreeFunctionNoise(SDGProgram):
+    """Stores a value computed by a nondeterministic free function."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def put_noisy(self, key):
+        self.table.put(key, noise())

@@ -1,0 +1,28 @@
+"""SDG101 laundered through a helper method.
+
+The entry itself is spotless; the nondeterminism lives in
+``_jitter``. The direct restriction scan flags the random call at the
+helper; the interprocedural pass additionally reports the
+*reachability* — that ``put_jittered`` executes it — with the call
+chain in both renderings.
+"""
+
+import random
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class JitteredStore(SDGProgram):
+    """Perturbs every stored value through a helper."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def put_jittered(self, key, value):
+        noisy = self._jitter(value)
+        self.table.put(key, noisy)
+
+    def _jitter(self, value):
+        return value + random.random()

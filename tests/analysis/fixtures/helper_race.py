@@ -1,0 +1,29 @@
+"""SDG301 taint laundered through a param-mutating helper.
+
+``seen`` is replica-derived (partial RMW); the entry never assigns it
+to anything that escapes — instead ``_stash`` smuggles it into
+``out`` by mutating its first parameter. The helper's summary proves
+``mutated_params = {0}``, so the taint flows into ``out``, which is
+live out of the block and ships on the dataflow edge.
+"""
+
+from repro.annotations import Partial, Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class HelperRace(SDGProgram):
+    """Persists a per-replica counter via a helper's side effect."""
+
+    counters = Partial(KeyValueMap)
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def record(self, key, amount):
+        seen = self.counters.increment(key, amount)
+        out = []
+        self._stash(out, seen)
+        self.table.put(key, out)
+
+    def _stash(self, bucket, value):
+        bucket.append(value)

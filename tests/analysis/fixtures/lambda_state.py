@@ -1,0 +1,21 @@
+"""SDG401: a lambda stored into a state element.
+
+Fine in-process; under the multiprocess substrate the SE contents
+must serialise for checkpoints and cross-process movement, and a
+closure cannot. Flagged only by the opt-in substrate-safety pass —
+the default pipeline accepts this program.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class LambdaState(SDGProgram):
+    """Caches a thunk instead of the computed value."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def plan(self, key, value):
+        self.table.put(key, lambda: value * 2)

@@ -1,0 +1,25 @@
+"""SDG303 through a parameter: the SE is handed to the bypasser.
+
+The intra-procedural checkpoint scan looks for ``self.<field>._...``
+— here the entry passes ``self.table`` *into* ``_launder``, and the
+bypass happens through the parameter name ``se``. The helper's
+summary records ``param_bypass[0]``; the interprocedural pass
+connects the argument to the parameter and reports the chain.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class LaunderedBypass(SDGProgram):
+    """Bypasses the journalled API one call frame down."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def poke(self, key, value):
+        self._launder(self.table, key, value)
+
+    def _launder(self, se, key, value):
+        se._backend._data[key] = value

@@ -1,0 +1,23 @@
+"""SDG101 for the process-dependent builtins ``hash`` and ``id``.
+
+``hash()`` differs per process under hash randomization and ``id()``
+is an interpreter address: both break §4.1 determinism — replay
+recovery and forked workers compute different values from the same
+input.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class ProcessIdentity(SDGProgram):
+    """Derives stored values from hash() and id()."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def record(self, key, value):
+        digest = hash(value)
+        tag = id(value)
+        self.table.put(key, (digest, tag))

@@ -1,0 +1,27 @@
+"""SDG402: a value derived from unordered set iteration escapes.
+
+Which element a ``for`` over a freshly built ``set`` yields first is
+hash-dependent — and hash randomization makes it differ *between
+worker processes*. The first tag therefore diverges across workers
+and across recovery replays. In-process the program is merely
+order-unstable; under fork it is wrong, so only the substrate pass
+flags it.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class SetIterationRoute(SDGProgram):
+    """Picks a representative tag by set iteration order."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def tally(self, key, tags):
+        first = None
+        for tag in set(tags):
+            first = tag
+            break
+        self.table.put(key, first)

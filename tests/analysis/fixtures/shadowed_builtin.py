@@ -1,0 +1,22 @@
+"""Negative control: a local binding shadowing a forbidden builtin.
+
+The parameter is *named* ``open``, but calling it invokes whatever
+the caller supplied — not the file-opening builtin. The restriction
+scan must treat locally bound names as shadows and stay silent
+(this was a false positive before the scan tracked local bindings).
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+
+class ShadowedOpen(SDGProgram):
+    """Applies a caller-supplied formatter named like a builtin."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def render(self, key, open):
+        text = open(key)
+        self.table.put(key, text)

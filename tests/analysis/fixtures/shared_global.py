@@ -1,0 +1,28 @@
+"""SDG403: a module global mutated from a task method, via a helper.
+
+After fork each worker owns a private copy-on-write page: the
+increment is invisible to every other process and to recovery. The
+write hides one call frame down, so the diagnostic carries the
+``record → _bump`` chain from the interprocedural summaries.
+"""
+
+from repro.annotations import Partitioned, entry
+from repro.program import SDGProgram
+from repro.state import KeyValueMap
+
+_SEEN = 0
+
+
+class SharedGlobal(SDGProgram):
+    """Counts records in interpreter state instead of an SE."""
+
+    table = Partitioned(KeyValueMap, key="key")
+
+    @entry
+    def record(self, key, value):
+        self._bump()
+        self.table.put(key, value)
+
+    def _bump(self):
+        global _SEEN
+        _SEEN = _SEEN + 1

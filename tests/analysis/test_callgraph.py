@@ -1,0 +1,195 @@
+"""Corner cases of the intra-class call graph and the summary fixpoint.
+
+The graph layer must terminate and stay conservative on exactly the
+shapes that break naive interprocedural analyses: direct and mutual
+recursion (SCC fixpoint), staticmethod dispatch through
+``self.__class__`` / the class name, and unknown callees (opaque
+degradation that can only *add* findings, never remove them).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph, local_bindings
+from repro.analysis.summaries import (
+    ALL_PARAMS,
+    OPAQUE_SUMMARY,
+    compute_summaries,
+)
+
+from tests.analysis.fixtures import free_function_nondet, helper_nondet
+
+
+def graph_from(source: str, class_name: str = "Demo"):
+    """A call graph over a literal class body (no module functions)."""
+    tree = ast.parse(textwrap.dedent(source))
+    class_def = tree.body[0]
+    method_asts = {
+        node.name: node
+        for node in class_def.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+    class _Stub:  # no module counterpart: exercises the class alone
+        pass
+
+    _Stub.__name__ = class_name
+    _Stub.__module__ = "tests.analysis._no_such_module"
+    return build_callgraph(_Stub, method_asts)
+
+
+class TestRecursion:
+    def test_direct_recursion_is_one_scc_and_converges(self):
+        graph = graph_from("""
+            class Demo:
+                def _walk(self, n):
+                    import random
+                    noise = random.random()
+                    if n:
+                        return self._walk(n - 1) + noise
+                    return noise
+        """)
+        assert ["_walk"] in graph.sccs()
+        summaries = compute_summaries(graph)  # must terminate
+        effects = summaries.get("_walk").effects
+        # The nondet site appears exactly once despite the cycle.
+        assert len([e for e in effects if e.kind == "nondet"]) == 1
+
+    def test_mutual_recursion_iterates_the_component_together(self):
+        graph = graph_from("""
+            class Demo:
+                def _even(self, n):
+                    return True if n == 0 else self._odd(n - 1)
+
+                def _odd(self, n):
+                    import random
+                    if random.random() < 0:
+                        return False
+                    return False if n == 0 else self._even(n - 1)
+        """)
+        components = graph.sccs()
+        assert ["_even", "_odd"] in components
+        summaries = compute_summaries(graph)
+        # The effect inside _odd reaches both members of the cycle,
+        # once each.
+        for name in ("_even", "_odd"):
+            nondet = [e for e in summaries.get(name).effects
+                      if e.kind == "nondet"]
+            assert len(nondet) == 1, name
+        # _even reaches it through _odd; the chain records the hop.
+        [through] = [e for e in summaries.get("_even").effects
+                     if e.kind == "nondet"]
+        assert [hop.fn for hop in through.chain] == ["_odd"]
+
+
+class TestStaticmethodDispatch:
+    SOURCE = """
+        class Demo:
+            @staticmethod
+            def norm(x):
+                return abs(x)
+
+            def via_self(self, x):
+                return self.norm(x)
+
+            def via_dunder_class(self, x):
+                return self.__class__.norm(x)
+
+            def via_class_name(self, x):
+                return Demo.norm(x)
+    """
+
+    def test_all_three_spellings_resolve(self):
+        graph = graph_from(self.SOURCE)
+        assert graph.nodes["norm"].kind == "staticmethod"
+        for caller in ("via_self", "via_dunder_class", "via_class_name"):
+            [site] = graph.callees(caller)
+            assert site.callee == "norm", caller
+
+    def test_staticmethod_params_have_no_self(self):
+        graph = graph_from(self.SOURCE)
+        assert graph.nodes["norm"].params == ["x"]
+
+
+class TestOpaqueDegradation:
+    def test_unknown_callee_lands_on_the_opaque_frontier(self):
+        graph = graph_from("""
+            class Demo:
+                def entry(self, x):
+                    return mystery(x)
+        """)
+        assert graph.callees("entry") == []
+        assert "mystery" in graph.opaque["entry"]
+
+    def test_opaque_summary_taints_return_from_every_param(self):
+        graph = graph_from("""
+            class Demo:
+                def entry(self, x):
+                    return mystery(x)
+        """)
+        summaries = compute_summaries(graph)
+        summary = summaries.get("mystery")
+        assert summary is OPAQUE_SUMMARY
+        assert summary.opaque
+        assert summary.taints_return == ALL_PARAMS
+        assert not summary.effects
+        assert not summary.mutated_params
+
+    def test_locally_bound_name_blocks_resolution(self):
+        graph = graph_from("""
+            class Demo:
+                def _noise(self):
+                    return 4
+
+                def entry(self, _noise):
+                    return _noise()
+        """)
+        # The parameter shadows the helper: the call goes through a
+        # local value, so it must not resolve to the method.
+        assert graph.callees("entry") == []
+
+
+class TestRealPrograms:
+    def test_free_function_is_a_graph_node(self):
+        from repro.analysis.model import ProgramModel
+        from repro.translate import translate
+
+        cls = free_function_nondet.FreeFunctionNoise
+        model = ProgramModel.build(cls, translate(cls))
+        graph = model.interproc.graph
+        assert graph.nodes["noise"].kind == "function"
+        [site] = graph.callees("put_noisy")
+        assert site.callee == "noise"
+
+    def test_helper_method_edge_from_entry(self):
+        from repro.analysis import DiagnosticSink
+        from repro.analysis.model import ProgramModel
+        from repro.translate import translate
+
+        cls = helper_nondet.JitteredStore
+        result = translate(cls, sink=DiagnosticSink())  # lint mode
+        model = ProgramModel.build(cls, result)
+        [site] = model.interproc.graph.callees("put_jittered")
+        assert site.callee == "_jitter"
+
+
+class TestLocalBindings:
+    def test_collects_every_binding_form(self):
+        fn = ast.parse(textwrap.dedent("""
+            def f(a, *rest, b=1, **kw):
+                c = 1
+                for d in rest:
+                    pass
+                with open("x") as e:
+                    pass
+                try:
+                    pass
+                except ValueError as err:
+                    pass
+                def g():
+                    pass
+        """)).body[0]
+        bound = local_bindings(fn)
+        assert {"a", "rest", "b", "kw", "c", "d", "e", "err",
+                "g"} <= bound
+        assert "self" not in bound

@@ -47,18 +47,20 @@ def certify_bundled(key):
 #: key -> (flags, commutative, foldable, batchable_rmw, entries, edges,
 #:         batch_state_tes) for every bundled target.
 BUNDLED_MATRIX = {
-    "cf": (["COMMUTATIVE_MERGE", "BATCHABLE_RMW"],
+    "cf": (["COMMUTATIVE_MERGE", "BATCHABLE_RMW", "SUBSTRATE_SAFE"],
            ("merge",), ("merge",), ("add_rating_1_co_occ",),
            [], [], ["add_rating_1_co_occ"]),
-    "kvstore": ([], (), (), (), [], [], ["bump"]),
-    "lr": (["COMMUTATIVE_MERGE", "COALESCIBLE_DISPATCH"],
+    "kvstore": (["SUBSTRATE_SAFE"], (), (), (), [], [], ["bump"]),
+    "lr": (["COMMUTATIVE_MERGE", "COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE"],
            ("average",), (), (), ["train"], [], []),
-    "kmeans": (["COALESCIBLE_DISPATCH"], (), (), (), ["observe"], [], []),
-    "multiclass": (["COMMUTATIVE_MERGE", "COALESCIBLE_DISPATCH"],
+    "kmeans": (["COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE"],
+               (), (), (), ["observe"], [], []),
+    "multiclass": (["COMMUTATIVE_MERGE", "COALESCIBLE_DISPATCH",
+                    "SUBSTRATE_SAFE"],
                    ("average",), (), (), ["train"], [], []),
-    "wordcount": (["COALESCIBLE_DISPATCH"], (), (), (),
+    "wordcount": (["COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE"], (), (), (),
                   ["query", "split"], [("split", "count")], ["count"]),
-    "pagerank": ([], (), (), (), [], [], []),
+    "pagerank": (["SUBSTRATE_SAFE"], (), (), (), [], [], []),
 }
 
 
@@ -82,7 +84,9 @@ class TestBundledMatrix:
 
     def test_hand_built_cf_sdg(self):
         caps = certify(build_cf_sdg)
-        assert caps.flags == ["BATCHABLE_RMW", "COALESCIBLE_DISPATCH"]
+        assert caps.flags == [
+            "BATCHABLE_RMW", "COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE",
+        ]
         assert caps.batchable_rmw == ("updateCoOcc",)
         assert ("updateUserItem", "updateCoOcc") in caps.coalescible_edges
         # The order-sensitive merge TE is refused, with the line.
@@ -90,7 +94,7 @@ class TestBundledMatrix:
 
     def test_hand_built_kv_sdg(self):
         caps = certify(build_kv_sdg)
-        assert caps.flags == ["COALESCIBLE_DISPATCH"]
+        assert caps.flags == ["COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE"]
         assert sorted(caps.coalescible_entries) == ["serve"]
         assert not caps.batch_state_tes
 
@@ -136,10 +140,11 @@ class TestUncertifiedRefused:
         assert not caps.merge_folds
         assert any(merge_name in r for r in caps.refusals)
 
-    def test_clean_fixture_earns_all_three_flags(self):
+    def test_clean_fixture_earns_every_flag(self):
         caps = certify(clean.CleanCounters)
         assert caps.flags == [
             "COMMUTATIVE_MERGE", "BATCHABLE_RMW", "COALESCIBLE_DISPATCH",
+            "SUBSTRATE_SAFE",
         ]
 
 
@@ -203,7 +208,9 @@ class TestSerialization:
         assert "merge_folds" not in payload
         round_tripped = json.loads(json.dumps(payload))
         assert round_tripped == payload
-        assert payload["flags"] == ["COMMUTATIVE_MERGE", "BATCHABLE_RMW"]
+        assert payload["flags"] == [
+            "COMMUTATIVE_MERGE", "BATCHABLE_RMW", "SUBSTRATE_SAFE",
+        ]
         assert payload["foldable_merges"] == ["merge"]
 
     def test_edges_serialise_as_pairs(self):

@@ -103,14 +103,16 @@ class TestCapabilities:
         assert main(["lint", "cf", "--capabilities"]) == 0
         out = capsys.readouterr().out
         assert "capabilities for cf:" in out
-        assert "flags: COMMUTATIVE_MERGE, BATCHABLE_RMW" in out
+        assert ("flags: COMMUTATIVE_MERGE, BATCHABLE_RMW, SUBSTRATE_SAFE"
+                in out)
         assert "foldable merges: merge" in out
         assert "refused (baseline path):" in out
 
-    def test_uncertified_app_shows_none_and_the_reason(self, capsys):
+    def test_uncertified_app_keeps_only_substrate_and_the_reason(
+            self, capsys):
         assert main(["lint", "kvstore", "--capabilities"]) == 0
         out = capsys.readouterr().out
-        assert "flags: (none)" in out
+        assert "flags: SUBSTRATE_SAFE" in out
         assert "non-commutative writes" in out
 
     def test_edges_render_as_arrows(self, capsys):
@@ -130,7 +132,7 @@ class TestCapabilities:
         payload = json.loads(capsys.readouterr().out)
         [cert] = payload["capabilities"]
         assert cert["target"] == "wordcount"
-        assert cert["flags"] == ["COALESCIBLE_DISPATCH"]
+        assert cert["flags"] == ["COALESCIBLE_DISPATCH", "SUBSTRATE_SAFE"]
         assert cert["coalescible_edges"] == [["split", "count"]]
         assert cert["batch_state_tes"] == ["count"]
 

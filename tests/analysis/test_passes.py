@@ -21,12 +21,18 @@ from tests.analysis.fixtures import (
     clean,
     dead_payload,
     env_access,
+    free_function_nondet,
     graphs,
+    helper_nondet,
+    helper_race,
     key_mismatch,
+    laundered_bypass,
     laundered_index_merge,
     operand_swap_merge,
     order_sensitive_merge,
     partial_race,
+    process_identity,
+    shadowed_builtin,
 )
 
 
@@ -53,6 +59,19 @@ PROGRAM_CASES = [
      "self.table._backend"),
     (key_mismatch, key_mismatch.KeyDrift, "SDG304", "self.table.delete"),
     (dead_payload, dead_payload.DeadPayload, "SDG305", "def store"),
+    # Interprocedural: violations laundered through calls. The first
+    # diagnostic is the direct site (helper body) when one exists, or
+    # the chained entry-side report for free functions the per-method
+    # scans never see.
+    (helper_nondet, helper_nondet.JitteredStore, "SDG101",
+     "random.random()"),
+    (free_function_nondet, free_function_nondet.FreeFunctionNoise,
+     "SDG101", "self.table.put(key, noise())"),
+    (helper_race, helper_race.HelperRace, "SDG301", "self._stash"),
+    (laundered_bypass, laundered_bypass.LaunderedBypass, "SDG303",
+     "self._launder(self.table"),
+    (process_identity, process_identity.ProcessIdentity, "SDG101",
+     "hash(value)"),
 ]
 
 
@@ -79,6 +98,17 @@ class TestFixtureCorpus:
     def test_clean_fixture_is_clean(self):
         report = analysis.run(clean.CleanCounters)
         assert report.clean, report.render_text()
+
+    def test_local_shadow_of_forbidden_builtin_is_clean(self):
+        # Regression: a parameter *named* ``open`` is a local value,
+        # not the file-opening builtin the §4.1 scan forbids.
+        report = analysis.run(shadowed_builtin.ShadowedOpen)
+        assert report.clean, report.render_text()
+
+    def test_transitive_reach_is_reported_against_the_entry(self):
+        report = analysis.run(helper_nondet.JitteredStore)
+        origins = {d.origin for d in report.by_code("SDG101")}
+        assert origins == {"_jitter", "put_jittered"}
 
     @pytest.mark.parametrize("code", sorted(graphs.BROKEN_BUILDERS))
     def test_broken_graph_reports_its_code(self, code):
